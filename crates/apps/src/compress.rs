@@ -1,0 +1,195 @@
+//! OTIS data compression (§2: "an algorithm for data compression").
+//!
+//! A lossless predictive coder for quantised thermal products: per-pixel
+//! delta prediction followed by zig-zag varint + run-length encoding of
+//! zero runs. Chosen because its shape matches onboard science
+//! compressors (predict → residual → entropy-ish code) while staying
+//! dependency-free.
+
+/// Quantises Kelvin temperatures to centi-Kelvin integers.
+pub fn quantize(values: &[f64]) -> Vec<i32> {
+    values.iter().map(|v| (v * 100.0).round() as i32).collect()
+}
+
+/// Reverses [`quantize`].
+pub fn dequantize(values: &[i32]) -> Vec<f64> {
+    values.iter().map(|&v| v as f64 / 100.0).collect()
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Compresses quantised samples: delta prediction + zigzag varints with
+/// zero-run folding (`0x00` marker + run length).
+pub fn compress(samples: &[i32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(samples.len());
+    put_varint(&mut out, samples.len() as u64);
+    let mut prev = 0i64;
+    let mut zero_run = 0u64;
+    for &s in samples {
+        let delta = s as i64 - prev;
+        prev = s as i64;
+        if delta == 0 {
+            zero_run += 1;
+            continue;
+        }
+        if zero_run > 0 {
+            out.push(0);
+            put_varint(&mut out, zero_run);
+            zero_run = 0;
+        }
+        // Encode nonzero deltas as zigzag+1 so 0 stays a run marker.
+        put_varint(&mut out, zigzag(delta) + 1);
+    }
+    if zero_run > 0 {
+        out.push(0);
+        put_varint(&mut out, zero_run);
+    }
+    out
+}
+
+/// Error decompressing a corrupted stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompressError;
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt compressed stream")
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// Reverses [`compress`].
+///
+/// # Errors
+///
+/// Returns [`DecompressError`] on truncated or malformed input.
+pub fn decompress(data: &[u8]) -> Result<Vec<i32>, DecompressError> {
+    let mut pos = 0usize;
+    let n = get_varint(data, &mut pos).ok_or(DecompressError)? as usize;
+    if n > 1 << 28 {
+        return Err(DecompressError);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    while out.len() < n {
+        let code = get_varint(data, &mut pos).ok_or(DecompressError)?;
+        if code == 0 {
+            let run = get_varint(data, &mut pos).ok_or(DecompressError)? as usize;
+            if out.len() + run > n {
+                return Err(DecompressError);
+            }
+            for _ in 0..run {
+                out.push(prev as i32);
+            }
+        } else {
+            prev += unzigzag(code - 1);
+            if prev > i32::MAX as i64 || prev < i32::MIN as i64 {
+                return Err(DecompressError);
+            }
+            out.push(prev as i32);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_smooth_field() {
+        let values: Vec<f64> = (0..1000).map(|i| 285.0 + (i as f64 * 0.01).sin() * 5.0).collect();
+        let q = quantize(&values);
+        let compressed = compress(&q);
+        let back = decompress(&compressed).unwrap();
+        assert_eq!(q, back);
+        // Smooth fields compress well.
+        assert!(
+            compressed.len() < q.len() * 2,
+            "expected < {} bytes, got {}",
+            q.len() * 2,
+            compressed.len()
+        );
+    }
+
+    #[test]
+    fn roundtrip_constant_field_is_tiny() {
+        let q = vec![28500; 4096];
+        let compressed = compress(&q);
+        assert!(compressed.len() < 32, "constant field should RLE to ~nothing");
+        assert_eq!(decompress(&compressed).unwrap(), q);
+    }
+
+    #[test]
+    fn roundtrip_extremes_and_negatives() {
+        let q = vec![0, -1, 1, i32::MIN / 2, i32::MAX / 2, 0, 0, 0, 42];
+        assert_eq!(decompress(&compress(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn empty_input() {
+        let q: Vec<i32> = vec![];
+        assert_eq!(decompress(&compress(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let q: Vec<i32> = (0..100).map(|i| i * 7 - 350).collect();
+        let compressed = compress(&q);
+        for cut in [0, 1, compressed.len() / 2] {
+            assert!(decompress(&compressed[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn quantize_roundtrip_within_resolution() {
+        let values = [285.137, 290.004, 271.999];
+        let back = dequantize(&quantize(&values));
+        for (a, b) in values.iter().zip(&back) {
+            assert!((a - b).abs() <= 0.005 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zigzag_is_bijective() {
+        for v in [-5i64, -1, 0, 1, 7, i64::MAX / 2, i64::MIN / 2] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Radix-2 complex FFT — the "external FFT library" the texture filters
+//! spend ~20 s per filter in (§3.3). This is real computation: the
+//! texture features that drive segmentation are produced by these
+//! transforms, so heap bit-flips in the image propagate through genuine
+//! arithmetic to the application's output (Table 10).
+
+/// A complex number as a `(re, im)` pair.
+pub type Complex = (f64, f64);
+
+fn cmul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+fn cadd(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn csub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `inverse` selects the inverse transform (scaled by `1/n`).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        for chunk in data.chunks_mut(len) {
+            let mut w = (1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = cmul(chunk[i + half], w);
+                chunk[i] = cadd(u, v);
+                chunk[i + half] = csub(u, v);
+                w = cmul(w, wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            x.0 *= scale;
+            x.1 *= scale;
+        }
+    }
+}
+
+/// Forward FFT of a real signal; returns complex spectrum.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let mut data: Vec<Complex> = signal.iter().map(|&x| (x, 0.0)).collect();
+    fft(&mut data, false);
+    data
+}
+
+/// 2-D FFT of a row-major `size`×`size` image (in place, rows then
+/// columns).
+///
+/// # Panics
+///
+/// Panics if `size` is not a power of two or `data.len() != size*size`.
+pub fn fft2d(data: &mut [Complex], size: usize, inverse: bool) {
+    assert_eq!(data.len(), size * size, "image must be size*size");
+    // Rows.
+    for row in data.chunks_mut(size) {
+        fft(row, inverse);
+    }
+    // Columns (gather, transform, scatter).
+    let mut col = vec![(0.0, 0.0); size];
+    for c in 0..size {
+        for r in 0..size {
+            col[r] = data[r * size + c];
+        }
+        fft(&mut col, inverse);
+        for r in 0..size {
+            data[r * size + c] = col[r];
+        }
+    }
+}
+
+/// Power (squared magnitude) of a spectrum element.
+pub fn power(c: Complex) -> f64 {
+    c.0 * c.0 + c.1 * c.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} vs {b}");
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut signal = vec![0.0; 16];
+        signal[0] = 1.0;
+        let spec = fft_real(&signal);
+        for c in spec {
+            assert_close(c.0, 1.0, 1e-12);
+            assert_close(c.1, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let k = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&signal);
+        let powers: Vec<f64> = spec.iter().map(|&c| power(c)).collect();
+        let max_bin = powers
+            .iter()
+            .take(n / 2)
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_bin, k);
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let signal: Vec<f64> = (0..128).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let mut data: Vec<Complex> = signal.iter().map(|&x| (x, 0.0)).collect();
+        fft(&mut data, false);
+        fft(&mut data, true);
+        for (orig, got) in signal.iter().zip(&data) {
+            assert_close(got.0, *orig, 1e-9);
+            assert_close(got.1, 0.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.7).sin()).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spec = fft_real(&signal);
+        let freq_energy: f64 = spec.iter().map(|&c| power(c)).sum::<f64>() / 64.0;
+        assert_close(time_energy, freq_energy, 1e-9);
+    }
+
+    #[test]
+    fn fft2d_roundtrip() {
+        let size = 16;
+        let img: Vec<f64> = (0..size * size).map(|i| ((i * 13) % 7) as f64).collect();
+        let mut data: Vec<Complex> = img.iter().map(|&x| (x, 0.0)).collect();
+        fft2d(&mut data, size, false);
+        fft2d(&mut data, size, true);
+        for (orig, got) in img.iter().zip(&data) {
+            assert_close(got.0, *orig, 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut d = vec![(0.0, 0.0); 12];
+        fft(&mut d, false);
+    }
+}

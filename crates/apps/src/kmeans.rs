@@ -1,0 +1,175 @@
+//! K-means clustering — the "statistical clustering algorithm applied to
+//! the feature vectors in order to segment the image (e.g., to
+//! distinguish between different rocks in the image)" (§2).
+
+/// Result of a clustering run.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Cluster label per input vector.
+    pub labels: Vec<usize>,
+    /// Final cluster centroids (k × dim, row-major).
+    pub centroids: Vec<f64>,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Lloyd's k-means with deterministic farthest-point initialisation.
+///
+/// `vectors` is row-major `n × dim`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `dim == 0`, or fewer than `k` vectors are given.
+pub fn kmeans(vectors: &[f64], dim: usize, k: usize, max_iters: usize) -> Clustering {
+    assert!(dim > 0 && k > 0, "dim and k must be positive");
+    let n = vectors.len() / dim;
+    assert!(n >= k, "need at least k vectors");
+    let row = |i: usize| &vectors[i * dim..(i + 1) * dim];
+
+    // Deterministic k-means++-style spread: first centre is the vector
+    // closest to the mean; each next is the farthest from chosen centres.
+    let mut mean = vec![0.0; dim];
+    for i in 0..n {
+        for d in 0..dim {
+            mean[d] += row(i)[d];
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    // NaN-tolerant comparisons throughout: corrupted inputs (injected
+    // bit flips can produce NaN/inf) must yield a wrong clustering, not
+    // a crash — the paper's app fails by "detectably incorrect output".
+    let first = (0..n)
+        .min_by(|&a, &b| dist2(row(a), &mean).total_cmp(&dist2(row(b), &mean)))
+        .unwrap();
+    let mut centres = vec![first];
+    while centres.len() < k {
+        let next = (0..n)
+            .max_by(|&a, &b| {
+                let da = centres.iter().map(|&c| dist2(row(a), row(c))).fold(f64::MAX, f64::min);
+                let db = centres.iter().map(|&c| dist2(row(b), row(c))).fold(f64::MAX, f64::min);
+                da.total_cmp(&db)
+            })
+            .unwrap();
+        centres.push(next);
+    }
+    let mut centroids: Vec<f64> = centres.iter().flat_map(|&c| row(c).to_vec()).collect();
+
+    let mut labels = vec![0usize; n];
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assign.
+        let mut changed = false;
+        for i in 0..n {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(row(i), &centroids[a * dim..(a + 1) * dim])
+                        .total_cmp(&dist2(row(i), &centroids[b * dim..(b + 1) * dim]))
+                })
+                .unwrap();
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![0.0; k * dim];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[labels[i]] += 1;
+            for d in 0..dim {
+                sums[labels[i] * dim + d] += row(i)[d];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for d in 0..dim {
+                    centroids[c * dim + d] = sums[c * dim + d] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = (0..n)
+        .map(|i| dist2(row(i), &centroids[labels[i] * dim..(labels[i] + 1) * dim]))
+        .sum();
+    Clustering { labels, centroids, iterations, inertia }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<f64> {
+        // Deterministic ring of points around (cx, cy).
+        (0..n)
+            .flat_map(|i| {
+                let ang = i as f64 * 0.7;
+                vec![cx + spread * ang.cos(), cy + spread * ang.sin()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let mut data = blob(0.0, 0.0, 20, 0.3);
+        data.extend(blob(10.0, 10.0, 20, 0.3));
+        data.extend(blob(-10.0, 10.0, 20, 0.3));
+        let result = kmeans(&data, 2, 3, 50);
+        // All points of one blob share a label, and the three blobs have
+        // three distinct labels.
+        let l0 = result.labels[0];
+        assert!(result.labels[..20].iter().all(|&l| l == l0));
+        let l1 = result.labels[20];
+        assert!(result.labels[20..40].iter().all(|&l| l == l1));
+        let l2 = result.labels[40];
+        assert!(result.labels[40..].iter().all(|&l| l == l2));
+        assert_ne!(l0, l1);
+        assert_ne!(l1, l2);
+        assert_ne!(l0, l2);
+    }
+
+    #[test]
+    fn converges_and_reports_inertia() {
+        let mut data = blob(0.0, 0.0, 10, 0.1);
+        data.extend(blob(5.0, 5.0, 10, 0.1));
+        let result = kmeans(&data, 2, 2, 100);
+        assert!(result.iterations < 100, "should converge early");
+        assert!(result.inertia < 1.0, "tight blobs have tiny inertia");
+    }
+
+    #[test]
+    fn deterministic_for_same_input() {
+        let data = blob(1.0, 2.0, 30, 1.0);
+        let a = kmeans(&data, 2, 4, 50);
+        let b = kmeans(&data, 2, 4, 50);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = vec![0.0, 0.0, 5.0, 5.0, 9.0, 1.0];
+        let result = kmeans(&data, 2, 3, 10);
+        assert!(result.inertia < 1e-12);
+        let mut ls = result.labels.clone();
+        ls.sort_unstable();
+        assert_eq!(ls, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k")]
+    fn too_few_vectors_panics() {
+        let _ = kmeans(&[1.0, 2.0], 2, 2, 10);
+    }
+}

@@ -1,0 +1,56 @@
+//! # ree-apps — the REE scientific applications
+//!
+//! Faithful synthetic stand-ins for the two MPI applications the paper
+//! evaluates (§2): the **Mars Rover texture analysis program** (three
+//! directional FFT texture filters + k-means segmentation, status-file
+//! checkpoints after each filter) and **OTIS** (split-window atmospheric
+//! compensation, emissivity extraction, lossless compression).
+//!
+//! Both are real computations over deterministic synthetic instrument
+//! data: injected bit flips propagate through genuine FFT / clustering /
+//! retrieval arithmetic to the science products, which an external
+//! verification program checks against tolerance limits (Table 10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod fft;
+pub mod filters;
+pub mod heap;
+pub mod kmeans;
+pub mod otis;
+pub mod shell;
+pub mod synth;
+pub mod testbed;
+pub mod texture;
+pub mod verify;
+
+use ree_sift::{AppFactory, Blueprint};
+use std::rc::Rc;
+
+pub use otis::{OtisApp, OtisParams};
+pub use testbed::{run_without_sift, Running, Scenario};
+pub use texture::{TextureApp, TextureParams};
+pub use verify::Verdict;
+
+/// Builds the texture-analysis application factory.
+pub fn texture_factory(params: TextureParams) -> AppFactory {
+    Rc::new(move |launch| Box::new(TextureApp::new(launch, params.clone())))
+}
+
+/// Builds the OTIS application factory.
+pub fn otis_factory(params: OtisParams) -> AppFactory {
+    Rc::new(move |launch| Box::new(OtisApp::new(launch, params.clone())))
+}
+
+/// Registers both paper applications in a blueprint under their
+/// conventional names (`texture`, `otis`).
+pub fn register_paper_apps(
+    blueprint: &Blueprint,
+    texture: TextureParams,
+    otis: OtisParams,
+) {
+    blueprint.register_app("texture", texture_factory(texture));
+    blueprint.register_app("otis", otis_factory(otis));
+}

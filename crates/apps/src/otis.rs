@@ -1,0 +1,373 @@
+//! The Orbiting Thermal Imaging Spectrometer application (§2): "extracts
+//! land temperature and surface emissivities from thermal images taken
+//! from sensors. The program uses an algorithm to compensate for
+//! atmospheric distortions in the thermal input images and an algorithm
+//! for data compression."
+//!
+//! Implemented as a 2-rank MPI program processing a sequence of thermal
+//! frames: ranks take alternating frames (rank r gets frame `2k + r`),
+//! apply split-window atmospheric compensation, derive emissivities,
+//! compress the retrieved temperature product losslessly, and exchange
+//! calibration statistics after every frame pair (the tight coupling that
+//! propagates stalls between ranks).
+
+use crate::compress::{compress, quantize};
+use crate::heap::SciHeap;
+use crate::shell::{AppShell, ShellPoll};
+use crate::synth::thermal_frame;
+use ree_mpi::MpiPayload;
+use ree_os::{HeapHit, HeapModel, HeapTarget, Message, ProcCtx, Process, Signal};
+use ree_sift::AppLaunch;
+use ree_sim::{SimDuration, SimRng};
+
+/// Tunable workload parameters for OTIS.
+#[derive(Clone, Debug)]
+pub struct OtisParams {
+    /// Frame side in pixels.
+    pub frame_px: usize,
+    /// Total frames to process (split across ranks).
+    pub frames: u32,
+    /// Virtual CPU time to calibrate/load at startup.
+    pub load_time: SimDuration,
+    /// Virtual CPU time for atmospheric compensation per frame.
+    pub atm_time: SimDuration,
+    /// Virtual CPU time for emissivity extraction per frame.
+    pub emis_time: SimDuration,
+    /// Virtual CPU time for compression per frame.
+    pub compress_time: SimDuration,
+    /// Progress-indicator declaration period.
+    pub pi_period: SimDuration,
+}
+
+impl Default for OtisParams {
+    fn default() -> Self {
+        OtisParams {
+            frame_px: 32,
+            frames: 14,
+            load_time: SimDuration::from_secs(4),
+            atm_time: SimDuration::from_secs(12),
+            emis_time: SimDuration::from_secs(8),
+            compress_time: SimDuration::from_secs(6),
+            pi_period: SimDuration::from_secs(20),
+        }
+    }
+}
+
+impl OtisParams {
+    /// Expected failure-free actual execution time for a 2-rank run.
+    pub fn nominal(&self) -> SimDuration {
+        let per_frame = self.atm_time + self.emis_time + self.compress_time;
+        self.load_time + per_frame * (self.frames as u64).div_ceil(2)
+    }
+}
+
+/// Split-window surface-temperature retrieval matching the synthesis
+/// model in [`crate::synth::thermal_frame`].
+pub fn split_window_retrieve(band11: f64, band12: f64) -> f64 {
+    let wv = ((band11 - band12) - 0.2) / 0.9;
+    band11 + 1.2 * wv + 0.4
+}
+
+/// Synthetic emissivity derived from retrieved temperature.
+pub fn emissivity_of(temp_k: f64) -> f64 {
+    0.95 + 0.02 * (temp_k / 10.0).sin()
+}
+
+const WORK_PHASE: u64 = 1;
+const TAG_CALIB: u32 = 200;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Phase {
+    Init,
+    Load { working: bool },
+    Atm { pair: u32, working: bool },
+    Emis { pair: u32, working: bool },
+    Compress { pair: u32, working: bool },
+    SyncPair { pair: u32 },
+    Finish,
+}
+
+/// One MPI rank of the OTIS application.
+pub struct OtisApp {
+    shell: AppShell,
+    params: OtisParams,
+    heap: SciHeap,
+    phase: Phase,
+    resume_pair: u32,
+    retrieved: Vec<f64>,
+    calib_seen: Vec<bool>,
+}
+
+impl OtisApp {
+    /// Creates the process for one rank.
+    pub fn new(launch: &AppLaunch, params: OtisParams) -> Self {
+        let heap = SciHeap::new(params.frame_px as u64);
+        OtisApp {
+            shell: AppShell::new(launch.clone(), String::new(), params.pi_period),
+            params,
+            heap,
+            phase: Phase::Init,
+            resume_pair: 0,
+            retrieved: Vec::new(),
+            calib_seen: Vec::new(),
+        }
+    }
+
+    fn pairs(&self) -> u32 {
+        self.params.frames.div_ceil(self.shell.launch.size.max(1))
+    }
+
+    fn my_frame(&self, pair: u32) -> u32 {
+        pair * self.shell.launch.size + self.shell.launch.rank
+    }
+
+    fn status_path(&self) -> String {
+        format!(
+            "app/{}/s{}/r{}/status",
+            self.shell.launch.app, self.shell.launch.slot, self.shell.launch.rank
+        )
+    }
+
+    fn product_path(&self, frame: u32) -> String {
+        format!("output/{}/s{}/frame{frame}", self.shell.launch.app, self.shell.launch.slot)
+    }
+
+    fn heap_guard(&mut self, ctx: &mut ProcCtx<'_>) -> bool {
+        if self.heap.ptr_fault() {
+            ctx.trace("otis: dereferenced corrupted status pointer".to_owned());
+            ctx.crash(Signal::Segv);
+            return false;
+        }
+        if self.heap.dims_fault(self.params.frame_px as u64) {
+            ctx.trace("otis: corrupted frame dimensions".to_owned());
+            ctx.crash(Signal::Segv);
+            return false;
+        }
+        true
+    }
+
+    fn enter_pair(&mut self, pair: u32, ctx: &mut ProcCtx<'_>) {
+        if pair >= self.pairs() {
+            self.phase = Phase::Finish;
+            self.shell.finish(ctx);
+            return;
+        }
+        let frame = self.my_frame(pair);
+        if frame >= self.params.frames {
+            // Odd frame count: this rank idles through the last pair but
+            // still synchronises.
+            self.retrieved.clear();
+            self.enter_sync(pair, ctx);
+            return;
+        }
+        // Load the frame's bands into the working heap.
+        let f = thermal_frame(
+            self.params.frame_px,
+            otis_frame_seed(&self.shell.launch.app, self.shell.launch.slot),
+            frame,
+        );
+        self.heap.image = f.band11;
+        self.heap.features = f.band12;
+        self.phase = Phase::Atm { pair, working: true };
+        ctx.start_work(self.params.atm_time, WORK_PHASE);
+    }
+
+    fn finish_atm(&mut self, pair: u32, ctx: &mut ProcCtx<'_>) {
+        // Real split-window arithmetic over (possibly corrupted) bands.
+        self.retrieved = self
+            .heap
+            .image
+            .iter()
+            .zip(&self.heap.features)
+            .map(|(&b11, &b12)| split_window_retrieve(b11, b12))
+            .collect();
+        self.shell.progress(ctx);
+        self.phase = Phase::Emis { pair, working: true };
+        ctx.start_work(self.params.emis_time, WORK_PHASE);
+    }
+
+    fn finish_emis(&mut self, pair: u32, ctx: &mut ProcCtx<'_>) {
+        let emissivities: Vec<f64> = self.retrieved.iter().map(|&t| emissivity_of(t)).collect();
+        // Keep emissivities in the heap (they are part of the product).
+        self.heap.features = emissivities;
+        self.shell.progress(ctx);
+        self.phase = Phase::Compress { pair, working: true };
+        ctx.start_work(self.params.compress_time, WORK_PHASE);
+    }
+
+    fn finish_compress(&mut self, pair: u32, ctx: &mut ProcCtx<'_>) {
+        let frame = self.my_frame(pair);
+        let product = compress(&quantize(&self.retrieved));
+        ctx.remote_fs().write(&self.product_path(frame), product);
+        self.shell.progress(ctx);
+        self.enter_sync(pair, ctx);
+    }
+
+    fn enter_sync(&mut self, pair: u32, ctx: &mut ProcCtx<'_>) {
+        // Exchange calibration statistics with every peer before the
+        // next pair (the coupling point).
+        let mean = if self.retrieved.is_empty() {
+            0.0
+        } else {
+            self.retrieved.iter().sum::<f64>() / self.retrieved.len() as f64
+        };
+        for rank in 0..self.shell.launch.size {
+            if rank != self.shell.launch.rank {
+                self.shell.mpi.send(ctx, rank, TAG_CALIB + pair, MpiPayload::F64s(vec![mean]));
+            }
+        }
+        self.calib_seen = vec![false; self.shell.launch.size as usize];
+        self.calib_seen[self.shell.launch.rank as usize] = true;
+        self.phase = Phase::SyncPair { pair };
+        self.drain_sync(ctx);
+    }
+
+    fn drain_sync(&mut self, ctx: &mut ProcCtx<'_>) {
+        let Phase::SyncPair { pair } = self.phase else { return };
+        while let Some(m) = self.shell.mpi.try_recv(None, TAG_CALIB + pair) {
+            if (m.from_rank as usize) < self.calib_seen.len() {
+                self.calib_seen[m.from_rank as usize] = true;
+            }
+        }
+        if self.calib_seen.iter().all(|&s| s) {
+            ctx.remote_fs().write(&self.status_path(), format!("{},0", pair + 1).into_bytes());
+            self.shell.progress(ctx);
+            self.enter_pair(pair + 1, ctx);
+        }
+    }
+
+    fn advance(&mut self, ctx: &mut ProcCtx<'_>) {
+        if self.shell.finished() || self.shell.blocked() {
+            return;
+        }
+        if !self.heap_guard(ctx) {
+            return;
+        }
+        match self.phase.clone() {
+            Phase::Init => {
+                if let ShellPoll::Run(token) = self.shell.poll(ctx) {
+                    let pair = token.split(',').next().and_then(|p| p.parse().ok()).unwrap_or(0);
+                    self.resume_pair = pair;
+                    self.phase = Phase::Load { working: true };
+                    ctx.start_work(self.params.load_time, WORK_PHASE);
+                }
+            }
+            Phase::SyncPair { .. } => self.drain_sync(ctx),
+            _ => {}
+        }
+    }
+}
+
+/// Deterministic frame-sequence seed for (app, slot).
+pub fn otis_frame_seed(app: &str, slot: u32) -> u64 {
+    let mut h: u64 = 0x6f74_6973;
+    for b in app.bytes() {
+        h = h.rotate_left(7) ^ b as u64;
+    }
+    h ^ ((slot as u64) << 24)
+}
+
+impl Process for OtisApp {
+    fn kind(&self) -> &'static str {
+        "otis-app"
+    }
+
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        let token = ctx
+            .remote_fs()
+            .read(&self.status_path())
+            .and_then(|b| String::from_utf8(b.to_vec()).ok())
+            .unwrap_or_default();
+        let launch = self.shell.launch.clone();
+        self.shell = AppShell::new(launch, token, self.params.pi_period);
+        self.shell.on_start(ctx);
+        self.advance(ctx);
+    }
+
+    fn on_message(&mut self, msg: Message, ctx: &mut ProcCtx<'_>) {
+        let _ = self.shell.on_message(&msg, ctx);
+        self.advance(ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut ProcCtx<'_>) {
+        let _ = self.shell.on_timer(tag, ctx);
+        self.advance(ctx);
+    }
+
+    fn on_work_done(&mut self, tag: u64, ctx: &mut ProcCtx<'_>) {
+        if tag != WORK_PHASE || self.shell.finished() {
+            return;
+        }
+        if !self.heap_guard(ctx) {
+            return;
+        }
+        match self.phase.clone() {
+            Phase::Load { working: true } => {
+                self.shell.progress(ctx);
+                let pair = self.resume_pair;
+                self.enter_pair(pair, ctx);
+            }
+            Phase::Atm { pair, working: true } => self.finish_atm(pair, ctx),
+            Phase::Emis { pair, working: true } => self.finish_emis(pair, ctx),
+            Phase::Compress { pair, working: true } => self.finish_compress(pair, ctx),
+            _ => {}
+        }
+        self.advance(ctx);
+    }
+
+    fn heap(&mut self) -> Option<&mut dyn HeapModel> {
+        Some(self)
+    }
+}
+
+impl HeapModel for OtisApp {
+    fn region_names(&self) -> Vec<String> {
+        vec!["image".into(), "features".into(), "ctrl".into()]
+    }
+
+    fn flip_bit(&mut self, rng: &mut SimRng, target: &HeapTarget) -> Option<HeapHit> {
+        self.heap.flip(rng, target)
+    }
+}
+
+impl std::fmt::Debug for OtisApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OtisApp")
+            .field("rank", &self.shell.launch.rank)
+            .field("phase", &self.phase)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_window_recovers_truth_exactly() {
+        let frame = thermal_frame(16, 42, 0);
+        for i in 0..frame.truth.len() {
+            let t = split_window_retrieve(frame.band11[i], frame.band12[i]);
+            assert!((t - frame.truth[i]).abs() < 1e-9, "pixel {i}: {t} vs {}", frame.truth[i]);
+        }
+    }
+
+    #[test]
+    fn emissivity_in_physical_range() {
+        for t in [250.0, 285.0, 310.0] {
+            let e = emissivity_of(t);
+            assert!((0.9..=1.0).contains(&e));
+        }
+    }
+
+    #[test]
+    fn nominal_time_is_about_190s() {
+        let t = OtisParams::default().nominal().as_secs_f64();
+        assert!((150.0..240.0).contains(&t), "nominal {t}");
+    }
+
+    #[test]
+    fn frame_seed_depends_on_slot() {
+        assert_ne!(otis_frame_seed("otis", 0), otis_frame_seed("otis", 1));
+    }
+}

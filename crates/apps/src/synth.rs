@@ -1,0 +1,209 @@
+//! Synthetic instrument data.
+//!
+//! The real missions' data (Mars Rover camera frames, OTIS thermal
+//! imagery) are unavailable; per the substitution rule we generate
+//! deterministic synthetic equivalents that exercise the same code paths:
+//! Mars surface images are piecewise-textured (distinct orientation and
+//! frequency per region, so directional texture filters genuinely
+//! separate them), and thermal frames have smooth temperature fields with
+//! atmospheric attenuation applied per split-window band.
+
+use ree_sim::SimRng;
+
+/// A row-major square grayscale image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Image {
+    /// Side length in pixels (power of two).
+    pub size: usize,
+    /// Pixel values.
+    pub pixels: Vec<f64>,
+}
+
+impl Image {
+    /// Pixel accessor.
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        self.pixels[row * self.size + col]
+    }
+
+    /// Serialises to little-endian bytes (stable-storage format).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.pixels.len() * 8);
+        out.extend_from_slice(&(self.size as u64).to_le_bytes());
+        for p in &self.pixels {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the stable-storage format.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Image> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let size = u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize;
+        if size == 0 || size > 4096 {
+            return None;
+        }
+        let need = 8 + size * size * 8;
+        if bytes.len() != need {
+            return None;
+        }
+        let pixels = bytes[8..]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        Some(Image { size, pixels })
+    }
+}
+
+/// Ground-truth region layout of a synthetic Mars image: quadrants with
+/// distinct textures (the texture program's job is to recover this
+/// segmentation).
+pub fn mars_region_of(size: usize, row: usize, col: usize) -> usize {
+    let half = size / 2;
+    match (row < half, col < half) {
+        (true, true) => 0,   // fine-grained rock, horizontal grain
+        (true, false) => 1,  // coarse boulders, vertical grain
+        (false, true) => 2,  // wind-rippled sand, diagonal grain
+        (false, false) => 3, // smooth dust plain
+    }
+}
+
+/// Generates a synthetic Mars surface image: four textured quadrants
+/// (orientation/frequency differ per region) plus correlated noise.
+pub fn mars_surface(size: usize, seed: u64) -> Image {
+    assert!(size.is_power_of_two(), "image size must be a power of two");
+    let mut rng = SimRng::new(seed ^ 0x4d41_5253); // "MARS"
+    let mut pixels = vec![0.0; size * size];
+    for row in 0..size {
+        for col in 0..size {
+            let (fx, fy, amp, base) = match mars_region_of(size, row, col) {
+                0 => (0.9, 0.05, 1.0, 0.3),
+                1 => (0.05, 0.45, 1.2, 0.5),
+                2 => (0.35, 0.35, 0.8, 0.4),
+                _ => (0.02, 0.02, 0.15, 0.6),
+            };
+            let x = col as f64;
+            let y = row as f64;
+            let texture = (fx * x).sin() * (fy * y).cos() * amp;
+            let noise = (rng.f64() - 0.5) * 0.2;
+            pixels[row * size + col] = base + texture + noise;
+        }
+    }
+    Image { size, pixels }
+}
+
+/// One OTIS thermal frame: two split-window band radiances plus the
+/// ground-truth surface temperature field used by verification.
+#[derive(Clone, Debug)]
+pub struct ThermalFrame {
+    /// Side length in pixels.
+    pub size: usize,
+    /// Band-11 µm radiance-equivalent brightness temperatures (K).
+    pub band11: Vec<f64>,
+    /// Band-12 µm radiance-equivalent brightness temperatures (K).
+    pub band12: Vec<f64>,
+    /// True surface temperature (K) — synthetic ground truth.
+    pub truth: Vec<f64>,
+}
+
+/// Generates a synthetic thermal frame with a smooth temperature field
+/// and band-dependent atmospheric attenuation (water-vapour path).
+pub fn thermal_frame(size: usize, seed: u64, frame_index: u32) -> ThermalFrame {
+    let mut rng = SimRng::new(seed ^ 0x4f54_4953 ^ (frame_index as u64) << 32); // "OTIS"
+    let n = size * size;
+    let mut truth = vec![0.0; n];
+    let mut band11 = vec![0.0; n];
+    let mut band12 = vec![0.0; n];
+    // Smooth temperature field: blobs + gradient.
+    let cx = size as f64 * (0.3 + 0.4 * rng.f64());
+    let cy = size as f64 * (0.3 + 0.4 * rng.f64());
+    let wv = 1.0 + 2.0 * rng.f64(); // water-vapour burden (g/cm^2)
+    for row in 0..size {
+        for col in 0..size {
+            let x = col as f64;
+            let y = row as f64;
+            let d2 = ((x - cx).powi(2) + (y - cy).powi(2)) / (size as f64).powi(2);
+            let t = 285.0 + 18.0 * (-6.0 * d2).exp() + 0.02 * y + (rng.f64() - 0.5);
+            truth[row * size + col] = t;
+            // Split-window physics (simplified): band-dependent
+            // attenuation proportional to water vapour; band 12 is
+            // attenuated more than band 11.
+            band11[row * size + col] = t - 1.2 * wv - 0.4;
+            band12[row * size + col] = t - 2.1 * wv - 0.6;
+        }
+    }
+    ThermalFrame { size, band11, band12, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mars_image_is_deterministic() {
+        let a = mars_surface(32, 7);
+        let b = mars_surface(32, 7);
+        assert_eq!(a, b);
+        let c = mars_surface(32, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mars_regions_cover_quadrants() {
+        assert_eq!(mars_region_of(64, 0, 0), 0);
+        assert_eq!(mars_region_of(64, 0, 63), 1);
+        assert_eq!(mars_region_of(64, 63, 0), 2);
+        assert_eq!(mars_region_of(64, 63, 63), 3);
+    }
+
+    #[test]
+    fn image_bytes_roundtrip() {
+        let img = mars_surface(16, 3);
+        let back = Image::from_bytes(&img.to_bytes()).unwrap();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn image_bytes_rejects_garbage() {
+        assert!(Image::from_bytes(&[1, 2, 3]).is_none());
+        let mut bytes = mars_surface(16, 3).to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(Image::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn quadrants_have_distinct_texture_statistics() {
+        let img = mars_surface(64, 5);
+        // Mean absolute horizontal gradient differs between the
+        // fine-grained quadrant (0) and the smooth plain (3).
+        let grad = |r0: usize, c0: usize| {
+            let mut total = 0.0;
+            for r in r0..r0 + 31 {
+                for c in c0..c0 + 31 {
+                    total += (img.at(r, c + 1) - img.at(r, c)).abs();
+                }
+            }
+            total / (31.0 * 31.0)
+        };
+        let fine = grad(0, 0);
+        let smooth = grad(32, 32);
+        assert!(fine > smooth * 2.0, "fine {fine} vs smooth {smooth}");
+    }
+
+    #[test]
+    fn thermal_bands_are_attenuated_consistently() {
+        let f = thermal_frame(32, 9, 0);
+        for i in 0..f.truth.len() {
+            assert!(f.band11[i] < f.truth[i], "band 11 must be attenuated");
+            assert!(f.band12[i] < f.band11[i], "band 12 attenuated more than band 11");
+        }
+    }
+
+    #[test]
+    fn thermal_frames_differ_by_index() {
+        let a = thermal_frame(32, 9, 0);
+        let b = thermal_frame(32, 9, 1);
+        assert_ne!(a.truth, b.truth);
+    }
+}

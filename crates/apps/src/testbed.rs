@@ -1,0 +1,227 @@
+//! Scenario assembly: cluster + blueprint + SCC + applications, plus
+//! measurement extraction. Every experiment (and most integration tests)
+//! starts from a [`Scenario`].
+
+use crate::{OtisParams, TextureParams};
+use ree_os::{Cluster, ClusterConfig, Pid, SpawnSpec};
+use ree_os::NodeId;
+use ree_sift::{Blueprint, JobSpec, JobTimes, Scc, SiftConfig};
+use ree_sim::{SimDuration, SimTime};
+use std::rc::Rc;
+
+/// A declarative experiment setup.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Number of cluster nodes (4 for single-app, 6 for two-app runs).
+    pub nodes: usize,
+    /// SIFT environment configuration.
+    pub sift: SiftConfig,
+    /// Texture-application workload parameters.
+    pub texture: TextureParams,
+    /// OTIS workload parameters.
+    pub otis: OtisParams,
+    /// Jobs the SCC submits.
+    pub jobs: Vec<JobSpec>,
+    /// Master seed.
+    pub seed: u64,
+    /// Whether the OS trace records events (slower, needed for
+    /// classification).
+    pub trace: bool,
+}
+
+impl Scenario {
+    /// The paper's standard single-application setup: the texture
+    /// program on two nodes of the 4-node testbed, submitted at t=5 s.
+    pub fn single_texture(seed: u64) -> Scenario {
+        Scenario {
+            nodes: 4,
+            sift: SiftConfig::paper(),
+            texture: TextureParams::default(),
+            otis: OtisParams::default(),
+            jobs: vec![JobSpec {
+                app: "texture".into(),
+                ranks: 2,
+                nodes: vec![2, 3],
+                submit_at: SimDuration::from_secs(5),
+            }],
+            seed,
+            trace: true,
+        }
+    }
+
+    /// The §8 two-application setup on the 6-node testbed: Mars Rover
+    /// texture (two images) + OTIS, each rank on a dedicated node.
+    pub fn two_apps(seed: u64) -> Scenario {
+        let mut texture = TextureParams::default();
+        texture.images = 2;
+        Scenario {
+            nodes: 6,
+            sift: SiftConfig::paper(),
+            texture,
+            otis: OtisParams::default(),
+            jobs: vec![
+                JobSpec {
+                    app: "texture".into(),
+                    ranks: 2,
+                    nodes: vec![2, 3],
+                    submit_at: SimDuration::from_secs(5),
+                },
+                JobSpec {
+                    app: "otis".into(),
+                    ranks: 2,
+                    nodes: vec![4, 5],
+                    submit_at: SimDuration::from_secs(6),
+                },
+            ],
+            seed,
+            trace: true,
+        }
+    }
+
+    /// Builds and boots the scenario: SIFT environment installing, jobs
+    /// scheduled.
+    pub fn start(&self) -> Running {
+        let mut config = if self.nodes <= 4 {
+            ClusterConfig::ree_testbed(self.seed)
+        } else {
+            ClusterConfig::ree_testbed_6node(self.seed)
+        };
+        config.nodes = self.nodes;
+        config.trace_enabled = self.trace;
+        let mut cluster = Cluster::new(config);
+        let blueprint = Blueprint::new(self.sift.clone());
+        crate::register_paper_apps(&blueprint, self.texture.clone(), self.otis.clone());
+        let scc = Scc::new(Rc::clone(&blueprint), self.nodes as u16, self.jobs.clone());
+        let scc_pid = cluster.spawn(SpawnSpec::new("scc", NodeId(0), Box::new(scc)));
+        Running { cluster, scc_pid, jobs: self.jobs.len() }
+    }
+
+    /// Runs the scenario without any injection until all jobs complete
+    /// or `horizon` passes; returns the run.
+    pub fn run_fault_free(&self, horizon: SimTime) -> Running {
+        let mut running = self.start();
+        running.run_until_done(horizon);
+        running
+    }
+}
+
+/// A live (or finished) scenario execution.
+pub struct Running {
+    /// The simulated cluster.
+    pub cluster: Cluster,
+    /// The SCC driver's pid.
+    pub scc_pid: Pid,
+    jobs: usize,
+}
+
+impl Running {
+    /// Runs until every job has a completion report (true) or the
+    /// horizon passes (false).
+    pub fn run_until_done(&mut self, horizon: SimTime) -> bool {
+        let jobs = self.jobs;
+        self.cluster.run_until_pred(horizon, |c| {
+            c.remote_fs_ref().peek("scc/alldone").is_some() && jobs > 0
+        })
+    }
+
+    /// Runs for a fixed horizon regardless of completion.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.cluster.run_until(horizon);
+    }
+
+    /// Timing record of one job slot.
+    pub fn job_times(&self, slot: u64) -> Option<JobTimes> {
+        self.cluster
+            .remote_fs_ref()
+            .peek(&JobTimes::path(slot))
+            .and_then(JobTimes::decode)
+    }
+
+    /// True if every job completed.
+    pub fn all_done(&self) -> bool {
+        self.cluster.remote_fs_ref().peek("scc/alldone").is_some()
+    }
+
+    /// Recovery intervals measured from the trace: pairs each
+    /// `detect …` recovery record with the next `armor-ready`/recovery
+    /// completion for the same subject.
+    pub fn recovery_times(&self) -> Vec<SimDuration> {
+        let mut out = Vec::new();
+        let records: Vec<(SimTime, String)> = self
+            .cluster
+            .trace()
+            .of_kind(ree_os::TraceKind::Recovery)
+            .map(|r| (r.time, r.detail.clone()))
+            .collect();
+        for (i, (t, detail)) in records.iter().enumerate() {
+            if !detail.starts_with("detect ") {
+                continue;
+            }
+            // Pair with the next recovery completion ("recovered …") —
+            // the interval between failure detection and target restart
+            // (§4.2's recovery-time definition).
+            for (t2, d2) in records.iter().skip(i + 1) {
+                if d2.starts_with("recovered ") {
+                    out.push(t2.since(*t));
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Count of application restarts observed across all jobs.
+    pub fn total_restarts(&self) -> u64 {
+        (0..self.jobs as u64)
+            .filter_map(|s| self.job_times(s))
+            .map(|t| t.restarts)
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Running {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Running")
+            .field("now", &self.cluster.now())
+            .field("jobs", &self.jobs)
+            .field("done", &self.all_done())
+            .finish()
+    }
+}
+
+/// Runs an application **without** the SIFT environment (the Table 3
+/// "Baseline No SIFT" configuration): ranks spawned directly, no ARMORs.
+pub fn run_without_sift(scenario: &Scenario, horizon: SimTime) -> (Cluster, Option<SimDuration>) {
+    let mut config = ClusterConfig::ree_testbed(scenario.seed);
+    config.nodes = scenario.nodes;
+    config.trace_enabled = scenario.trace;
+    let mut cluster = Cluster::new(config);
+    let blueprint = Blueprint::new(scenario.sift.clone());
+    crate::register_paper_apps(&blueprint, scenario.texture.clone(), scenario.otis.clone());
+    let job = scenario.jobs.first().expect("scenario has a job");
+    let factory = blueprint.app_factory(&job.app).expect("registered app");
+    let launch = ree_sift::AppLaunch {
+        app: job.app.clone(),
+        slot: 0,
+        rank: 0,
+        size: job.ranks,
+        nodes: job.nodes.clone(),
+        exec_pids: vec![],
+        attempt: 0,
+        sift_enabled: false,
+        rank0_pid: None,
+        block_timeout: SimDuration::from_secs(30),
+        factory: factory.clone(),
+    };
+    let behavior = factory(&launch);
+    let start = SimTime::ZERO;
+    let rank0 = cluster.spawn(SpawnSpec::new(
+        format!("{}-r0-nosift", job.app),
+        NodeId(job.nodes[0]),
+        behavior,
+    ));
+    // Run until rank 0 exits (the app writes its products before that).
+    cluster.run_until_pred(horizon, |c| !c.is_alive(rank0));
+    let duration = cluster.exit_status(rank0).map(|(t, _)| t.since(start));
+    (cluster, duration)
+}

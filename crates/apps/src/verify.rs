@@ -1,0 +1,196 @@
+//! Output verification — the paper's "external application-provided
+//! verification program" that decides whether a run "produced output that
+//! falls outside acceptable tolerance limits" (§4.2).
+//!
+//! Verification recomputes the fault-free reference locally (inputs are
+//! deterministic) and compares:
+//!
+//! * **texture**: segmentation agreement via the Rand index (label
+//!   permutations do not matter) with a tolerance for single-tile noise;
+//! * **OTIS**: products must decompress losslessly and the retrieved
+//!   temperatures must match the reference within quantisation error.
+
+use crate::compress::{decompress, dequantize};
+use crate::filters::{assemble_features, filter_tiles, NUM_FILTERS};
+use crate::kmeans::kmeans;
+use crate::otis::{otis_frame_seed, split_window_retrieve};
+use crate::synth::{mars_surface, thermal_frame};
+use crate::texture::texture_image_seed;
+use ree_os::RemoteFs;
+
+/// Verdict of the verification program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Output present and within tolerance.
+    Correct,
+    /// Output present but outside tolerance limits.
+    Incorrect,
+    /// Output missing (the application did not complete).
+    Missing,
+}
+
+/// Computes the Rand index between two labelings (pair-counting
+/// agreement; invariant to label permutation).
+pub fn rand_index(a: &[u8], b: &[u8]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must have equal length");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_a = a[i] == a[j];
+            let same_b = b[i] == b[j];
+            if same_a == same_b {
+                agree += 1;
+            }
+            total += 1;
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// Reference segmentation for one texture image (the fault-free
+/// pipeline run locally).
+pub fn texture_reference(app: &str, slot: u32, image: u32, image_px: usize, tile_px: usize, clusters: usize) -> Vec<u8> {
+    let img = mars_surface(image_px, texture_image_seed(app, slot, image));
+    let per_side = image_px / tile_px;
+    let n_tiles = per_side * per_side;
+    let per_filter: Vec<Vec<(usize, f64)>> =
+        (0..NUM_FILTERS).map(|f| filter_tiles(&img, f, 0..n_tiles, tile_px)).collect();
+    let features = assemble_features(&per_filter, n_tiles);
+    kmeans(&features, NUM_FILTERS, clusters, 50).labels.iter().map(|&l| l as u8).collect()
+}
+
+/// Verifies one texture image's output against the reference.
+///
+/// Tolerance: Rand index ≥ 0.98 (a single stray tile passes; systematic
+/// mis-segmentation fails).
+pub fn verify_texture(
+    fs: &RemoteFs,
+    app: &str,
+    slot: u32,
+    image: u32,
+    image_px: usize,
+    tile_px: usize,
+    clusters: usize,
+) -> Verdict {
+    let path = format!("output/{app}/s{slot}/img{image}");
+    let Some(labels) = fs.peek(&path) else { return Verdict::Missing };
+    let reference = texture_reference(app, slot, image, image_px, tile_px, clusters);
+    if labels.len() != reference.len() {
+        return Verdict::Incorrect;
+    }
+    if rand_index(labels, &reference) >= 0.98 {
+        Verdict::Correct
+    } else {
+        Verdict::Incorrect
+    }
+}
+
+/// Verifies one OTIS frame product: lossless decode plus temperature
+/// accuracy within quantisation resolution.
+pub fn verify_otis(fs: &RemoteFs, app: &str, slot: u32, frame: u32, frame_px: usize) -> Verdict {
+    let path = format!("output/{app}/s{slot}/frame{frame}");
+    let Some(product) = fs.peek(&path) else { return Verdict::Missing };
+    let Ok(quantised) = decompress(product) else { return Verdict::Incorrect };
+    let temps = dequantize(&quantised);
+    let reference = thermal_frame(frame_px, otis_frame_seed(app, slot), frame);
+    if temps.len() != reference.truth.len() {
+        return Verdict::Incorrect;
+    }
+    let mut worst: f64 = 0.0;
+    for (i, t) in temps.iter().enumerate() {
+        let expect = split_window_retrieve(reference.band11[i], reference.band12[i]);
+        worst = worst.max((t - expect).abs());
+    }
+    // Quantisation is centi-Kelvin; allow 0.02 K slack.
+    if worst <= 0.02 {
+        Verdict::Correct
+    } else {
+        Verdict::Incorrect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rand_index_of_identical_labelings_is_one() {
+        let a = vec![0, 0, 1, 1, 2];
+        assert_eq!(rand_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn rand_index_is_permutation_invariant() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert_eq!(rand_index(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn rand_index_penalises_disagreement() {
+        let a = vec![0, 0, 0, 0];
+        let b = vec![0, 0, 1, 1];
+        assert!(rand_index(&a, &b) < 0.8);
+    }
+
+    #[test]
+    fn texture_reference_is_deterministic() {
+        let a = texture_reference("texture", 0, 0, 32, 8, 4);
+        let b = texture_reference("texture", 0, 0, 32, 8, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn missing_output_is_reported() {
+        let fs = RemoteFs::new();
+        assert_eq!(verify_texture(&fs, "texture", 0, 0, 32, 8, 4), Verdict::Missing);
+        assert_eq!(verify_otis(&fs, "otis", 0, 0, 16), Verdict::Missing);
+    }
+
+    #[test]
+    fn correct_texture_output_passes() {
+        let mut fs = RemoteFs::new();
+        let reference = texture_reference("texture", 0, 0, 32, 8, 4);
+        fs.write("output/texture/s0/img0", reference);
+        assert_eq!(verify_texture(&fs, "texture", 0, 0, 32, 8, 4), Verdict::Correct);
+    }
+
+    #[test]
+    fn corrupted_texture_output_fails() {
+        let mut fs = RemoteFs::new();
+        let mut labels = texture_reference("texture", 0, 0, 32, 8, 4);
+        // Scramble half the labels.
+        for l in labels.iter_mut().take(8) {
+            *l = (*l + 1) % 4;
+        }
+        fs.write("output/texture/s0/img0", labels);
+        assert_eq!(verify_texture(&fs, "texture", 0, 0, 32, 8, 4), Verdict::Incorrect);
+    }
+
+    #[test]
+    fn correct_otis_product_passes() {
+        use crate::compress::{compress, quantize};
+        let mut fs = RemoteFs::new();
+        let frame = thermal_frame(16, otis_frame_seed("otis", 0), 3);
+        let temps: Vec<f64> = frame
+            .band11
+            .iter()
+            .zip(&frame.band12)
+            .map(|(&a, &b)| split_window_retrieve(a, b))
+            .collect();
+        fs.write("output/otis/s0/frame3", compress(&quantize(&temps)));
+        assert_eq!(verify_otis(&fs, "otis", 0, 3, 16), Verdict::Correct);
+    }
+
+    #[test]
+    fn garbled_otis_product_fails() {
+        let mut fs = RemoteFs::new();
+        fs.write("output/otis/s0/frame0", vec![0xFF, 0x12, 0x55]);
+        assert_eq!(verify_otis(&fs, "otis", 0, 0, 16), Verdict::Incorrect);
+    }
+}

@@ -1,0 +1,191 @@
+//! ARMOR events and messages.
+//!
+//! "A message consists of sequential events that trigger element actions.
+//! Elements subscribe to events that they are designed to process, and an
+//! element's state can only be modified while processing message events"
+//! (§3.1). Events carry [`Fields`] payloads — the same corruptible
+//! representation as element state, so a corrupted sender produces
+//! *poisoned* events whose bad data flows to receivers (the §6.1
+//! propagation scenarios).
+
+use crate::value::{Fields, Value};
+
+/// Unique ARMOR identity — "each ARMOR is addressed by a unique
+/// identification number, allowing messages to be sent to an ARMOR without
+/// prior knowledge of the ARMOR's physical location" (§3.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ArmorId(pub u32);
+
+impl std::fmt::Display for ArmorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "armor{}", self.0)
+    }
+}
+
+impl ArmorId {
+    /// The reserved "null" identity. The paper's `node_mgmt` element
+    /// returns daemon ID **zero** when a hostname translation fails — the
+    /// unchecked default behind several Table 8 system failures.
+    pub const NULL: ArmorId = ArmorId(0);
+}
+
+/// One event within an ARMOR message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArmorEvent {
+    /// Event tag; elements subscribe by tag.
+    pub tag: &'static str,
+    /// Payload fields.
+    pub fields: Fields,
+}
+
+impl ArmorEvent {
+    /// Creates an event with empty payload.
+    pub fn new(tag: &'static str) -> Self {
+        ArmorEvent { tag, fields: Fields::new() }
+    }
+
+    /// Builder-style field attachment.
+    pub fn with(mut self, name: &str, value: Value) -> Self {
+        self.fields.set(name, value);
+        self
+    }
+
+    /// Reads an unsigned field.
+    pub fn u64(&self, name: &str) -> Option<u64> {
+        self.fields.u64(name)
+    }
+
+    /// Reads a string field.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        self.fields.get(name).and_then(Value::as_str)
+    }
+
+    /// Reads an [`ArmorId`] field (stored as `U64`).
+    pub fn armor_id(&self, name: &str) -> Option<ArmorId> {
+        self.fields.u64(name).map(|v| ArmorId(v as u32))
+    }
+}
+
+/// Delivery class of an ARMOR wire packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireKind {
+    /// Application data (a sequence of events).
+    Data,
+    /// Acknowledgement of a data packet.
+    Ack,
+}
+
+/// A message between ARMORs: addressed by [`ArmorId`], carried by the
+/// daemon gateways, acknowledged end-to-end.
+#[derive(Clone, Debug)]
+pub struct ArmorMessage {
+    /// Sender identity.
+    pub src: ArmorId,
+    /// Destination identity.
+    pub dst: ArmorId,
+    /// Per-sender sequence number (set by the comm layer).
+    pub seq: u64,
+    /// The events to deliver, in order.
+    pub events: Vec<ArmorEvent>,
+}
+
+impl ArmorMessage {
+    /// Approximate wire size (for the network model).
+    pub fn wire_size(&self) -> u64 {
+        let payload: usize = self
+            .events
+            .iter()
+            .map(|e| e.tag.len() + 16 + e.fields.leaf_paths().len() * 24)
+            .sum();
+        64 + payload as u64
+    }
+}
+
+/// A wire packet exchanged through daemons: data or ack.
+#[derive(Clone, Debug)]
+pub enum WirePacket {
+    /// Data message.
+    Data(ArmorMessage),
+    /// Ack for (src→dst, seq).
+    Ack {
+        /// Original sender being acknowledged.
+        src: ArmorId,
+        /// Acknowledging receiver.
+        dst: ArmorId,
+        /// Sequence number acknowledged.
+        seq: u64,
+    },
+}
+
+impl WirePacket {
+    /// The destination ARMOR that should receive this packet.
+    pub fn destination(&self) -> ArmorId {
+        match self {
+            WirePacket::Data(m) => m.dst,
+            WirePacket::Ack { src, .. } => *src,
+        }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            WirePacket::Data(m) => m.wire_size(),
+            WirePacket::Ack { .. } => 48,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_builder_and_accessors() {
+        let ev = ArmorEvent::new("app-terminated")
+            .with("rank", Value::U64(0))
+            .with("app", Value::Str("texture".into()))
+            .with("exec_armor", Value::U64(17));
+        assert_eq!(ev.u64("rank"), Some(0));
+        assert_eq!(ev.str("app"), Some("texture"));
+        assert_eq!(ev.armor_id("exec_armor"), Some(ArmorId(17)));
+        assert_eq!(ev.u64("missing"), None);
+    }
+
+    #[test]
+    fn wire_packet_destination() {
+        let msg = ArmorMessage {
+            src: ArmorId(1),
+            dst: ArmorId(2),
+            seq: 5,
+            events: vec![ArmorEvent::new("x")],
+        };
+        assert_eq!(WirePacket::Data(msg).destination(), ArmorId(2));
+        // Acks travel back to the original sender.
+        let ack = WirePacket::Ack { src: ArmorId(1), dst: ArmorId(2), seq: 5 };
+        assert_eq!(ack.destination(), ArmorId(1));
+    }
+
+    #[test]
+    fn wire_size_grows_with_payload() {
+        let small = ArmorMessage {
+            src: ArmorId(1),
+            dst: ArmorId(2),
+            seq: 0,
+            events: vec![ArmorEvent::new("a")],
+        };
+        let big = ArmorMessage {
+            src: ArmorId(1),
+            dst: ArmorId(2),
+            seq: 0,
+            events: vec![
+                ArmorEvent::new("a").with("x", Value::U64(1)).with("y", Value::Str("zzz".into()))
+            ],
+        };
+        assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn null_armor_id_is_zero() {
+        assert_eq!(ArmorId::NULL, ArmorId(0));
+    }
+}

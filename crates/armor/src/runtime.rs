@@ -1,0 +1,706 @@
+//! The ARMOR runtime: an [`ree_os::Process`] hosting a set of elements
+//! with reliable messaging, microcheckpointing, assertions, and recovery.
+//!
+//! One runtime serves every ARMOR kind in the SIFT environment — FTM,
+//! daemons, Heartbeat ARMOR, Execution ARMORs — differing only in their
+//! element composition ("this modular, event-driven architecture permits
+//! the ARMOR's functionality and fault tolerance services to be customized
+//! by choosing the particular set of elements", §3.1) and in their
+//! gateway/restore configuration.
+
+use crate::comm::{Inbound, ReliableComm};
+use crate::element::{Element, ElementOutcome};
+use crate::event::{ArmorEvent, ArmorId, WirePacket};
+use crate::microcheckpoint::CheckpointBuffer;
+use crate::value::{Fields, Value};
+use ree_os::{
+    FieldKind, HeapHit, HeapModel, HeapTarget, Message, Pid, ProcCtx, Process, Signal,
+};
+use ree_sim::{SimDuration, SimRng};
+use std::collections::{HashMap, VecDeque};
+
+/// Page alignment that "valid" structural pointers satisfy; a bit-flipped
+/// pointer is almost always misaligned and crashes on first dereference.
+pub const PTR_ALIGN: u64 = 4096;
+
+/// Creates a valid structural pointer value for element state.
+pub fn valid_ptr(slot: u64) -> Value {
+    Value::Ptr(slot * PTR_ALIGN)
+}
+
+fn fields_have_ptr_fault(fields: &Fields) -> bool {
+    fields.leaf_paths().iter().any(|(path, kind)| {
+        *kind == FieldKind::Pointer
+            && fields
+                .resolve(path)
+                .map(|v| matches!(v, Value::Ptr(p) if p % PTR_ALIGN != 0))
+                .unwrap_or(false)
+    })
+}
+
+/// When a recovered ARMOR restores its state from the checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestorePolicy {
+    /// Restore autonomously during startup (daemon-driven recovery of
+    /// subordinate ARMORs).
+    OnStart,
+    /// Wait for an explicit `__restore-state` instruction — the
+    /// Heartbeat-ARMOR-driven two-step FTM recovery of §6.1, whose
+    /// missing second step leaves the FTM unrecovered under receive
+    /// omissions.
+    OnInstruction,
+}
+
+/// How outbound wire packets leave this ARMOR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gateway {
+    /// Send everything to the local daemon process for routing (normal
+    /// ARMORs; "daemons are the gateways for ARMOR-to-ARMOR
+    /// communication", §3.1).
+    Daemon(Pid),
+    /// Route directly from an internal table (the daemon ARMOR itself).
+    SelfRouting,
+}
+
+/// Tunable runtime options.
+#[derive(Clone, Debug)]
+pub struct ArmorOptions {
+    /// Restore policy after recovery.
+    pub restore: RestorePolicy,
+    /// Run assertions *before* delivering each event (the paper's §11
+    /// suggested preemptive checking — an ablation knob; the evaluated
+    /// system checks after).
+    pub precheck_assertions: bool,
+    /// Comm retransmission tick period.
+    pub tick_period: SimDuration,
+    /// Retransmit unacked messages after this long.
+    pub retransmit_after: SimDuration,
+    /// Delay between process start and readiness (checkpoint restore,
+    /// element wiring) — part of the ~0.5 s recovery time.
+    pub ready_delay: SimDuration,
+}
+
+impl Default for ArmorOptions {
+    fn default() -> Self {
+        ArmorOptions {
+            restore: RestorePolicy::OnStart,
+            precheck_assertions: false,
+            tick_period: SimDuration::from_millis(500),
+            retransmit_after: SimDuration::from_secs(2),
+            ready_delay: SimDuration::from_millis(200),
+        }
+    }
+}
+
+const TIMER_TICK: u64 = 0;
+const TIMER_READY: u64 = 1;
+const TIMER_RESTORE_FALLBACK: u64 = 2;
+const TIMER_USER_BASE: u64 = 3;
+
+/// Result of processing a batch of events.
+enum Processing {
+    Completed,
+    Crash(String),
+    AbortThread(String),
+    Assertion(String),
+}
+
+/// Everything in the ARMOR other than the elements themselves (split so
+/// an element and the core can be borrowed simultaneously).
+pub struct ArmorCore {
+    id: ArmorId,
+    name: String,
+    comm: ReliableComm,
+    ckpt: CheckpointBuffer,
+    opts: ArmorOptions,
+    gateway: Gateway,
+    route_table: HashMap<ArmorId, Pid>,
+    raised: Vec<ArmorEvent>,
+    poison_next_send: bool,
+    timer_events: HashMap<u64, ArmorEvent>,
+    next_timer_tag: u64,
+    ckpt_key: String,
+}
+
+impl ArmorCore {
+    /// This ARMOR's identity.
+    pub fn id(&self) -> ArmorId {
+        self.id
+    }
+
+    /// This ARMOR's instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn transmit(&mut self, packet: WirePacket, os: &mut ProcCtx<'_>) {
+        let size = packet.wire_size();
+        match self.gateway {
+            Gateway::Daemon(daemon) => {
+                os.send(daemon, "armor-wire", size, packet);
+            }
+            Gateway::SelfRouting => {
+                let dst = packet.destination();
+                match self.route_table.get(&dst) {
+                    Some(pid) => {
+                        let pid = *pid;
+                        os.send(pid, "armor-wire", size, packet);
+                    }
+                    None => {
+                        os.trace(format!("route miss for {dst}; packet dropped"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// One-shot outgoing-message corruption: a silently corrupted ARMOR
+    /// poisons the next message it builds (§6.1: corrupted termination
+    /// notifications / heartbeat messages crash their receiver). The
+    /// poison rides the message — a *reliable* poisoned message is
+    /// retransmitted verbatim, re-crashing the receiver in a loop; an
+    /// *unreliable* one strikes once.
+    fn apply_transient_poison(&mut self, events: &mut [ArmorEvent]) {
+        if self.poison_next_send {
+            self.poison_next_send = false;
+            if let Some(first) = events.first_mut() {
+                first.fields.set("__hdr", Value::Ptr(PTR_ALIGN + 1));
+            }
+        }
+    }
+
+    fn commit_checkpoint(&mut self, os: &mut ProcCtx<'_>) {
+        let image = self.ckpt.encode();
+        let key = self.ckpt_key.clone();
+        if os.ramdisk().write(&key, image).is_err() {
+            os.trace("checkpoint commit failed: ram disk full");
+        }
+    }
+}
+
+/// Per-event context handed to elements.
+pub struct ElementCtx<'a, 'b> {
+    core: &'a mut ArmorCore,
+    /// Raw OS access (spawning application processes, killing hung
+    /// processes, storage, traces). Elements use this sparingly.
+    pub os: &'a mut ProcCtx<'b>,
+}
+
+impl ElementCtx<'_, '_> {
+    /// This ARMOR's identity.
+    pub fn armor_id(&self) -> ArmorId {
+        self.core.id
+    }
+
+    /// This ARMOR's instance name.
+    pub fn armor_name(&self) -> String {
+        self.core.name.clone()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> ree_sim::SimTime {
+        self.os.now()
+    }
+
+    /// Sends events to another ARMOR reliably. Each transmission commits
+    /// the checkpoint buffer to stable storage (§3.4).
+    pub fn send(&mut self, dst: ArmorId, mut events: Vec<ArmorEvent>) {
+        self.core.apply_transient_poison(&mut events);
+        let now = self.os.now();
+        let packet = self.core.comm.send(now, dst, events);
+        self.core.transmit(packet, self.os);
+        self.core.commit_checkpoint(self.os);
+    }
+
+    /// Sends events fire-and-forget (heartbeat pings and replies): no
+    /// retransmission, no delivery guarantee.
+    pub fn send_unreliable(&mut self, dst: ArmorId, mut events: Vec<ArmorEvent>) {
+        self.core.apply_transient_poison(&mut events);
+        let packet = self.core.comm.send_unreliable(dst, events);
+        self.core.transmit(packet, self.os);
+        self.core.commit_checkpoint(self.os);
+    }
+
+    /// Raises an event for local elements, processed after the current
+    /// event within the same message context.
+    pub fn raise(&mut self, ev: ArmorEvent) {
+        self.core.raised.push(ev);
+    }
+
+    /// Schedules an event to be raised locally after `delay`.
+    pub fn set_timer_event(&mut self, delay: SimDuration, ev: ArmorEvent) {
+        let tag = self.core.next_timer_tag;
+        self.core.next_timer_tag += 1;
+        self.core.timer_events.insert(tag, ev);
+        self.os.set_timer(delay, tag);
+    }
+
+    /// Installs a route (daemons and installers).
+    pub fn install_route(&mut self, id: ArmorId, pid: Pid) {
+        self.core.route_table.insert(id, pid);
+    }
+
+    /// Looks up a route.
+    pub fn route(&self, id: ArmorId) -> Option<Pid> {
+        self.core.route_table.get(&id).copied()
+    }
+
+    /// All currently known routes, sorted by ARMOR id.
+    pub fn routes(&self) -> Vec<(ArmorId, Pid)> {
+        let mut v: Vec<(ArmorId, Pid)> =
+            self.core.route_table.iter().map(|(a, p)| (*a, *p)).collect();
+        v.sort_unstable_by_key(|(a, _)| *a);
+        v
+    }
+
+    /// Appends to the cluster trace.
+    pub fn trace(&mut self, detail: impl Into<String>) {
+        self.os.trace(detail);
+    }
+}
+
+/// The ARMOR process: element container + runtime services.
+pub struct ArmorProcess {
+    core: ArmorCore,
+    elements: Vec<Option<Box<dyn Element>>>,
+    ready: bool,
+    /// For [`RestorePolicy::OnInstruction`]: protocol traffic is held
+    /// until the restore instruction arrives — a cold process must not
+    /// acknowledge (and thereby consume) messages its restored self
+    /// needs (§6.1 two-step recovery).
+    awaiting_restore: bool,
+    buffered: VecDeque<(Pid, WirePacket)>,
+    restored_from_checkpoint: bool,
+}
+
+impl ArmorProcess {
+    /// Builds an ARMOR from its element composition.
+    pub fn new(
+        id: ArmorId,
+        name: impl Into<String>,
+        elements: Vec<Box<dyn Element>>,
+        gateway: Gateway,
+        opts: ArmorOptions,
+    ) -> Self {
+        let name = name.into();
+        let ckpt = CheckpointBuffer::new(elements.iter().map(|e| (e.name(), e.state())));
+        ArmorProcess {
+            core: ArmorCore {
+                id,
+                comm: ReliableComm::new(id, opts.retransmit_after),
+                ckpt,
+                gateway,
+                route_table: HashMap::new(),
+                raised: Vec::new(),
+                poison_next_send: false,
+                timer_events: HashMap::new(),
+                next_timer_tag: TIMER_USER_BASE,
+                ckpt_key: format!("ckpt/{name}"),
+                name,
+                opts,
+            },
+            elements: elements.into_iter().map(Some).collect(),
+            ready: false,
+            awaiting_restore: false,
+            buffered: VecDeque::new(),
+            restored_from_checkpoint: false,
+        }
+    }
+
+    /// This ARMOR's identity.
+    pub fn id(&self) -> ArmorId {
+        self.core.id
+    }
+
+    /// Checkpoint-buffer statistics `(updates, commits)`.
+    pub fn checkpoint_stats(&self) -> (u64, u64) {
+        (self.core.ckpt.updates(), self.core.ckpt.commits())
+    }
+
+    /// True if the last start restored state from a checkpoint.
+    pub fn restored_from_checkpoint(&self) -> bool {
+        self.restored_from_checkpoint
+    }
+
+    fn try_restore(&mut self, ctx: &mut ProcCtx<'_>) {
+        let key = self.core.ckpt_key.clone();
+        let image = match ctx.ramdisk().read(&key) {
+            Some(bytes) => bytes.to_vec(),
+            None => return,
+        };
+        match CheckpointBuffer::decode(&image) {
+            Ok(states) => {
+                for (name, fields) in states {
+                    for slot in self.elements.iter_mut().flatten() {
+                        if slot.name() == name {
+                            *slot.state_mut() = fields.clone();
+                            self.core.ckpt.update(&name, &fields);
+                        }
+                    }
+                }
+                self.restored_from_checkpoint = true;
+                ctx.trace(format!("{} restored state from checkpoint", self.core.name));
+            }
+            Err(e) => {
+                ctx.trace_recovery(format!(
+                    "{} checkpoint unusable ({e}); cold start",
+                    self.core.name
+                ));
+            }
+        }
+    }
+
+    fn process_events(&mut self, events: Vec<ArmorEvent>, ctx: &mut ProcCtx<'_>) -> Processing {
+        let mut queue: VecDeque<ArmorEvent> = events.into();
+        while let Some(ev) = queue.pop_front() {
+            // Runtime-reserved events.
+            if ev.tag == "__restore-state" {
+                self.try_restore(ctx);
+                self.awaiting_restore = false;
+                if self.restored_from_checkpoint {
+                    ctx.trace_recovery(format!("recovered {}", self.core.name));
+                    // Let elements re-derive in-flight intentions (timers
+                    // died with the previous incarnation).
+                    queue.push_back(ArmorEvent::new("armor-restored"));
+                }
+                continue;
+            }
+            // A poisoned pointer in the message payload crashes the
+            // receiver as it unmarshals (§6.1 propagation).
+            if fields_have_ptr_fault(&ev.fields) {
+                return Processing::Crash("dereferenced corrupted pointer in message".into());
+            }
+            for i in 0..self.elements.len() {
+                let subscribed = match &self.elements[i] {
+                    Some(e) => e.subscriptions().contains(&ev.tag),
+                    None => false,
+                };
+                if !subscribed {
+                    continue;
+                }
+                let mut elem = self.elements[i].take().expect("element present");
+                // Touching state with a corrupted structural pointer
+                // segfaults before any logic runs.
+                if fields_have_ptr_fault(elem.state()) {
+                    self.elements[i] = Some(elem);
+                    return Processing::Crash("dereferenced corrupted element pointer".into());
+                }
+                if self.core.opts.precheck_assertions {
+                    if let Err(e) = elem.check() {
+                        self.elements[i] = Some(elem);
+                        return Processing::Assertion(format!("precheck: {e}"));
+                    }
+                }
+                let outcome = {
+                    let mut ectx = ElementCtx { core: &mut self.core, os: ctx };
+                    elem.handle(&ev, &mut ectx)
+                };
+                match outcome {
+                    ElementOutcome::Ok => {
+                        // Assertion check *before* the microcheckpoint so
+                        // detected corruption never reaches the buffer
+                        // (Table 9 scenario 3).
+                        if let Err(e) = elem.check() {
+                            self.elements[i] = Some(elem);
+                            return Processing::Assertion(e);
+                        }
+                        self.core.ckpt.update(elem.name(), elem.state());
+                        self.elements[i] = Some(elem);
+                    }
+                    ElementOutcome::Crash(r) => {
+                        self.elements[i] = Some(elem);
+                        return Processing::Crash(r);
+                    }
+                    ElementOutcome::AbortThread(r) => {
+                        self.elements[i] = Some(elem);
+                        return Processing::AbortThread(r);
+                    }
+                }
+            }
+            // Events raised by elements run after the current one.
+            for raised in self.core.raised.drain(..) {
+                queue.push_back(raised);
+            }
+        }
+        Processing::Completed
+    }
+
+    fn finish_local(&mut self, result: Processing, ctx: &mut ProcCtx<'_>) {
+        match result {
+            Processing::Completed => {}
+            Processing::Crash(r) => {
+                ctx.trace(format!("{} crash: {r}", self.core.name));
+                ctx.crash(Signal::Segv);
+            }
+            Processing::Assertion(e) => {
+                ctx.trace(format!("{} assertion fired: {e}", self.core.name));
+                ctx.abort(e);
+            }
+            Processing::AbortThread(r) => {
+                ctx.trace(format!("{} handling thread aborted: {r}", self.core.name));
+            }
+        }
+    }
+
+    fn handle_wire(&mut self, from: Pid, packet: WirePacket, ctx: &mut ProcCtx<'_>) {
+        let _ = from;
+        if packet.destination() != self.core.id {
+            // Routing duty (daemon ARMORs only).
+            if self.core.gateway == Gateway::SelfRouting {
+                self.core.transmit(packet, ctx);
+            } else {
+                ctx.trace(format!("{}: misrouted packet dropped", self.core.name));
+            }
+            return;
+        }
+        match self.core.comm.on_packet(packet) {
+            Inbound::Deliver(msg) => {
+                let events = msg.events.clone();
+                match self.process_events(events, ctx) {
+                    Processing::Completed => {
+                        let ack = self.core.comm.acknowledge(&msg);
+                        self.core.transmit(ack, ctx);
+                        // Every transmission commits the checkpoint.
+                        self.core.commit_checkpoint(ctx);
+                    }
+                    Processing::AbortThread(r) => {
+                        // Seen but unacked: the Figure 10 mechanism.
+                        self.core.comm.mark_seen_unacked(&msg);
+                        ctx.trace(format!("{} thread abort: {r}", self.core.name));
+                    }
+                    Processing::Crash(r) => {
+                        ctx.trace(format!("{} crash: {r}", self.core.name));
+                        ctx.crash(Signal::Segv);
+                    }
+                    Processing::Assertion(e) => {
+                        ctx.trace(format!("{} assertion fired: {e}", self.core.name));
+                        ctx.abort(e);
+                    }
+                }
+            }
+            Inbound::DuplicateReAck(ack) => {
+                self.core.transmit(ack, ctx);
+            }
+            Inbound::AckConsumed | Inbound::AckIgnored => {}
+        }
+    }
+}
+
+/// Control operations outside the ARMOR reliable-messaging plane (used
+/// by the trusted SCC and by the SIFT application interface).
+#[derive(Debug)]
+pub enum ControlOp {
+    /// Adds a routing entry.
+    AddRoute(ArmorId, Pid),
+    /// Raises a local event (e.g. progress indicators from the SIFT
+    /// client library, install instructions from the SCC).
+    Raise(ArmorEvent),
+}
+
+impl Process for ArmorProcess {
+    fn kind(&self) -> &'static str {
+        "armor"
+    }
+
+    fn on_start(&mut self, ctx: &mut ProcCtx<'_>) {
+        // Fresh incarnations must use fresh sequence numbers (peers'
+        // dedup sets survived our predecessor's crash).
+        self.core.comm.rebase(ctx.pid().0.wrapping_mul(1_000_000));
+        match self.core.opts.restore {
+            RestorePolicy::OnStart => {
+                self.try_restore(ctx);
+            }
+            RestorePolicy::OnInstruction => {
+                // Hold protocol traffic until the recovery coordinator
+                // instructs the restore — but only if a checkpoint
+                // actually exists (a first install proceeds cold).
+                let key = self.core.ckpt_key.clone();
+                if ctx.ramdisk().exists(&key) {
+                    self.awaiting_restore = true;
+                    // Safety valve: if the coordinator never follows up
+                    // (e.g. it is failing too), proceed cold rather than
+                    // deadlock.
+                    ctx.set_timer(SimDuration::from_secs(30), TIMER_RESTORE_FALLBACK);
+                }
+            }
+        }
+        ctx.set_timer(self.core.opts.tick_period, TIMER_TICK);
+        ctx.set_timer(self.core.opts.ready_delay, TIMER_READY);
+    }
+
+    fn on_message(&mut self, msg: Message, ctx: &mut ProcCtx<'_>) {
+        match msg.label {
+            "armor-wire" => {
+                let from = msg.from;
+                match msg.take::<WirePacket>() {
+                    Ok(packet) => {
+                        let restore_instruction = matches!(
+                            &packet,
+                            WirePacket::Data(m)
+                                if m.events.iter().any(|e| e.tag == "__restore-state")
+                        );
+                        if self.ready && (!self.awaiting_restore || restore_instruction) {
+                            self.handle_wire(from, packet, ctx);
+                            if restore_instruction && !self.awaiting_restore {
+                                while let Some((f, p)) = self.buffered.pop_front() {
+                                    self.handle_wire(f, p, ctx);
+                                }
+                            }
+                        } else {
+                            self.buffered.push_back((from, packet));
+                        }
+                    }
+                    Err(_) => ctx.trace("malformed armor-wire payload"),
+                }
+            }
+            "armor-control" => match msg.take::<ControlOp>() {
+                Ok(ControlOp::AddRoute(id, pid)) => {
+                    self.core.route_table.insert(id, pid);
+                }
+                Ok(ControlOp::Raise(ev)) => {
+                    let result = self.process_events(vec![ev], ctx);
+                    self.finish_local(result, ctx);
+                }
+                Err(_) => ctx.trace("malformed armor-control payload"),
+            },
+            other => {
+                ctx.trace(format!("{}: unknown message label {other}", self.core.name));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut ProcCtx<'_>) {
+        match tag {
+            TIMER_TICK => {
+                let now = ctx.now();
+                for packet in self.core.comm.tick(now) {
+                    self.core.transmit(packet, ctx);
+                }
+                ctx.set_timer(self.core.opts.tick_period, TIMER_TICK);
+            }
+            TIMER_RESTORE_FALLBACK => {
+                if self.awaiting_restore {
+                    ctx.trace(format!(
+                        "{}: no restore instruction; proceeding from checkpoint",
+                        self.core.name
+                    ));
+                    self.try_restore(ctx);
+                    self.awaiting_restore = false;
+                    let result =
+                        self.process_events(vec![ArmorEvent::new("armor-restored")], ctx);
+                    self.finish_local(result, ctx);
+                    while let Some((from, packet)) = self.buffered.pop_front() {
+                        self.handle_wire(from, packet, ctx);
+                    }
+                }
+            }
+            TIMER_READY => {
+                self.ready = true;
+                // Elements learn they are live via the armor-start event;
+                // recovered ARMORs additionally get armor-restored so
+                // they can re-derive in-flight intentions.
+                let mut events = vec![ArmorEvent::new("armor-start")];
+                if self.restored_from_checkpoint {
+                    ctx.trace_recovery(format!("recovered {}", self.core.name));
+                    events.push(ArmorEvent::new("armor-restored"));
+                }
+                let result = self.process_events(events, ctx);
+                self.finish_local(result, ctx);
+                while let Some((from, packet)) = self.buffered.pop_front() {
+                    self.handle_wire(from, packet, ctx);
+                }
+            }
+            user => {
+                if let Some(ev) = self.core.timer_events.remove(&user) {
+                    let result = self.process_events(vec![ev], ctx);
+                    self.finish_local(result, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_child_exit(&mut self, child: Pid, status: ree_os::ExitStatus, ctx: &mut ProcCtx<'_>) {
+        // waitpid-based crash detection (§3.2/§3.3): surface as an event.
+        let ev = ArmorEvent::new("os-child-exit")
+            .with("child", Value::U64(child.0))
+            .with("abnormal", Value::Bool(status.is_abnormal()))
+            .with("status", Value::Str(status.to_string()));
+        let result = self.process_events(vec![ev], ctx);
+        self.finish_local(result, ctx);
+    }
+
+    fn heap(&mut self) -> Option<&mut dyn HeapModel> {
+        Some(self)
+    }
+
+    fn silent_corruption(&mut self, rng: &mut SimRng) {
+        // 60%: persistent bit flip in some element's state; 40%: one-shot
+        // corruption of the next outgoing message (§6.1 scenarios).
+        if rng.chance(0.6) {
+            let _ = HeapModel::flip_bit(self, rng, &HeapTarget::Any);
+        } else {
+            self.core.poison_next_send = true;
+        }
+    }
+}
+
+impl ArmorProcess {
+    /// Testing/experiment hook: force the next outgoing message to carry
+    /// corrupted header data.
+    pub fn poison_next_send(&mut self) {
+        self.core.poison_next_send = true;
+    }
+}
+
+impl HeapModel for ArmorProcess {
+    fn region_names(&self) -> Vec<String> {
+        self.elements.iter().flatten().map(|e| e.name().to_owned()).collect()
+    }
+
+    fn flip_bit(&mut self, rng: &mut SimRng, target: &HeapTarget) -> Option<HeapHit> {
+        let want = match target {
+            HeapTarget::Any => None,
+            HeapTarget::DataOnly | HeapTarget::Region(_) => Some(FieldKind::Data),
+        };
+        let region_filter: Option<&str> = match target {
+            HeapTarget::Region(name) => Some(name.as_str()),
+            _ => None,
+        };
+        // Collect candidate element indices (with at least one matching leaf).
+        let mut candidates = Vec::new();
+        for (i, slot) in self.elements.iter().enumerate() {
+            let Some(elem) = slot else { continue };
+            if let Some(filter) = region_filter {
+                if elem.name() != filter {
+                    continue;
+                }
+            }
+            let has_leaf = elem
+                .state()
+                .leaf_paths()
+                .iter()
+                .any(|(_, k)| want.is_none() || want == Some(*k));
+            if has_leaf {
+                candidates.push(i);
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        let i = candidates[rng.index(candidates.len())];
+        let elem = self.elements[i].as_mut().expect("candidate present");
+        let (path, kind) = elem.state_mut().flip_random_leaf(rng, want)?;
+        Some(HeapHit { region: elem.name().to_owned(), field: path, kind })
+    }
+}
+
+impl std::fmt::Debug for ArmorProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArmorProcess")
+            .field("id", &self.core.id)
+            .field("name", &self.core.name)
+            .field("elements", &self.elements.len())
+            .field("ready", &self.ready)
+            .finish()
+    }
+}

@@ -1,0 +1,285 @@
+//! Wire/checkpoint encoding of element state.
+//!
+//! Checkpoints are committed as bytes to the node RAM disk (§3.4); the
+//! encoding is explicit and versioned so a restore can *fail detectably*
+//! (truncated or structurally invalid images fall back to cold start)
+//! while a semantically corrupted-but-well-formed image restores
+//! "successfully" into a bad state — exactly the failure mode behind the
+//! paper's checkpoint-corruption system failures (§6.1).
+
+use crate::value::{Fields, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const TAG_BOOL: u8 = 1;
+const TAG_U64: u8 = 2;
+const TAG_I64: u8 = 3;
+const TAG_F64: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_PTR: u8 = 6;
+const TAG_LIST: u8 = 7;
+const TAG_MAP: u8 = 8;
+
+/// Error decoding a checkpoint or wire image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes mid-structure.
+    Truncated,
+    /// Unknown type tag.
+    BadTag(u8),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// Structure nesting exceeded sanity bounds.
+    TooDeep,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "image truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown value tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string value"),
+            DecodeError::TooDeep => write!(f, "structure nested too deeply"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAX_DEPTH: usize = 32;
+
+fn encode_value(value: &Value, buf: &mut BytesMut) {
+    match value {
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::U64(v) => {
+            buf.put_u8(TAG_U64);
+            buf.put_u64(*v);
+        }
+        Value::I64(v) => {
+            buf.put_u8(TAG_I64);
+            buf.put_i64(*v);
+        }
+        Value::F64(v) => {
+            buf.put_u8(TAG_F64);
+            buf.put_u64(v.to_bits());
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Ptr(v) => {
+            buf.put_u8(TAG_PTR);
+            buf.put_u64(*v);
+        }
+        Value::List(items) => {
+            buf.put_u8(TAG_LIST);
+            buf.put_u32(items.len() as u32);
+            for item in items {
+                encode_value(item, buf);
+            }
+        }
+        Value::Map(map) => {
+            buf.put_u8(TAG_MAP);
+            buf.put_u32(map.len() as u32);
+            for (k, v) in map {
+                buf.put_u32(k.len() as u32);
+                buf.put_slice(k.as_bytes());
+                encode_value(v, buf);
+            }
+        }
+    }
+}
+
+fn take_string(buf: &mut Bytes) -> Result<String, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+}
+
+fn decode_value(buf: &mut Bytes, depth: usize) -> Result<Value, DecodeError> {
+    if depth > MAX_DEPTH {
+        return Err(DecodeError::TooDeep);
+    }
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TAG_BOOL => {
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        TAG_U64 => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(Value::U64(buf.get_u64()))
+        }
+        TAG_I64 => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(Value::I64(buf.get_i64()))
+        }
+        TAG_F64 => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(Value::F64(f64::from_bits(buf.get_u64())))
+        }
+        TAG_STR => Ok(Value::Str(take_string(buf)?)),
+        TAG_PTR => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok(Value::Ptr(buf.get_u64()))
+        }
+        TAG_LIST => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let n = buf.get_u32() as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(decode_value(buf, depth + 1)?);
+            }
+            Ok(Value::List(items))
+        }
+        TAG_MAP => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let n = buf.get_u32() as usize;
+            let mut map = std::collections::BTreeMap::new();
+            for _ in 0..n {
+                let k = take_string(buf)?;
+                let v = decode_value(buf, depth + 1)?;
+                map.insert(k, v);
+            }
+            Ok(Value::Map(map))
+        }
+        other => Err(DecodeError::BadTag(other)),
+    }
+}
+
+/// Serialises element state to a checkpoint image.
+pub fn encode_fields(fields: &Fields) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(256);
+    buf.put_u32(fields.len() as u32);
+    for (name, value) in fields.iter() {
+        buf.put_u32(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        encode_value(value, &mut buf);
+    }
+    buf.to_vec()
+}
+
+/// Deserialises a checkpoint image back into element state.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated, malformed, or over-nested
+/// images; callers treat that as an unusable checkpoint (cold start).
+pub fn decode_fields(bytes: &[u8]) -> Result<Fields, DecodeError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = buf.get_u32() as usize;
+    let mut fields = Fields::new();
+    for _ in 0..n {
+        let name = take_string(&mut buf)?;
+        let value = decode_value(&mut buf, 0)?;
+        fields.set(name, value);
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample() -> Fields {
+        let mut f = Fields::new();
+        f.set("flag", Value::Bool(true));
+        f.set("count", Value::U64(42));
+        f.set("delta", Value::I64(-7));
+        f.set("temp", Value::F64(271.35));
+        f.set("host", Value::Str("node2".into()));
+        f.set("link", Value::Ptr(0xbeef));
+        f.set(
+            "list",
+            Value::List(vec![Value::U64(1), Value::Str("two".into()), Value::Bool(false)]),
+        );
+        let mut m = BTreeMap::new();
+        m.insert("inner".to_owned(), Value::List(vec![Value::F64(-0.5)]));
+        f.set("map", Value::Map(m));
+        f
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let f = sample();
+        let bytes = encode_fields(&f);
+        let back = decode_fields(&bytes).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn empty_fields_roundtrip() {
+        let f = Fields::new();
+        let back = decode_fields(&encode_fields(&f)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn truncated_image_is_detected() {
+        let bytes = encode_fields(&sample());
+        for cut in [0usize, 3, 10, bytes.len() - 1] {
+            let res = decode_fields(&bytes[..cut]);
+            assert!(res.is_err(), "cut at {cut} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_detected() {
+        let mut f = Fields::new();
+        f.set("x", Value::U64(1));
+        let mut bytes = encode_fields(&f);
+        // Corrupt the value tag byte (after count + name length + name).
+        let tag_pos = 4 + 4 + 1;
+        bytes[tag_pos] = 0xEE;
+        assert_eq!(decode_fields(&bytes), Err(DecodeError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn semantically_corrupt_but_wellformed_image_decodes() {
+        // Flip a bit inside an integer payload: decode succeeds, value is
+        // wrong — the checkpoint-corruption mechanism of §6.1.
+        let mut f = Fields::new();
+        f.set("count", Value::U64(42));
+        let mut bytes = encode_fields(&f);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let back = decode_fields(&bytes).unwrap();
+        assert_eq!(back.u64("count"), Some(43));
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::BadTag(9).to_string().contains('9'));
+    }
+}

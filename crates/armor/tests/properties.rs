@@ -1,0 +1,150 @@
+//! Property-based tests on the ARMOR architecture's core invariants.
+
+use proptest::prelude::*;
+use ree_armor::{
+    decode_fields, encode_fields, ArmorEvent, ArmorId, CheckpointBuffer, Fields, Inbound,
+    ReliableComm, Value,
+};
+use ree_sim::{SimDuration, SimRng, SimTime};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<u64>().prop_map(Value::U64),
+        any::<i64>().prop_map(Value::I64),
+        any::<f64>().prop_filter("total order", |f| !f.is_nan()).prop_map(Value::F64),
+        "[a-z0-9_/.-]{0,24}".prop_map(Value::Str),
+        (0u64..1 << 40).prop_map(|v| Value::Ptr(v * 4096)),
+    ];
+    leaf.prop_recursive(3, 32, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..6).prop_map(Value::Map),
+        ]
+    })
+}
+
+fn arb_fields() -> impl Strategy<Value = Fields> {
+    proptest::collection::btree_map("[a-z_]{1,10}", arb_value(), 0..8).prop_map(|m| {
+        let mut f = Fields::new();
+        for (k, v) in m {
+            f.set(k, v);
+        }
+        f
+    })
+}
+
+proptest! {
+    /// Checkpoint wire format round-trips arbitrary element state.
+    #[test]
+    fn fields_encode_decode_roundtrip(fields in arb_fields()) {
+        let bytes = encode_fields(&fields);
+        let back = decode_fields(&bytes).expect("well-formed image decodes");
+        prop_assert_eq!(fields, back);
+    }
+
+    /// Bit flips never make state unreadable: a flipped leaf still
+    /// encodes/decodes (semantic corruption, not structural).
+    #[test]
+    fn flipped_fields_still_encode(fields in arb_fields(), seed in any::<u64>()) {
+        let mut fields = fields;
+        let mut rng = SimRng::new(seed);
+        let _ = fields.flip_random_leaf(&mut rng, None);
+        let bytes = encode_fields(&fields);
+        prop_assert!(decode_fields(&bytes).is_ok());
+    }
+
+    /// The checkpoint buffer's regions are disjoint: updating one element
+    /// never perturbs another's stored image.
+    #[test]
+    fn checkpoint_regions_are_disjoint(
+        a in arb_fields(),
+        b in arb_fields(),
+        a2 in arb_fields(),
+    ) {
+        let mut buf = CheckpointBuffer::new([("a", &a), ("b", &b)]);
+        let b_before = buf.region_image("b").unwrap().to_vec();
+        buf.update("a", &a2);
+        prop_assert_eq!(buf.region_image("b").unwrap(), b_before.as_slice());
+        let decoded = CheckpointBuffer::decode(&buf.encode()).unwrap();
+        let restored_a = &decoded.iter().find(|(n, _)| n == "a").unwrap().1;
+        prop_assert_eq!(restored_a, &a2);
+    }
+
+    /// Reliable messaging delivers every message exactly once under
+    /// arbitrary loss and duplication of packets/acks.
+    #[test]
+    fn comm_exactly_once_under_loss(
+        n_msgs in 1usize..12,
+        drops in proptest::collection::vec(any::<bool>(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut sender = ReliableComm::new(ArmorId(1), SimDuration::from_secs(1));
+        let mut receiver = ReliableComm::new(ArmorId(2), SimDuration::from_secs(1));
+        let mut delivered: Vec<u64> = Vec::new();
+        // Send all messages; the "network" drops per the drops mask.
+        let mut in_flight: Vec<ree_armor::WirePacket> = (0..n_msgs)
+            .map(|i| {
+                sender.send(
+                    SimTime::ZERO,
+                    ArmorId(2),
+                    vec![ArmorEvent::new("m").with("i", Value::U64(i as u64))],
+                )
+            })
+            .collect();
+        let mut now = SimTime::ZERO;
+        for round in 0..60 {
+            let mut acks = Vec::new();
+            for (k, pkt) in in_flight.drain(..).enumerate() {
+                let dropped = drops[(round + k) % drops.len()] && round < 30;
+                if dropped {
+                    continue;
+                }
+                match receiver.on_packet(pkt) {
+                    Inbound::Deliver(msg) => {
+                        delivered.push(msg.events[0].u64("i").unwrap());
+                        let ack = receiver.acknowledge(&msg);
+                        // Acks can also be dropped.
+                        if !(drops[(round * 7 + k) % drops.len()] && round < 30) {
+                            acks.push(ack);
+                        }
+                    }
+                    Inbound::DuplicateReAck(ack) => acks.push(ack),
+                    _ => {}
+                }
+            }
+            for ack in acks {
+                let _ = sender.on_packet(ack);
+            }
+            now = now + SimDuration::from_secs(2);
+            in_flight = sender.tick(now);
+            if sender.pending_count() == 0 {
+                break;
+            }
+            let _ = rng.next_u64();
+        }
+        prop_assert_eq!(sender.pending_count(), 0, "all messages eventually acked");
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), delivered.len(), "no duplicates delivered");
+        prop_assert_eq!(delivered.len(), n_msgs, "every message delivered");
+    }
+
+    /// Sequence rebasing preserves monotonicity (reincarnation safety).
+    #[test]
+    fn rebase_is_monotone(bases in proptest::collection::vec(0u64..1 << 30, 1..10)) {
+        let mut comm = ReliableComm::new(ArmorId(1), SimDuration::from_secs(1));
+        let mut last_seq = 0;
+        for base in bases {
+            comm.rebase(base);
+            let pkt = comm.send(SimTime::ZERO, ArmorId(2), vec![ArmorEvent::new("x")]);
+            if let ree_armor::WirePacket::Data(m) = pkt {
+                prop_assert!(m.seq > last_seq);
+                prop_assert!(m.seq > base);
+                last_seq = m.seq;
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! One benchmark per paper figure (6–10), each iterating one
+//! representative run of that figure's experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ree_apps::Scenario;
+use ree_experiments::figures;
+use ree_os::Signal;
+use ree_san::{solve, ReeModelParams};
+use ree_sim::SimTime;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig6_hang_detection_run", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut running = Scenario::single_texture(seed).start();
+            running.run_until(SimTime::from_secs(30));
+            if let Some(pid) = running
+                .cluster
+                .all_procs()
+                .into_iter()
+                .find(|p| running.cluster.name_of(*p).map(|n| n.contains("-r1-")).unwrap_or(false))
+            {
+                running.cluster.send_signal(pid, Signal::Stop);
+            }
+            black_box(running.run_until_done(SimTime::from_secs(250)))
+        });
+    });
+    group.bench_function("fig7_ftm_setup_kill_run", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut running = Scenario::single_texture(seed).start();
+            running.run_until(SimTime::from_micros(5_500_000));
+            if let Some(ftm) = running.cluster.find_by_name("ftm") {
+                running.cluster.send_signal(ftm, Signal::Int);
+            }
+            black_box(running.run_until_done(SimTime::from_secs(400)))
+        });
+    });
+    group.bench_function("fig8_mpi_abort_run", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut running = Scenario::single_texture(seed).start();
+            running.run_until(SimTime::from_micros(6_700_000));
+            if let Some(ftm) = running.cluster.find_by_name("ftm") {
+                running.cluster.send_signal(ftm, Signal::Int);
+            }
+            black_box(running.run_until_done(SimTime::from_secs(400)))
+        });
+    });
+    group.bench_function("fig9_san_point", |b| {
+        let params = ReeModelParams { sift_failure_rate: 1.0 / 600.0, ..Default::default() };
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(solve(&params, 200_000.0, seed))
+        });
+    });
+    group.bench_function("fig10_race_pair", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(figures::fig10(seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_figures
+}
+criterion_main!(benches);

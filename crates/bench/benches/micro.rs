@@ -1,0 +1,103 @@
+//! Component micro-benchmarks and design ablations called out in
+//! DESIGN.md: microcheckpoint throughput, reliable-comm round trips, the
+//! science kernels, SAN stepping, and a full fault-free SIFT run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ree_armor::{ArmorEvent, ArmorId, CheckpointBuffer, Fields, Inbound, ReliableComm, Value};
+use ree_experiments::Scenario;
+use ree_san::{solve, ReeModelParams};
+use ree_sim::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+
+    group.bench_function("microcheckpoint_update_commit", |b| {
+        let mut fields = Fields::new();
+        for i in 0..16 {
+            fields.set(format!("field{i}"), Value::U64(i));
+        }
+        let mut buf = CheckpointBuffer::new([("element", &fields)]);
+        b.iter(|| {
+            buf.update("element", &fields);
+            black_box(buf.encode())
+        });
+    });
+
+    group.bench_function("reliable_comm_roundtrip", |b| {
+        let mut a = ReliableComm::new(ArmorId(1), SimDuration::from_secs(2));
+        let mut z = ReliableComm::new(ArmorId(2), SimDuration::from_secs(2));
+        b.iter(|| {
+            let pkt = a.send(SimTime::ZERO, ArmorId(2), vec![ArmorEvent::new("bench")]);
+            if let Inbound::Deliver(msg) = z.on_packet(pkt) {
+                let ack = z.acknowledge(&msg);
+                black_box(a.on_packet(ack));
+            }
+        });
+    });
+
+    group.bench_function("fft_256", |b| {
+        let signal: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+        b.iter(|| black_box(ree_apps::fft::fft_real(&signal)));
+    });
+
+    group.bench_function("texture_filter_64px", |b| {
+        let img = ree_apps::synth::mars_surface(64, 7);
+        b.iter(|| black_box(ree_apps::filters::filter_tiles(&img, 0, 0..64, 8)));
+    });
+
+    group.bench_function("kmeans_64x3", |b| {
+        let img = ree_apps::synth::mars_surface(64, 7);
+        let per: Vec<Vec<(usize, f64)>> = (0..3)
+            .map(|f| ree_apps::filters::filter_tiles(&img, f, 0..64, 8))
+            .collect();
+        let features = ree_apps::filters::assemble_features(&per, 64);
+        b.iter(|| black_box(ree_apps::kmeans::kmeans(&features, 3, 4, 50)));
+    });
+
+    group.bench_function("compress_4k_samples", |b| {
+        let values: Vec<f64> = (0..4096).map(|i| 285.0 + (i as f64 * 0.01).sin()).collect();
+        let q = ree_apps::compress::quantize(&values);
+        b.iter(|| black_box(ree_apps::compress::compress(&q)));
+    });
+
+    group.bench_function("san_solve_100k", |b| {
+        let params = ReeModelParams::default();
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(solve(&params, 100_000.0, seed))
+        });
+    });
+
+    group.bench_function("fault_free_sift_run", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut run = Scenario::single_texture(seed).start();
+            black_box(run.run_until_done(SimTime::from_secs(200)))
+        });
+    });
+
+    // Ablation: assertions on vs off for a fault-free run (overhead of
+    // the self-checking mechanisms themselves).
+    group.bench_function("ablation_assertions_off", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut scenario = Scenario::single_texture(seed);
+            scenario.sift.assertions_enabled = false;
+            let mut run = scenario.start();
+            black_box(run.run_until_done(SimTime::from_secs(200)))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(6)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = micro
+}
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! One benchmark per paper table. Each iteration executes one
+//! representative injection run of that table's campaign (campaigns are
+//! embarrassingly parallel, so per-run cost is the scaling unit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ree_apps::Scenario;
+use ree_inject::{execute, ErrorModel, RunPlan, Target};
+use ree_os::HeapTarget;
+use ree_sim::SimTime;
+use std::hint::black_box;
+
+fn plan(target: Target, model: ErrorModel) -> RunPlan {
+    RunPlan {
+        scenario: Scenario::single_texture(0),
+        target,
+        model,
+        timeout: SimTime::from_secs(320),
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    group.bench_function("table3_fault_free_run", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut run = Scenario::single_texture(seed).start();
+            black_box(run.run_until_done(SimTime::from_secs(200)))
+        });
+    });
+    group.bench_function("table4_sigint_app_run", |b| {
+        let p = plan(Target::App, ErrorModel::Sigint);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(execute(&p, seed))
+        });
+    });
+    group.bench_function("table4_sigstop_exec_run", |b| {
+        let p = plan(Target::ExecArmor, ErrorModel::Sigstop);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(execute(&p, seed))
+        });
+    });
+    group.bench_function("table5_hb30_ftm_run", |b| {
+        let mut scenario = Scenario::single_texture(0);
+        scenario.sift =
+            scenario.sift.with_heartbeat_period(ree_sim::SimDuration::from_secs(30));
+        let p = RunPlan {
+            scenario,
+            target: Target::Ftm,
+            model: ErrorModel::Sigint,
+            timeout: SimTime::from_secs(400),
+        };
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(execute(&p, seed))
+        });
+    });
+    group.bench_function("table6_register_ftm_run", |b| {
+        let p = plan(Target::Ftm, ErrorModel::Register);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(execute(&p, seed))
+        });
+    });
+    group.bench_function("table6_text_app_run", |b| {
+        let p = plan(Target::App, ErrorModel::TextSegment);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(execute(&p, seed))
+        });
+    });
+    group.bench_function("table7_heap_ftm_run", |b| {
+        let p = plan(Target::Ftm, ErrorModel::Heap);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(execute(&p, seed))
+        });
+    });
+    group.bench_function("table8_targeted_node_mgmt_run", |b| {
+        let p = plan(
+            Target::Ftm,
+            ErrorModel::HeapSingle(HeapTarget::Region("node_mgmt".into())),
+        );
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(execute(&p, seed))
+        });
+    });
+    group.bench_function("table10_app_heap_run", |b| {
+        let p = plan(Target::App, ErrorModel::HeapSingle(HeapTarget::Any));
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(execute(&p, seed))
+        });
+    });
+    group.bench_function("table11_two_app_fault_free_run", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut run = Scenario::two_apps(seed).start();
+            black_box(run.run_until_done(SimTime::from_secs(700)))
+        });
+    });
+    group.bench_function("table12_register_otis_run", |b| {
+        let p = RunPlan {
+            scenario: Scenario::two_apps(0),
+            target: Target::NamedApp("otis".into()),
+            model: ErrorModel::Register,
+            timeout: SimTime::from_secs(700),
+        };
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(execute(&p, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_tables
+}
+criterion_main!(benches);

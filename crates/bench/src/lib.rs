@@ -1,0 +1,11 @@
+//! # ree-bench — Criterion harnesses regenerating every table and figure
+//!
+//! Three benchmark suites:
+//! * `tables` — one benchmark per paper table (3–12), each executing a
+//!   scaled-down campaign per iteration;
+//! * `figures` — figures 6–10;
+//! * `micro` — component ablations: microcheckpointing, reliable comm,
+//!   FFT, k-means, compression, SAN stepping.
+//!
+//! Absolute numbers are simulator wall-clock; the intent is tracking the
+//! cost of each reproduction and catching performance regressions.

@@ -1,0 +1,230 @@
+//! SIFT environment configuration and identity conventions.
+
+use ree_armor::ArmorId;
+use ree_sim::SimDuration;
+
+/// Fixed ARMOR identity assignments used by the SIFT environment.
+pub mod ids {
+    use ree_armor::ArmorId;
+
+    /// The Fault Tolerance Manager.
+    pub const FTM: ArmorId = ArmorId(1);
+    /// The Heartbeat ARMOR.
+    pub const HEARTBEAT: ArmorId = ArmorId(2);
+
+    /// The daemon ARMOR for a node.
+    pub fn daemon(node: u16) -> ArmorId {
+        ArmorId(10 + node as u32)
+    }
+
+    /// The Execution ARMOR overseeing MPI rank `rank` of an application
+    /// slot (one slot per concurrently managed application).
+    pub fn exec(slot: u32, rank: u32) -> ArmorId {
+        ArmorId(100 + slot * 32 + rank)
+    }
+}
+
+/// Tunable parameters of the SIFT environment.
+///
+/// Defaults follow the paper: 10 s heartbeats at every level ("every 10 s
+/// in our experiments", §3.3), 20 s progress-indicator checks (§3.3: the
+/// FFT filters run ~20 s, so checking faster would raise false alarms).
+#[derive(Clone, Debug)]
+pub struct SiftConfig {
+    /// FTM → daemon heartbeat period (node/daemon failure detection).
+    pub ftm_daemon_hb_period: SimDuration,
+    /// Heartbeat-ARMOR → FTM polling period.
+    pub hb_ftm_period: SimDuration,
+    /// Daemon → local ARMOR "Are-you-alive?" probe period.
+    pub daemon_probe_period: SimDuration,
+    /// Execution-ARMOR progress-indicator check period.
+    pub pi_check_period: SimDuration,
+    /// How long an application blocks on an unavailable SIFT process
+    /// before giving up (the SAN model's `app_timeout`).
+    pub app_block_timeout: SimDuration,
+    /// Rank-0 timeout waiting for peer ranks during MPI startup.
+    pub mpi_init_timeout: SimDuration,
+    /// Whether the Figure 10 race-condition fix is applied (register the
+    /// Execution ARMOR in the FTM's table *before* instructing the
+    /// daemon to install it).
+    pub race_fix_enabled: bool,
+    /// Whether the Execution ARMOR uses the interrupt-driven
+    /// progress-indicator design (§5.1 discussion) instead of polling.
+    pub interrupt_driven_pi: bool,
+    /// Run assertions before event delivery (§11 preemptive-check
+    /// extension; the evaluated system checks after processing).
+    pub precheck_assertions: bool,
+    /// Whether element assertions are enabled at all (ablation for
+    /// Table 9: without assertions, every escape is a potential system
+    /// failure).
+    pub assertions_enabled: bool,
+    /// Guard timeout on the application connecting to the SIFT
+    /// environment after submission (§9 "lessons": a connect timeout
+    /// detects critical-phase errors). `None` = disabled (as evaluated).
+    pub connect_timeout: Option<SimDuration>,
+}
+
+impl Default for SiftConfig {
+    fn default() -> Self {
+        SiftConfig {
+            ftm_daemon_hb_period: SimDuration::from_secs(10),
+            hb_ftm_period: SimDuration::from_secs(10),
+            daemon_probe_period: SimDuration::from_secs(10),
+            pi_check_period: SimDuration::from_secs(20),
+            app_block_timeout: SimDuration::from_secs(30),
+            mpi_init_timeout: SimDuration::from_secs(15),
+            race_fix_enabled: true,
+            interrupt_driven_pi: false,
+            precheck_assertions: false,
+            assertions_enabled: true,
+            connect_timeout: None,
+        }
+    }
+}
+
+impl SiftConfig {
+    /// The configuration evaluated in the paper's experiments.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Variant with a different heartbeat period everywhere (Table 5
+    /// sweep).
+    pub fn with_heartbeat_period(mut self, period: SimDuration) -> Self {
+        self.ftm_daemon_hb_period = period;
+        self.hb_ftm_period = period;
+        self.daemon_probe_period = period;
+        self
+    }
+}
+
+/// Event tags of the SIFT protocol. Kept in one place so elements and
+/// tests agree on the vocabulary.
+pub mod tags {
+    /// Runtime start event (raised once an ARMOR is ready).
+    pub const ARMOR_START: &str = "armor-start";
+    /// Daemon registers itself with the FTM.
+    pub const DAEMON_REGISTER: &str = "daemon-register";
+    /// SCC or FTM instructs a daemon to install an ARMOR.
+    pub const INSTALL_ARMOR: &str = "install-armor";
+    /// Daemon confirms an installation.
+    pub const INSTALL_ACK: &str = "install-ack";
+    /// Daemon notifies the FTM that a local ARMOR failed.
+    pub const ARMOR_FAILED: &str = "armor-failed";
+    /// FTM (or Heartbeat ARMOR) instructs a daemon to reinstall an ARMOR.
+    pub const REINSTALL_ARMOR: &str = "reinstall-armor";
+    /// Daemon confirms a reinstallation (carries the new pid).
+    pub const REINSTALL_ACK: &str = "reinstall-ack";
+    /// SCC submits an application for execution.
+    pub const SUBMIT_APP: &str = "submit-app";
+    /// FTM instructs an Execution ARMOR to launch its MPI process.
+    pub const LAUNCH_APP: &str = "launch-app";
+    /// Execution ARMOR reports the application process started.
+    pub const APP_STARTED: &str = "app-started";
+    /// Rank-0 reports a peer rank's pid (routed app → Exec ARMOR → FTM →
+    /// peer's Exec ARMOR, Table 1 step 6).
+    pub const RANK_PID: &str = "rank-pid";
+    /// FTM forwards a rank pid to the owning Execution ARMOR.
+    pub const YOUR_RANK_PID: &str = "your-rank-pid";
+    /// Application attaches to its local Execution ARMOR (SIFT interface
+    /// channel setup).
+    pub const APP_ATTACH: &str = "app-attach";
+    /// Progress-indicator creation (declares the check frequency).
+    pub const PI_CREATE: &str = "pi-create";
+    /// Progress-indicator update.
+    pub const PI_UPDATE: &str = "progress-indicator";
+    /// Application announces clean exit (so the ARMOR does not treat the
+    /// exit as a crash, §3.3).
+    pub const APP_EXITING: &str = "app-exiting";
+    /// Execution ARMOR reports application termination to the FTM.
+    pub const APP_TERMINATED: &str = "app-terminated";
+    /// Execution ARMOR reports an application failure to the FTM.
+    pub const APP_FAILED: &str = "app-failed";
+    /// FTM instructs Execution ARMORs to kill their local rank (app-wide
+    /// restart).
+    pub const STOP_APP: &str = "stop-app";
+    /// FTM heartbeat ping to a daemon.
+    pub const DAEMON_HB_PING: &str = "daemon-hb-ping";
+    /// Daemon heartbeat reply.
+    pub const DAEMON_HB_ACK: &str = "daemon-hb-ack";
+    /// Heartbeat-ARMOR ping to the FTM.
+    pub const FTM_HB_PING: &str = "ftm-hb-ping";
+    /// FTM reply to the Heartbeat ARMOR.
+    pub const FTM_HB_ACK: &str = "ftm-hb-ack";
+    /// Daemon probe of a local ARMOR.
+    pub const ARE_YOU_ALIVE: &str = "are-you-alive";
+    /// Local ARMOR probe reply.
+    pub const ALIVE_ACK: &str = "alive-ack";
+    /// Route propagation (armor id → pid) among daemons.
+    pub const ROUTE_UPDATE: &str = "route-update";
+    /// Node declared failed (raised inside the FTM).
+    pub const NODE_FAILED: &str = "node-failed";
+    /// Uninstall an Execution ARMOR after its application completed.
+    pub const UNINSTALL_ARMOR: &str = "uninstall-armor";
+    /// Internal FTM event: all ranks of an app finished cleanly.
+    pub const APP_COMPLETE: &str = "app-complete";
+    /// Periodic internal cycle events.
+    pub const CYCLE: &str = "cycle";
+}
+
+/// Well-known instance-name prefixes (trace queries and tests).
+pub mod names {
+    /// The FTM process name.
+    pub const FTM: &str = "ftm";
+    /// The Heartbeat ARMOR process name.
+    pub const HEARTBEAT: &str = "heartbeat";
+
+    /// Daemon instance name for a node.
+    pub fn daemon(node: u16) -> String {
+        format!("daemon{node}")
+    }
+
+    /// Execution ARMOR instance name.
+    pub fn exec(slot: u32, rank: u32) -> String {
+        format!("exec{slot}_{rank}")
+    }
+}
+
+/// Returns true for identities in the Execution-ARMOR range.
+pub fn is_exec_armor(id: ArmorId) -> bool {
+    id.0 >= 100
+}
+
+/// Returns true for identities in the daemon range.
+pub fn is_daemon(id: ArmorId) -> bool {
+    (10..100).contains(&id.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_ranges_do_not_collide() {
+        assert!(is_daemon(ids::daemon(0)));
+        assert!(is_daemon(ids::daemon(63)));
+        assert!(is_exec_armor(ids::exec(0, 0)));
+        assert!(is_exec_armor(ids::exec(3, 31)));
+        assert!(!is_exec_armor(ids::FTM));
+        assert!(!is_daemon(ids::FTM));
+        assert!(!is_daemon(ids::HEARTBEAT));
+        assert_ne!(ids::exec(0, 1), ids::exec(1, 0));
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = SiftConfig::paper();
+        assert_eq!(c.ftm_daemon_hb_period, SimDuration::from_secs(10));
+        assert_eq!(c.pi_check_period, SimDuration::from_secs(20));
+        assert!(c.race_fix_enabled);
+        assert!(!c.interrupt_driven_pi);
+        assert!(c.assertions_enabled);
+    }
+
+    #[test]
+    fn heartbeat_sweep_helper() {
+        let c = SiftConfig::paper().with_heartbeat_period(SimDuration::from_secs(5));
+        assert_eq!(c.hb_ftm_period, SimDuration::from_secs(5));
+        assert_eq!(c.daemon_probe_period, SimDuration::from_secs(5));
+    }
+}

@@ -1,0 +1,149 @@
+//! The Heartbeat ARMOR (§3.1): "executes on a node separate from the FTM.
+//! Its sole responsibility is to detect and recover from failures in the
+//! FTM through the periodic polling for liveness. This functionality is
+//! implemented in a single element."
+
+use crate::config::{ids, tags};
+use ree_armor::{ArmorEvent, ArmorId, Element, ElementCtx, ElementOutcome, Fields, Value};
+use ree_sim::SimDuration;
+
+/// Number of consecutive missed heartbeat rounds before the FTM is
+/// declared failed (one full round of silence, per §3.3).
+const MISS_THRESHOLD: u64 = 2;
+
+/// The single FTM-watching element of the Heartbeat ARMOR.
+pub struct HbWatch {
+    state: Fields,
+    period: SimDuration,
+}
+
+impl HbWatch {
+    /// Creates the watcher with the given heartbeat period.
+    pub fn new(period: SimDuration) -> Self {
+        let mut state = Fields::new();
+        state.set("misses", Value::U64(0));
+        state.set("awaiting", Value::Bool(false));
+        state.set("recovering", Value::Bool(false));
+        state.set("pings_sent", Value::U64(0));
+        state.set("recoveries", Value::U64(0));
+        // The FTM's daemon (set by sift-configure at install time).
+        state.set("ftm_daemon", Value::U64(0));
+        HbWatch { state, period }
+    }
+
+    fn initiate_ftm_recovery(&mut self, ctx: &mut ElementCtx<'_, '_>) {
+        let daemon = self.state.u64("ftm_daemon").unwrap_or(0);
+        self.state.set("recovering", Value::Bool(true));
+        self.state.bump("recoveries");
+        ctx.os.trace_recovery("detect ftm failure (heartbeat timeout)".to_owned());
+        // Step one of the two-step recovery (§6.1): reinstall via the
+        // FTM's daemon. Step two (state restore) happens only after the
+        // REINSTALL_ACK arrives — a receive-omitting Heartbeat ARMOR
+        // never sends it, leaving the FTM unrecovered.
+        ctx.send(
+            ArmorId(daemon as u32),
+            vec![ArmorEvent::new(tags::REINSTALL_ARMOR)
+                .with("armor", Value::U64(ids::FTM.0 as u64))
+                .with("kind", Value::Str("ftm".into()))
+                .with("requester", Value::U64(ctx.armor_id().0 as u64))],
+        );
+    }
+}
+
+impl Element for HbWatch {
+    fn name(&self) -> &'static str {
+        "hb_watch"
+    }
+
+    fn subscriptions(&self) -> Vec<&'static str> {
+        vec![
+            tags::ARMOR_START,
+            "armor-restored",
+            "hb-cycle",
+            tags::FTM_HB_ACK,
+            tags::REINSTALL_ACK,
+            "sift-configure",
+        ]
+    }
+
+    fn handle(&mut self, ev: &ArmorEvent, ctx: &mut ElementCtx<'_, '_>) -> ElementOutcome {
+        match ev.tag {
+            "sift-configure" => {
+                if let Some(fd) = ev.u64("ftm_daemon") {
+                    self.state.set("ftm_daemon", Value::U64(fd));
+                }
+            }
+            tags::ARMOR_START => {
+                ctx.set_timer_event(self.period, ArmorEvent::new("hb-cycle"));
+            }
+            "armor-restored" => {
+                // In-flight liveness state died with the predecessor.
+                self.state.set("awaiting", Value::Bool(false));
+                self.state.set("misses", Value::U64(0));
+                self.state.set("recovering", Value::Bool(false));
+                self.state.set("recover_wait", Value::U64(0));
+            }
+            "hb-cycle" => {
+                let recovering = self.state.get("recovering").and_then(Value::as_bool).unwrap_or(false);
+                if recovering {
+                    // Waiting for the reinstall ack; give it one cycle,
+                    // then retry the whole recovery.
+                    let stuck = self.state.bump("recover_wait").unwrap_or(0);
+                    if stuck >= 3 {
+                        self.state.set("recover_wait", Value::U64(0));
+                        self.initiate_ftm_recovery(ctx);
+                    }
+                } else if self.state.get("awaiting").and_then(Value::as_bool).unwrap_or(false) {
+                    let misses = self.state.bump("misses").unwrap_or(0);
+                    if misses >= MISS_THRESHOLD {
+                        self.state.set("misses", Value::U64(0));
+                        self.state.set("awaiting", Value::Bool(false));
+                        self.initiate_ftm_recovery(ctx);
+                    }
+                } else {
+                    self.state.set("awaiting", Value::Bool(true));
+                }
+                if !self.state.get("recovering").and_then(Value::as_bool).unwrap_or(false) {
+                    self.state.bump("pings_sent");
+                    ctx.send_unreliable(
+                        ids::FTM,
+                        vec![ArmorEvent::new(tags::FTM_HB_PING)
+                            .with("seq", Value::U64(self.state.u64("pings_sent").unwrap_or(0)))],
+                    );
+                }
+                ctx.set_timer_event(self.period, ArmorEvent::new("hb-cycle"));
+            }
+            tags::FTM_HB_ACK => {
+                self.state.set("awaiting", Value::Bool(false));
+                self.state.set("misses", Value::U64(0));
+            }
+            tags::REINSTALL_ACK => {
+                if ev.u64("armor") == Some(ids::FTM.0 as u64) {
+                    self.state.set("recovering", Value::Bool(false));
+                    self.state.set("recover_wait", Value::U64(0));
+                    self.state.set("awaiting", Value::Bool(false));
+                    self.state.set("misses", Value::U64(0));
+                    // Step two: instruct the recovered FTM to restore its
+                    // state from the checkpoint.
+                    ctx.send(ids::FTM, vec![ArmorEvent::new("__restore-state")]);
+                    ctx.os.trace_recovery("ftm reinstalled; restore instructed".to_owned());
+                }
+            }
+            _ => {}
+        }
+        ElementOutcome::Ok
+    }
+
+    fn state(&self) -> &Fields {
+        &self.state
+    }
+
+    fn state_mut(&mut self) -> &mut Fields {
+        &mut self.state
+    }
+
+    fn check(&self) -> Result<(), String> {
+        ree_armor::assertions::range_check(&self.state, "misses", 0, 100)?;
+        ree_armor::assertions::range_check(&self.state, "ftm_daemon", 0, 99)
+    }
+}

@@ -1,0 +1,66 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage: `repro [--quick] <table3|table4|table5|table6|table7|table8|table9|table10|table11|table12|fig6|fig7|fig8|fig10|all>`
+
+use ree_experiments::{fig9, figures, table10, table11, table3, table4, table5, table6, table7, table8, Effort};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let effort = if quick { Effort::Quick } else { Effort::Paper };
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20020401); // CRHC-02-02, April 2002
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != args.iter().position(|x| x == "--seed").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+
+    let run_one = |name: &str| match name {
+        "table1" => {
+            println!("Table 1 (application lifecycle) is demonstrated by `examples/quickstart.rs` and tests/lifecycle.rs;");
+            println!("run `cargo run --example quickstart` to see the step-by-step trace.");
+        }
+        "table2" => {
+            println!("Table 2: error models implemented in ree-inject::ErrorModel:");
+            println!("  SIGINT        - clean crash (target terminates)");
+            println!("  SIGSTOP       - clean hang (threads suspended)");
+            println!("  Register      - bit flips until a failure is induced");
+            println!("  Text segment  - bit flips until a failure is induced");
+            println!("  Heap          - bit flips in allocated heap regions");
+        }
+        "table3" => print!("{}", table3::run(effort, seed).render()),
+        "table4" => print!("{}", table4::run(effort, seed).render()),
+        "table5" => print!("{}", table5::run(effort, seed).render()),
+        "table6" => print!("{}", table6::run(effort, seed).render()),
+        "table7" => print!("{}", table7::run(effort, seed).render()),
+        "table8" => print!("{}", table8::run(effort, seed).render_table8()),
+        "table9" => print!("{}", table8::run(effort, seed).render_table9()),
+        "table10" => print!("{}", table10::run(effort, seed).render()),
+        "table11" => print!("{}", table11::run(effort, seed).0.render()),
+        "table12" => print!("{}", table11::run(effort, seed).1.render()),
+        "fig6" => print!("{}", figures::fig6(effort, seed).render()),
+        "fig7" => print!("{}", figures::fig7(effort, seed).render()),
+        "fig8" => print!("{}", figures::fig8(effort, seed).render()),
+        "fig9" => print!("{}", fig9::run(seed).render()),
+        "fig10" => print!("{}", figures::fig10(seed).render()),
+        other => eprintln!("unknown experiment: {other}"),
+    };
+
+    if what == "all" {
+        for name in [
+            "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+            "table10", "table11", "table12", "fig6", "fig7", "fig8", "fig9", "fig10",
+        ] {
+            println!("==== {name} ====");
+            run_one(name);
+            println!();
+        }
+    } else {
+        run_one(&what);
+    }
+}

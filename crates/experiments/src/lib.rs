@@ -1,0 +1,23 @@
+//! # ree-experiments — reproduction harness
+//!
+//! One module per paper table/figure; see DESIGN.md §5 for the index and
+//! EXPERIMENTS.md for paper-vs-measured results. The `repro` binary
+//! regenerates any table: `cargo run --release --bin repro -- table4`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod effort;
+pub mod fig9;
+pub mod figures;
+pub mod table10;
+pub mod table11;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+
+pub use effort::Effort;
+pub use ree_apps::{run_without_sift, Running, Scenario};

@@ -1,0 +1,238 @@
+//! Tables 11 & 12: the two-application experiments (§8) — Mars Rover
+//! texture (two images) and OTIS simultaneously on the six-node testbed.
+//!
+//! Paper shape: the SIFT environment adds a fixed overhead independent of
+//! application load (~1 s perceived/actual gap, ARMOR recovery time
+//! unchanged at ~0.5 s); injections into the OTIS application slow OTIS
+//! but *improve* the Rover's time (less network contention); error
+//! classifications mirror the single-application campaigns.
+
+use crate::effort::Effort;
+use ree_apps::Scenario;
+use ree_inject::{run_campaign, ErrorModel, FailureClass, RunPlan, RunResult, Target};
+use ree_stats::{Summary, TableBuilder};
+use ree_sim::SimTime;
+
+/// One row of Table 11.
+#[derive(Debug, Clone)]
+pub struct Table11Row {
+    /// Row label.
+    pub label: String,
+    /// Rover perceived / actual execution times.
+    pub rover: (Summary, Summary),
+    /// OTIS perceived / actual execution times.
+    pub otis: (Summary, Summary),
+    /// ARMOR recovery time.
+    pub recovery: Summary,
+}
+
+/// Full Table 11 output.
+#[derive(Debug, Clone)]
+pub struct Table11 {
+    /// Baseline + two injection rows.
+    pub rows: Vec<Table11Row>,
+}
+
+impl Table11 {
+    /// Renders the paper-shaped table.
+    pub fn render(&self) -> String {
+        let mut t = TableBuilder::new(vec![
+            "TARGET",
+            "ROVER PERC (s)",
+            "ROVER ACT (s)",
+            "OTIS PERC (s)",
+            "OTIS ACT (s)",
+            "RECOVERY (s)",
+        ])
+        .with_title("Table 11: two applications under error injection (6-node testbed)");
+        for row in &self.rows {
+            t.row(vec![
+                row.label.clone(),
+                row.rover.0.display_pm(),
+                row.rover.1.display_pm(),
+                row.otis.0.display_pm(),
+                row.otis.1.display_pm(),
+                row.recovery.display_pm(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// One row of Table 12.
+#[derive(Debug, Clone)]
+pub struct Table12Row {
+    /// Row label (target × model group).
+    pub label: String,
+    /// Induced failures.
+    pub failures: u64,
+    /// Successful recoveries.
+    pub successful_recoveries: u64,
+    /// Segmentation faults.
+    pub seg_faults: u64,
+    /// Illegal instructions.
+    pub illegal_instrs: u64,
+    /// Hangs.
+    pub hangs: u64,
+    /// Self-checks (assertions).
+    pub self_checks: u64,
+}
+
+/// Full Table 12 output.
+#[derive(Debug, Clone)]
+pub struct Table12 {
+    /// Four rows: {SIGINT/SIGSTOP, register/text} × {OTIS app, ARMORs}.
+    pub rows: Vec<Table12Row>,
+}
+
+impl Table12 {
+    /// Renders the paper-shaped table.
+    pub fn render(&self) -> String {
+        let mut t = TableBuilder::new(vec![
+            "INJECTION TARGET",
+            "FAILURES",
+            "SUC. REC.",
+            "SEG FAULT",
+            "ILLEGAL",
+            "HANG",
+            "SELF-CHECK",
+        ])
+        .with_title("Table 12: error classification, two simultaneous applications");
+        for row in &self.rows {
+            t.row(vec![
+                row.label.clone(),
+                row.failures.to_string(),
+                row.successful_recoveries.to_string(),
+                row.seg_faults.to_string(),
+                row.illegal_instrs.to_string(),
+                row.hangs.to_string(),
+                row.self_checks.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+fn collect_row(label: &str, results: &[RunResult]) -> (Table11Row, Table12Row) {
+    let mut t11 = Table11Row {
+        label: label.to_owned(),
+        rover: (Summary::new(), Summary::new()),
+        otis: (Summary::new(), Summary::new()),
+        recovery: Summary::new(),
+    };
+    let mut t12 = Table12Row {
+        label: label.to_owned(),
+        failures: 0,
+        successful_recoveries: 0,
+        seg_faults: 0,
+        illegal_instrs: 0,
+        hangs: 0,
+        self_checks: 0,
+    };
+    for r in results {
+        if r.completed {
+            if let Some(Some(p)) = r.perceived_all.first() {
+                t11.rover.0.push(*p);
+            }
+            if let Some(Some(a)) = r.actual_all.first() {
+                t11.rover.1.push(*a);
+            }
+            if let Some(Some(p)) = r.perceived_all.get(1) {
+                t11.otis.0.push(*p);
+            }
+            if let Some(Some(a)) = r.actual_all.get(1) {
+                t11.otis.1.push(*a);
+            }
+        }
+        for rec in &r.recovery_times {
+            t11.recovery.push(*rec);
+        }
+        if let Some(class) = r.induced {
+            t12.failures += 1;
+            if r.recovered() {
+                t12.successful_recoveries += 1;
+            }
+            match class {
+                FailureClass::SegFault => t12.seg_faults += 1,
+                FailureClass::IllegalInstruction => t12.illegal_instrs += 1,
+                FailureClass::Hang => t12.hangs += 1,
+                FailureClass::Assertion => t12.self_checks += 1,
+                _ => {}
+            }
+        }
+    }
+    (t11, t12)
+}
+
+/// Runs the Tables 11/12 experiment.
+pub fn run(effort: Effort, seed0: u64) -> (Table11, Table12) {
+    let runs = effort.scale(60);
+    let timeout = SimTime::from_secs(700);
+    let scenario = Scenario::two_apps(0);
+
+    // Baseline: fault-free two-app runs.
+    let mut baseline = Table11Row {
+        label: "Baseline (no injection)".into(),
+        rover: (Summary::new(), Summary::new()),
+        otis: (Summary::new(), Summary::new()),
+        recovery: Summary::new(),
+    };
+    for i in 0..effort.scale(20) {
+        let mut s = scenario.clone();
+        s.seed = seed0 ^ 0xBB ^ i as u64;
+        let mut run = s.start();
+        if run.run_until_done(timeout) {
+            for (slot, side) in [(0u64, &mut baseline.rover), (1u64, &mut baseline.otis)] {
+                if let Some(t) = run.job_times(slot) {
+                    if let (Some(p), Some(a)) = (t.perceived(), t.actual()) {
+                        side.0.push(p.as_secs_f64());
+                        side.1.push(a.as_secs_f64());
+                    }
+                }
+            }
+        }
+    }
+
+    let mut rows11 = vec![baseline];
+    let mut rows12 = Vec::new();
+
+    // OTIS-app injections (all four models pooled per the paper's
+    // grouping).
+    for (label, models, target) in [
+        (
+            "OTIS app (SIGINT/SIGSTOP)",
+            vec![ErrorModel::Sigint, ErrorModel::Sigstop],
+            Target::NamedApp("otis".into()),
+        ),
+        (
+            "ARMORs (SIGINT/SIGSTOP)",
+            vec![ErrorModel::Sigint, ErrorModel::Sigstop],
+            Target::AnyArmor,
+        ),
+        (
+            "OTIS app (register/text)",
+            vec![ErrorModel::Register, ErrorModel::TextSegment],
+            Target::NamedApp("otis".into()),
+        ),
+        (
+            "ARMORs (register/text)",
+            vec![ErrorModel::Register, ErrorModel::TextSegment],
+            Target::AnyArmor,
+        ),
+    ] {
+        let mut pooled: Vec<RunResult> = Vec::new();
+        for (k, model) in models.into_iter().enumerate() {
+            let plan = RunPlan {
+                scenario: scenario.clone(),
+                target: target.clone(),
+                model,
+                timeout,
+            };
+            pooled.extend(run_campaign(&plan, runs / 2, seed0 ^ ((k as u64 + 3) << 20)));
+        }
+        let (t11, t12) = collect_row(label, &pooled);
+        rows11.push(t11);
+        rows12.push(t12);
+    }
+    (Table11 { rows: rows11 }, Table12 { rows: rows12 })
+}

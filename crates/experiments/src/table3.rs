@@ -1,0 +1,82 @@
+//! Table 3: baseline application execution time without fault injection.
+//!
+//! Paper values: outside SIFT 75.71 ± 0.65 (perceived = actual); inside
+//! SIFT 77.97 ± 0.48 perceived, 75.74 ± 0.48 actual — i.e. the SIFT
+//! environment "adds less than two seconds to the perceived application
+//! execution time" and "the actual execution time overhead is not
+//! statistically significant".
+
+use crate::effort::Effort;
+use ree_apps::{run_without_sift, Scenario};
+use ree_stats::{Summary, TableBuilder};
+use ree_sim::SimTime;
+
+/// Results of the Table 3 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// No-SIFT execution time (perceived == actual).
+    pub no_sift: Summary,
+    /// Perceived time under SIFT.
+    pub sift_perceived: Summary,
+    /// Actual time under SIFT.
+    pub sift_actual: Summary,
+}
+
+impl Table3 {
+    /// Perceived overhead of the SIFT environment in seconds.
+    pub fn perceived_overhead(&self) -> f64 {
+        self.sift_perceived.mean() - self.no_sift.mean()
+    }
+
+    /// Actual overhead of the SIFT environment in seconds.
+    pub fn actual_overhead(&self) -> f64 {
+        self.sift_actual.mean() - self.no_sift.mean()
+    }
+
+    /// Renders the paper-shaped table.
+    pub fn render(&self) -> String {
+        let mut t = TableBuilder::new(vec!["CONFIGURATION", "PERCEIVED (s)", "ACTUAL (s)"])
+            .with_title("Table 3: baseline application execution time (no fault injection)");
+        t.row(vec![
+            "Outside SIFT (Baseline No SIFT)".into(),
+            self.no_sift.display_pm(),
+            self.no_sift.display_pm(),
+        ]);
+        t.row(vec![
+            "In SIFT environment (Baseline SIFT)".into(),
+            self.sift_perceived.display_pm(),
+            self.sift_actual.display_pm(),
+        ]);
+        format!(
+            "{}\nperceived overhead = {:.2} s, actual overhead = {:.2} s (paper: ~2.3 s / ~0.03 s)\n",
+            t.render(),
+            self.perceived_overhead(),
+            self.actual_overhead()
+        )
+    }
+}
+
+/// Runs the Table 3 experiment.
+pub fn run(effort: Effort, seed0: u64) -> Table3 {
+    let runs = effort.scale(30);
+    let mut no_sift = Summary::new();
+    let mut sift_perceived = Summary::new();
+    let mut sift_actual = Summary::new();
+    for i in 0..runs {
+        let scenario = Scenario::single_texture(seed0 + i as u64);
+        let (_, duration) = run_without_sift(&scenario, SimTime::from_secs(200));
+        if let Some(d) = duration {
+            no_sift.push(d.as_secs_f64());
+        }
+        let mut run = scenario.start();
+        if run.run_until_done(SimTime::from_secs(200)) {
+            if let Some(times) = run.job_times(0) {
+                if let (Some(p), Some(a)) = (times.perceived(), times.actual()) {
+                    sift_perceived.push(p.as_secs_f64());
+                    sift_actual.push(a.as_secs_f64());
+                }
+            }
+        }
+    }
+    Table3 { no_sift, sift_perceived, sift_actual }
+}

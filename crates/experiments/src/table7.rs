@@ -1,0 +1,123 @@
+//! Table 7: untargeted heap injections into the SIFT processes (§7.1).
+//!
+//! "All regions of the target's heap memory were candidates for error
+//! injection. Each of the 100 runs per target involved several injections
+//! to bring about a crash or hang failure … only about half of the 100
+//! runs per target showed any effects."
+
+use crate::effort::Effort;
+use ree_apps::Scenario;
+use ree_inject::{run_campaign, ErrorModel, RunPlan, RunResult, Target};
+use ree_stats::{Summary, TableBuilder};
+use ree_sim::SimTime;
+
+/// One row of Table 7.
+#[derive(Debug, Clone)]
+pub struct Table7Row {
+    /// Injection target.
+    pub target: Target,
+    /// Runs in which the injections manifested as a failure.
+    pub failures: u64,
+    /// Runs that recovered.
+    pub successful_recoveries: u64,
+    /// Total injections performed (the paper reports ~6,700 across all
+    /// targets).
+    pub injections: u64,
+    /// Perceived execution time.
+    pub perceived: Summary,
+    /// Actual execution time.
+    pub actual: Summary,
+    /// SIFT recovery time.
+    pub recovery: Summary,
+    /// System failures.
+    pub system_failures: u64,
+}
+
+/// Full Table 7 output.
+#[derive(Debug, Clone)]
+pub struct Table7 {
+    /// One row per SIFT target.
+    pub rows: Vec<Table7Row>,
+}
+
+impl Table7 {
+    /// Renders the paper-shaped table.
+    pub fn render(&self) -> String {
+        let mut t = TableBuilder::new(vec![
+            "TARGET",
+            "FAILURES",
+            "SUC. REC.",
+            "INJECTIONS",
+            "PERCEIVED (s)",
+            "ACTUAL (s)",
+            "RECOVERY (s)",
+        ])
+        .with_title("Table 7: heap injection results (SIFT processes)");
+        for row in &self.rows {
+            t.row(vec![
+                row.target.to_string(),
+                row.failures.to_string(),
+                row.successful_recoveries.to_string(),
+                row.injections.to_string(),
+                row.perceived.display_pm(),
+                row.actual.display_pm(),
+                row.recovery.display_pm(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+fn summarize(target: Target, results: &[RunResult]) -> Table7Row {
+    let mut row = Table7Row {
+        target,
+        failures: 0,
+        successful_recoveries: 0,
+        injections: 0,
+        perceived: Summary::new(),
+        actual: Summary::new(),
+        recovery: Summary::new(),
+        system_failures: 0,
+    };
+    for r in results {
+        row.injections += r.injections as u64;
+        if r.induced.is_some() {
+            row.failures += 1;
+            if r.recovered() {
+                row.successful_recoveries += 1;
+            }
+        }
+        if r.system_failure.is_some() {
+            row.system_failures += 1;
+        }
+        if r.injections > 0 && r.completed {
+            if let Some(p) = r.perceived {
+                row.perceived.push(p);
+            }
+            if let Some(a) = r.actual {
+                row.actual.push(a);
+            }
+        }
+        for rec in &r.recovery_times {
+            row.recovery.push(*rec);
+        }
+    }
+    row
+}
+
+/// Runs the Table 7 experiment.
+pub fn run(effort: Effort, seed0: u64) -> Table7 {
+    let runs = effort.scale(100);
+    let mut rows = Vec::new();
+    for target in [Target::Ftm, Target::ExecArmor, Target::Heartbeat] {
+        let plan = RunPlan {
+            scenario: Scenario::single_texture(0),
+            target: target.clone(),
+            model: ErrorModel::Heap,
+            timeout: SimTime::from_secs(400),
+        };
+        let results = run_campaign(&plan, runs, seed0 ^ (target.to_string().len() as u64) << 16);
+        rows.push(summarize(target, &results));
+    }
+    Table7 { rows }
+}

@@ -1,0 +1,26 @@
+//! Table 1 end-to-end: the full SIFT environment boots, runs the texture
+//! application, and reports completion to the SCC.
+
+use ree_experiments::Scenario;
+use ree_sim::SimTime;
+
+#[test]
+fn texture_app_completes_under_sift() {
+    let scenario = Scenario::single_texture(1);
+    let mut run = scenario.start();
+    let done = run.run_until_done(SimTime::from_secs(300));
+    if !done {
+        // Dump trace tail for debugging.
+        for r in run.cluster.trace().records().iter().rev().take(60).collect::<Vec<_>>().iter().rev() {
+            eprintln!("{} {:?} {}", r.time, r.pid, r.detail);
+        }
+    }
+    assert!(done, "app did not complete; now={}", run.cluster.now());
+    let times = run.job_times(0).expect("job record");
+    let perceived = times.perceived().expect("perceived").as_secs_f64();
+    let actual = times.actual().expect("actual").as_secs_f64();
+    eprintln!("perceived={perceived:.2}s actual={actual:.2}s restarts={}", times.restarts);
+    assert!(actual > 60.0 && actual < 90.0, "actual {actual}");
+    assert!(perceived > actual, "perceived {perceived} must exceed actual {actual}");
+    assert_eq!(times.restarts, 0);
+}

@@ -1,0 +1,124 @@
+//! Campaign execution: many seeded runs of one (target, model) pair,
+//! executed across worker threads, with aggregate views shaped like the
+//! paper's tables.
+
+use crate::model::{FailureClass, SystemFailure};
+use crate::runner::{execute, RunPlan, RunResult};
+use ree_stats::Summary;
+
+/// Runs `runs` seeded executions of `plan`, in parallel across available
+/// cores. Results are returned in seed order (deterministic).
+pub fn run_campaign(plan: &RunPlan, runs: u32, seed0: u64) -> Vec<RunResult> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+    if runs == 0 {
+        return Vec::new();
+    }
+    let mut results: Vec<Option<RunResult>> = (0..runs).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let plan_ref = &*plan;
+        let chunks = results.chunks_mut(runs.div_ceil(threads as u32).max(1) as usize);
+        for (c, chunk) in chunks.enumerate() {
+            let base = c as u64 * runs.div_ceil(threads as u32).max(1) as u64;
+            scope.spawn(move || {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let seed = seed0 + base + i as u64;
+                    *slot = Some(execute(plan_ref, seed));
+                }
+            });
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Aggregate view over campaign results (one paper-table row).
+#[derive(Clone, Debug, Default)]
+pub struct Aggregate {
+    /// Runs in which at least one error was injected.
+    pub errors_injected: u64,
+    /// Runs in which a failure was induced in the target.
+    pub failures: u64,
+    /// Runs that recovered (completed with correct output after
+    /// injection).
+    pub successful_recoveries: u64,
+    /// System failures by phase.
+    pub system_failures: Vec<SystemFailure>,
+    /// Failure classification counts.
+    pub seg_faults: u64,
+    /// Illegal-instruction count.
+    pub illegal_instrs: u64,
+    /// Hang count.
+    pub hangs: u64,
+    /// Assertion/self-check count.
+    pub assertions: u64,
+    /// Perceived execution time, seconds.
+    pub perceived: Summary,
+    /// Actual execution time, seconds.
+    pub actual: Summary,
+    /// SIFT recovery time, seconds.
+    pub recovery: Summary,
+    /// Correlated failures (SIFT failure → app restart).
+    pub correlated: u64,
+    /// Incorrect-output runs.
+    pub incorrect_output: u64,
+    /// Runs with no observable effect.
+    pub no_effect: u64,
+}
+
+impl Aggregate {
+    /// Builds the aggregate from raw results.
+    pub fn from_results(results: &[RunResult]) -> Aggregate {
+        let mut agg = Aggregate::default();
+        for r in results {
+            if r.injections > 0 {
+                agg.errors_injected += 1;
+            }
+            if let Some(class) = r.induced {
+                agg.failures += 1;
+                match class {
+                    FailureClass::SegFault => agg.seg_faults += 1,
+                    FailureClass::IllegalInstruction => agg.illegal_instrs += 1,
+                    FailureClass::Hang => agg.hangs += 1,
+                    FailureClass::Assertion => agg.assertions += 1,
+                    FailureClass::InjectedSignal | FailureClass::Other => {}
+                }
+            }
+            if r.injections > 0 && r.recovered() {
+                agg.successful_recoveries += 1;
+            }
+            if let Some(sf) = r.system_failure {
+                agg.system_failures.push(sf);
+            }
+            if let Some(p) = r.perceived {
+                if r.completed {
+                    agg.perceived.push(p);
+                }
+            }
+            if let Some(a) = r.actual {
+                if r.completed {
+                    agg.actual.push(a);
+                }
+            }
+            for rec in &r.recovery_times {
+                agg.recovery.push(*rec);
+            }
+            if r.correlated {
+                agg.correlated += 1;
+            }
+            match r.output {
+                ree_apps::Verdict::Incorrect => agg.incorrect_output += 1,
+                ree_apps::Verdict::Correct
+                    if r.completed && r.induced.is_none() && r.restarts == 0 =>
+                {
+                    agg.no_effect += 1;
+                }
+                _ => {}
+            }
+        }
+        agg
+    }
+
+    /// Count of system failures of one phase.
+    pub fn system_failures_of(&self, phase: SystemFailure) -> u64 {
+        self.system_failures.iter().filter(|p| **p == phase).count() as u64
+    }
+}

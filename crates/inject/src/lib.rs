@@ -1,0 +1,21 @@
+//! # ree-inject — NFTAPE-style fault-injection campaigns
+//!
+//! "The experiments used NFTAPE, a software framework for conducting
+//! injection experiments. NFTAPE separates the control, monitoring, and
+//! data collection aspects of injection experiments from the code that
+//! actually injects faults/errors" (§4). The same split here: the
+//! [`RunPlan`]/[`execute`] controller and [`run_campaign`] batcher are
+//! independent of the per-model injectors, which live behind the
+//! `ree-os` injection surface (signals, register/text bit flips, heap
+//! bit flips).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod model;
+mod runner;
+
+pub use campaign::{run_campaign, Aggregate};
+pub use model::{ErrorModel, FailureClass, SystemFailure, Target};
+pub use runner::{execute, execute_full, verify_outputs, RunPlan, RunResult};

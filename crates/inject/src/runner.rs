@@ -1,0 +1,375 @@
+//! Single-run execution: set up the environment, inject per the error
+//! model's protocol, observe, classify. The NFTAPE division of labour
+//! (§4): control/monitor/collect here, the actual corruption in the
+//! `ree-os` injection surface.
+
+use crate::model::{ErrorModel, FailureClass, SystemFailure, Target};
+use ree_apps::verify::{verify_otis, verify_texture, Verdict};
+use ree_apps::{Running, Scenario};
+use ree_os::{ExitStatus, HeapHit, Pid, Signal};
+use ree_sim::{SimDuration, SimRng, SimTime};
+
+/// Everything one injection run needs.
+#[derive(Clone, Debug)]
+pub struct RunPlan {
+    /// Environment + workload.
+    pub scenario: Scenario,
+    /// Which process class to inject into.
+    pub target: Target,
+    /// The Table 2 error model.
+    pub model: ErrorModel,
+    /// System-failure timeout ("a failure occurs when the application
+    /// cannot complete within a predefined timeout", §4.2).
+    pub timeout: SimTime,
+}
+
+/// Everything one run produced.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The seed used.
+    pub seed: u64,
+    /// Number of bit flips / signals injected.
+    pub injections: u32,
+    /// First failure induced in the target, if any.
+    pub induced: Option<FailureClass>,
+    /// Did every job complete (SIFT reported completion)?
+    pub completed: bool,
+    /// System-failure phase when not completed.
+    pub system_failure: Option<SystemFailure>,
+    /// Application output verdict.
+    pub output: Verdict,
+    /// Perceived execution time of slot 0, seconds.
+    pub perceived: Option<f64>,
+    /// Actual execution time of slot 0, seconds.
+    pub actual: Option<f64>,
+    /// Per-slot perceived times (two-app experiments).
+    pub perceived_all: Vec<Option<f64>>,
+    /// Per-slot actual times.
+    pub actual_all: Vec<Option<f64>>,
+    /// Application restarts across slots.
+    pub restarts: u64,
+    /// SIFT-process recovery durations observed, seconds.
+    pub recovery_times: Vec<f64>,
+    /// Did a SIFT-process failure induce an application restart
+    /// (correlated failure, §5.2)?
+    pub correlated: bool,
+    /// Did any ARMOR assertion fire during the run?
+    pub assertion_fired: bool,
+    /// What the heap injection hit (single-flip campaigns).
+    pub heap_hit: Option<HeapHit>,
+}
+
+impl RunResult {
+    /// True if an error was injected *and* the system handled it without
+    /// a system failure.
+    pub fn recovered(&self) -> bool {
+        self.injections > 0 && self.completed && self.output != Verdict::Incorrect
+    }
+}
+
+/// Executes one injection run.
+pub fn execute(plan: &RunPlan, seed: u64) -> RunResult {
+    execute_full(plan, seed).0
+}
+
+/// Executes one injection run and also returns the finished environment
+/// (trace inspection, debugging, extension experiments).
+pub fn execute_full(plan: &RunPlan, seed: u64) -> (RunResult, Running) {
+    let mut scenario = plan.scenario.clone();
+    scenario.seed = seed;
+    let mut rng = SimRng::new(seed ^ 0x1A7E_C0DE);
+    let mut running = scenario.start();
+
+    let submit = scenario.jobs.first().map(|j| j.submit_at).unwrap_or(SimDuration::from_secs(5));
+    let nominal = app_nominal(&scenario);
+    // Injection window: covers setup, execution, and takedown exposure.
+    let w0 = SimTime::ZERO + exposure_start(&plan.target, submit);
+    let w1 = SimTime::ZERO + submit + nominal + SimDuration::from_secs(12);
+    let mut next_injection =
+        SimTime::from_micros(rng.range_u64(w0.as_micros(), w1.as_micros().max(w0.as_micros() + 1)));
+
+    let mut injections = 0u32;
+    let mut induced: Option<FailureClass> = None;
+    let mut watched: Option<Pid> = None;
+    // The paper's repeat-until-failure campaigns averaged ~20 flips per
+    // run (≈6,700 heap errors across ~300 runs, §7.1).
+    let max_injections: u32 = if plan.model.repeats() { 25 } else { 1 };
+
+    loop {
+        // Run up to the next injection instant (or completion/timeout).
+        let horizon = next_injection.min(plan.timeout);
+        let done = running.run_until_done(horizon);
+        if done || running.cluster.now() >= plan.timeout {
+            break;
+        }
+        // Check whether a previous injection has now manifested.
+        if induced.is_none() {
+            if let Some(pid) = watched {
+                induced = classify_target_state(&running, pid, &plan.model);
+            }
+        }
+        if induced.is_some() && plan.model.repeats() {
+            // Failure induced: stop injecting, run the rest out.
+            let done = running.run_until_done(plan.timeout);
+            let _ = done;
+            break;
+        }
+        if injections >= max_injections {
+            let _ = running.run_until_done(plan.timeout);
+            break;
+        }
+        // Resolve the target afresh (recoveries change pids).
+        let target_pid = resolve_target(&running, &plan.target, &mut rng);
+        let Some(pid) = target_pid else {
+            // Target not alive right now; retry shortly.
+            next_injection = running.cluster.now() + SimDuration::from_millis(1500);
+            if next_injection >= plan.timeout {
+                let _ = running.run_until_done(plan.timeout);
+                break;
+            }
+            continue;
+        };
+        watched = Some(pid);
+        let mut hit = None;
+        let mut flipped = true;
+        match &plan.model {
+            ErrorModel::Sigint => running.cluster.send_signal(pid, Signal::Int),
+            ErrorModel::Sigstop => running.cluster.send_signal(pid, Signal::Stop),
+            ErrorModel::Register => {
+                flipped = running.cluster.inject_register(pid).is_some();
+            }
+            ErrorModel::TextSegment => {
+                flipped = running.cluster.inject_text(pid).is_some();
+            }
+            ErrorModel::Heap => {
+                hit = running.cluster.inject_heap(pid, &ree_os::HeapTarget::Any);
+                flipped = hit.is_some();
+            }
+            ErrorModel::HeapSingle(target) => {
+                hit = running.cluster.inject_heap(pid, target);
+                flipped = hit.is_some();
+            }
+        }
+        if !flipped {
+            // No matching state yet (e.g. the app has not loaded its
+            // matrices); retry shortly without counting an injection.
+            next_injection = running.cluster.now() + SimDuration::from_secs(2);
+            if next_injection >= w1 {
+                let _ = running.run_until_done(plan.timeout);
+                break;
+            }
+            continue;
+        }
+        injections += 1;
+        if let (1, Some(h)) = (injections, hit.clone()) {
+            if !plan.model.repeats() {
+                // Single-flip campaign: keep the hit for Table 8 / Table
+                // 10 attribution and run the rest out.
+                return finish_run(plan, seed, running, injections, induced, Some(h), watched);
+            }
+        }
+        // Schedule the next injection (repeat protocols) or just observe.
+        if plan.model.repeats() {
+            next_injection = running.cluster.now()
+                + rng.uniform_duration(SimDuration::from_millis(1500), SimDuration::from_secs(4));
+        } else {
+            next_injection = plan.timeout;
+        }
+    }
+
+    if induced.is_none() {
+        if let Some(pid) = watched {
+            induced = classify_target_state(&running, pid, &plan.model);
+        }
+    }
+    finish_run(plan, seed, running, injections, induced, None, watched)
+}
+
+fn finish_run(
+    plan: &RunPlan,
+    seed: u64,
+    mut running: Running,
+    injections: u32,
+    mut induced: Option<FailureClass>,
+    heap_hit: Option<HeapHit>,
+    watched: Option<Pid>,
+) -> (RunResult, Running) {
+    // If we returned early (single heap flip), keep running to the end.
+    if !running.all_done() && running.cluster.now() < plan.timeout {
+        running.run_until_done(plan.timeout);
+    }
+    if induced.is_none() {
+        if let Some(pid) = watched {
+            induced = classify_target_state(&running, pid, &plan.model);
+        }
+    }
+    let scenario = &plan.scenario;
+    let slots = scenario.jobs.len() as u64;
+    let completed = running.all_done();
+    let mut perceived_all = Vec::new();
+    let mut actual_all = Vec::new();
+    let mut restarts = 0;
+    for s in 0..slots {
+        let times = running.job_times(s);
+        perceived_all.push(times.as_ref().and_then(|t| t.perceived()).map(|d| d.as_secs_f64()));
+        actual_all.push(times.as_ref().and_then(|t| t.actual()).map(|d| d.as_secs_f64()));
+        restarts += times.map(|t| t.restarts).unwrap_or(0);
+    }
+    let output = verify_outputs(&running, scenario);
+    let system_failure = if completed { None } else { Some(classify_system_failure(&running)) };
+    let recovery_times =
+        running.recovery_times().iter().map(|d| d.as_secs_f64()).collect::<Vec<_>>();
+    let assertion_fired = running.cluster.trace().contains("assertion fired");
+    let correlated = plan.target.is_sift_process() && restarts > 0;
+    (
+        RunResult {
+            seed,
+            injections,
+            induced,
+            completed,
+            system_failure,
+            output,
+            perceived: perceived_all.first().copied().flatten(),
+            actual: actual_all.first().copied().flatten(),
+            perceived_all,
+            actual_all,
+            restarts,
+            recovery_times,
+            correlated,
+            assertion_fired,
+            heap_hit,
+        },
+        running,
+    )
+}
+
+fn exposure_start(target: &Target, submit: SimDuration) -> SimDuration {
+    match target {
+        // The FTM and Heartbeat ARMOR exist before submission; injecting
+        // during setup/teardown is part of the experiment (Figure 7).
+        Target::Ftm => SimDuration::from_secs(2),
+        Target::Heartbeat => SimDuration::from_secs(4),
+        // Execution ARMORs / app processes appear after submission.
+        _ => submit + SimDuration::from_millis(700),
+    }
+}
+
+fn app_nominal(scenario: &Scenario) -> SimDuration {
+    let job = scenario.jobs.first();
+    match job.map(|j| j.app.as_str()) {
+        Some("otis") => scenario.otis.nominal(),
+        _ => scenario.texture.nominal_per_image() * scenario.texture.images.max(1) as u64,
+    }
+}
+
+fn resolve_target(running: &Running, target: &Target, rng: &mut SimRng) -> Option<Pid> {
+    let cluster = &running.cluster;
+    let mut candidates: Vec<Pid> = cluster
+        .all_procs()
+        .into_iter()
+        .filter(|p| cluster.name_of(*p).map(|n| target.matches(n)).unwrap_or(false))
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    candidates.sort_unstable();
+    Some(candidates[rng.index(candidates.len())])
+}
+
+/// Classifies the watched process's current condition (Table 6 columns).
+fn classify_target_state(
+    running: &Running,
+    pid: Pid,
+    model: &ErrorModel,
+) -> Option<FailureClass> {
+    let cluster = &running.cluster;
+    if cluster.is_stopped(pid) {
+        return Some(FailureClass::Hang);
+    }
+    if let Some((_, status)) = cluster.exit_status(pid) {
+        return match status {
+            ExitStatus::Killed(Signal::Segv) => Some(FailureClass::SegFault),
+            ExitStatus::Killed(Signal::Ill) => Some(FailureClass::IllegalInstruction),
+            ExitStatus::Aborted(_) => Some(FailureClass::Assertion),
+            ExitStatus::Killed(Signal::Int) | ExitStatus::Killed(Signal::Stop) => {
+                Some(FailureClass::InjectedSignal)
+            }
+            ExitStatus::Killed(Signal::Kill) => {
+                // SIGKILL has three sources: the daemon resolving a hang
+                // (a real induced failure), a restart sweep, and the
+                // normal uninstall at completion (not failures).
+                if cluster.trace().contains("fault-induced hang")
+                    || cluster.trace().contains("detect hang")
+                {
+                    Some(FailureClass::Hang)
+                } else if matches!(model, ErrorModel::Sigstop) {
+                    Some(FailureClass::InjectedSignal)
+                } else {
+                    None
+                }
+            }
+            ExitStatus::Exited(0) => None,
+            _ => Some(FailureClass::Other),
+        };
+    }
+    None
+}
+
+/// Aggregated output verdict over every product of every job.
+pub fn verify_outputs(running: &Running, scenario: &Scenario) -> Verdict {
+    let fs = running.cluster.remote_fs_ref();
+    let mut worst = Verdict::Correct;
+    for (slot, job) in scenario.jobs.iter().enumerate() {
+        match job.app.as_str() {
+            "otis" => {
+                for frame in 0..scenario.otis.frames {
+                    match verify_otis(fs, "otis", slot as u32, frame, scenario.otis.frame_px) {
+                        Verdict::Missing => return Verdict::Missing,
+                        Verdict::Incorrect => worst = Verdict::Incorrect,
+                        Verdict::Correct => {}
+                    }
+                }
+            }
+            _ => {
+                for image in 0..scenario.texture.images {
+                    match verify_texture(
+                        fs,
+                        &job.app,
+                        slot as u32,
+                        image,
+                        scenario.texture.image_px,
+                        scenario.texture.tile_px,
+                        scenario.texture.clusters,
+                    ) {
+                        Verdict::Missing => return Verdict::Missing,
+                        Verdict::Incorrect => worst = Verdict::Incorrect,
+                        Verdict::Correct => {}
+                    }
+                }
+            }
+        }
+    }
+    worst
+}
+
+fn classify_system_failure(running: &Running) -> SystemFailure {
+    let trace = running.cluster.trace();
+    let times = running.job_times(0);
+    let submitted = times.as_ref().map(|t| t.submitted.is_some()).unwrap_or(false);
+    let started = times.as_ref().map(|t| t.started.is_some()).unwrap_or(false);
+    if !submitted || !trace.contains("FTM accepted submission") {
+        return SystemFailure::UnableToRegisterDaemons;
+    }
+    if trace.count("installed exec") == 0 {
+        return SystemFailure::UnableToInstallExecArmors;
+    }
+    if !started {
+        return SystemFailure::UnableToStartApplication;
+    }
+    // Did the application actually finish its science?
+    let ended = times.as_ref().map(|t| t.ended.is_some()).unwrap_or(false);
+    if ended || trace.count("app-terminated") > 0 {
+        return SystemFailure::UnableToRecognizeCompletion;
+    }
+    SystemFailure::AppDidNotComplete
+}

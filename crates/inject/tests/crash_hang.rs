@@ -1,0 +1,126 @@
+//! §5-style crash/hang injection smoke tests: every target must recover
+//! from SIGINT and SIGSTOP injections (the paper recovered all ~700).
+
+use ree_apps::Scenario;
+use ree_inject::{execute, ErrorModel, RunPlan, Target};
+use ree_sim::SimTime;
+
+fn plan(target: Target, model: ErrorModel) -> RunPlan {
+    RunPlan {
+        scenario: Scenario::single_texture(0),
+        target,
+        model,
+        timeout: SimTime::from_secs(320),
+    }
+}
+
+fn run_several(target: Target, model: ErrorModel, n: u64) -> (u64, u64, u64) {
+    let p = plan(target, model);
+    let mut injected = 0;
+    let mut recovered = 0;
+    let mut completed = 0;
+    for seed in 0..n {
+        let r = execute(&p, 1000 + seed);
+        if r.injections > 0 {
+            injected += 1;
+            if r.recovered() {
+                recovered += 1;
+            }
+        }
+        if r.completed {
+            completed += 1;
+        }
+    }
+    (injected, recovered, completed)
+}
+
+#[test]
+fn sigint_into_application_recovers() {
+    let (injected, recovered, completed) = run_several(Target::App, ErrorModel::Sigint, 6);
+    assert!(injected >= 4, "injected {injected}/6");
+    assert_eq!(recovered, injected, "all injected runs must recover");
+    assert_eq!(completed, 6);
+}
+
+#[test]
+fn sigstop_into_application_recovers() {
+    let (injected, recovered, completed) = run_several(Target::App, ErrorModel::Sigstop, 6);
+    assert!(injected >= 4, "injected {injected}/6");
+    assert_eq!(recovered, injected, "all injected runs must recover");
+    assert_eq!(completed, 6);
+}
+
+#[test]
+fn sigint_into_ftm_recovers() {
+    let (injected, recovered, completed) = run_several(Target::Ftm, ErrorModel::Sigint, 6);
+    assert!(injected >= 4, "injected {injected}/6");
+    assert_eq!(recovered, injected);
+    assert_eq!(completed, 6);
+}
+
+#[test]
+fn sigstop_into_ftm_recovers() {
+    let (injected, recovered, completed) = run_several(Target::Ftm, ErrorModel::Sigstop, 6);
+    assert!(injected >= 4, "injected {injected}/6");
+    assert_eq!(recovered, injected);
+    assert_eq!(completed, 6);
+}
+
+#[test]
+fn sigint_into_exec_armor_recovers() {
+    let (injected, recovered, completed) = run_several(Target::ExecArmor, ErrorModel::Sigint, 6);
+    assert!(injected >= 4, "injected {injected}/6");
+    assert_eq!(recovered, injected);
+    assert_eq!(completed, 6);
+}
+
+#[test]
+fn sigstop_into_exec_armor_recovers() {
+    let (injected, recovered, completed) = run_several(Target::ExecArmor, ErrorModel::Sigstop, 6);
+    assert!(injected >= 4, "injected {injected}/6");
+    assert_eq!(recovered, injected);
+    assert_eq!(completed, 6);
+}
+
+#[test]
+fn sigint_into_heartbeat_recovers() {
+    let (injected, recovered, completed) = run_several(Target::Heartbeat, ErrorModel::Sigint, 6);
+    assert!(injected >= 4, "injected {injected}/6");
+    assert_eq!(recovered, injected);
+    assert_eq!(completed, 6);
+}
+
+#[test]
+fn sigstop_into_heartbeat_recovers() {
+    let (injected, recovered, completed) = run_several(Target::Heartbeat, ErrorModel::Sigstop, 6);
+    assert!(injected >= 4, "injected {injected}/6");
+    assert_eq!(recovered, injected);
+    assert_eq!(completed, 6);
+}
+
+#[test]
+fn hang_failures_cost_more_app_time_than_crashes() {
+    // §5.1: SIGSTOP app execution time >> SIGINT app execution time
+    // because hangs are detected through the progress-indicator timeout.
+    let pint = plan(Target::App, ErrorModel::Sigint);
+    let pstop = plan(Target::App, ErrorModel::Sigstop);
+    let mut int_actual = Vec::new();
+    let mut stop_actual = Vec::new();
+    for seed in 0..8 {
+        let r = execute(&pint, 2000 + seed);
+        if r.injections > 0 && r.completed {
+            int_actual.push(r.actual.unwrap_or(0.0));
+        }
+        let r = execute(&pstop, 3000 + seed);
+        if r.injections > 0 && r.completed {
+            stop_actual.push(r.actual.unwrap_or(0.0));
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(
+        mean(&stop_actual) > mean(&int_actual) + 5.0,
+        "sigstop mean {:.1} should exceed sigint mean {:.1} by > 5 s",
+        mean(&stop_actual),
+        mean(&int_actual)
+    );
+}

@@ -1,0 +1,364 @@
+//! # ree-net — simulated cluster interconnect
+//!
+//! Models the 100 Mbps Ethernet of the REE testbed (paper §2, Figure 2):
+//! per-node transmit serialisation (bandwidth), propagation latency with
+//! bounded jitter, link partitions, and transient *contention load* — the
+//! paper attributes the only actual-execution-time overhead of FTM
+//! recovery to "network contention during the FTM's recovery, which lasts
+//! for only 0.6–0.7 s" (§5.2). [`Network::inject_load`] reproduces exactly
+//! that effect.
+//!
+//! The crate is payload-agnostic: [`Network::send`] computes *when* a
+//! packet arrives; the OS layer owns the event queue and the payload.
+//!
+//! ## Example
+//!
+//! ```
+//! use ree_net::{Network, NetworkConfig, NodeId};
+//! use ree_sim::{SimRng, SimTime};
+//!
+//! let mut net = Network::new(NetworkConfig::ethernet_100mbps(), SimRng::new(7));
+//! let verdict = net.send(SimTime::ZERO, NodeId(0), NodeId(1), 1500);
+//! let at = verdict.delivery_time().expect("link is up");
+//! assert!(at > SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ree_sim::{SimDuration, SimRng, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// Identifies a node (board/processor) in the simulated cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u16);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Static parameters of the interconnect model.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// One-way propagation latency added to every packet.
+    pub base_latency: SimDuration,
+    /// Uniform jitter bound; each packet gets `U[0, jitter)` extra delay.
+    pub jitter: SimDuration,
+    /// Link bandwidth in bytes per virtual second (serialisation delay).
+    pub bandwidth_bytes_per_sec: u64,
+    /// Latency for messages a node sends to itself (IPC via loopback).
+    pub loopback_latency: SimDuration,
+    /// Probability that a packet is silently lost (reliable ARMOR
+    /// messaging must mask this with retransmission).
+    pub drop_probability: f64,
+}
+
+impl NetworkConfig {
+    /// The REE testbed's 100 Mbps Ethernet (Figure 2): ~12.5 MB/s, 200 µs
+    /// propagation, mild jitter, no background loss.
+    pub fn ethernet_100mbps() -> Self {
+        NetworkConfig {
+            base_latency: SimDuration::from_micros(200),
+            jitter: SimDuration::from_micros(150),
+            bandwidth_bytes_per_sec: 12_500_000,
+            loopback_latency: SimDuration::from_micros(30),
+            drop_probability: 0.0,
+        }
+    }
+
+    /// A lossy variant for stress-testing the reliable messaging layer.
+    pub fn lossy(drop_probability: f64) -> Self {
+        NetworkConfig { drop_probability, ..Self::ethernet_100mbps() }
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::ethernet_100mbps()
+    }
+}
+
+/// Outcome of handing a packet to the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendVerdict {
+    /// The packet will arrive at the destination at the given instant.
+    Delivered(SimTime),
+    /// The packet was lost (random drop).
+    Dropped,
+    /// Source and destination are partitioned or an endpoint's link is
+    /// administratively down.
+    Partitioned,
+}
+
+impl SendVerdict {
+    /// The delivery instant, if the packet will arrive.
+    pub fn delivery_time(self) -> Option<SimTime> {
+        match self {
+            SendVerdict::Delivered(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// The simulated interconnect.
+///
+/// Tracks per-node transmit occupancy so concurrent senders experience
+/// serialisation delay, plus transient load windows that model recovery
+/// traffic contention.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    rng: SimRng,
+    tx_busy_until: HashMap<NodeId, SimTime>,
+    down_links: HashSet<(NodeId, NodeId)>,
+    down_nodes: HashSet<NodeId>,
+    /// (ends_at, slowdown_factor) windows of extra contention.
+    load_windows: Vec<(SimTime, f64)>,
+    packets_sent: u64,
+    bytes_sent: u64,
+    packets_dropped: u64,
+}
+
+impl Network {
+    /// Creates a network with the given configuration and random stream.
+    pub fn new(config: NetworkConfig, rng: SimRng) -> Self {
+        Network {
+            config,
+            rng,
+            tx_busy_until: HashMap::new(),
+            down_links: HashSet::new(),
+            down_nodes: HashSet::new(),
+            load_windows: Vec::new(),
+            packets_sent: 0,
+            bytes_sent: 0,
+            packets_dropped: 0,
+        }
+    }
+
+    /// Computes the delivery time of a `size_bytes` packet sent at `now`
+    /// from `from` to `to`.
+    pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, size_bytes: u64) -> SendVerdict {
+        if self.is_partitioned(from, to) {
+            return SendVerdict::Partitioned;
+        }
+        if self.config.drop_probability > 0.0
+            && from != to
+            && self.rng.chance(self.config.drop_probability)
+        {
+            self.packets_dropped += 1;
+            return SendVerdict::Dropped;
+        }
+        self.packets_sent += 1;
+        self.bytes_sent += size_bytes;
+
+        if from == to {
+            return SendVerdict::Delivered(now + self.config.loopback_latency);
+        }
+
+        // Serialisation: packets from one node queue behind each other.
+        let tx_free = *self.tx_busy_until.get(&from).unwrap_or(&SimTime::ZERO);
+        let start = if tx_free > now { tx_free } else { now };
+        let wire = SimDuration::from_secs_f64(
+            size_bytes as f64 / self.config.bandwidth_bytes_per_sec as f64,
+        );
+        let tx_done = start + wire;
+        self.tx_busy_until.insert(from, tx_done);
+
+        let jitter = if self.config.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            self.rng.uniform_duration(SimDuration::ZERO, self.config.jitter)
+        };
+        let contention = self.contention_penalty(now, wire + self.config.base_latency);
+        SendVerdict::Delivered(tx_done + self.config.base_latency + jitter + contention)
+    }
+
+    fn contention_penalty(&mut self, now: SimTime, nominal: SimDuration) -> SimDuration {
+        self.load_windows.retain(|(end, _)| *end > now);
+        let factor: f64 = self.load_windows.iter().map(|(_, f)| f).sum();
+        if factor > 0.0 {
+            nominal.mul_f64(factor.min(8.0))
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Registers transient contention: for `window`, every packet's
+    /// latency is inflated by `slowdown` × its nominal transfer time.
+    ///
+    /// Used to model recovery traffic (checkpoint restore, process-image
+    /// copies) competing with application MPI messages.
+    pub fn inject_load(&mut self, now: SimTime, window: SimDuration, slowdown: f64) {
+        self.load_windows.push((now + window, slowdown));
+    }
+
+    /// Takes a node's link down (packets to/from it are `Partitioned`).
+    pub fn set_node_down(&mut self, node: NodeId, down: bool) {
+        if down {
+            self.down_nodes.insert(node);
+        } else {
+            self.down_nodes.remove(&node);
+        }
+    }
+
+    /// Severs or restores the (bidirectional) link between two nodes.
+    pub fn set_link_down(&mut self, a: NodeId, b: NodeId, down: bool) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if down {
+            self.down_links.insert(key);
+        } else {
+            self.down_links.remove(&key);
+        }
+    }
+
+    /// True if traffic between the two nodes cannot flow.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        if self.down_nodes.contains(&a) || self.down_nodes.contains(&b) {
+            return true;
+        }
+        if a == b {
+            return false;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.down_links.contains(&key)
+    }
+
+    /// Total packets accepted for delivery.
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent
+    }
+
+    /// Total payload bytes accepted for delivery.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total packets randomly dropped.
+    pub fn packets_dropped(&self) -> u64 {
+        self.packets_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_config() -> NetworkConfig {
+        NetworkConfig { jitter: SimDuration::ZERO, ..NetworkConfig::ethernet_100mbps() }
+    }
+
+    #[test]
+    fn delivery_includes_latency_and_serialisation() {
+        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        let t = net
+            .send(SimTime::ZERO, NodeId(0), NodeId(1), 12_500_000)
+            .delivery_time()
+            .unwrap();
+        // 1 s of wire time + 200 us latency.
+        assert_eq!(t, SimTime::from_micros(1_000_000 + 200));
+    }
+
+    #[test]
+    fn senders_serialise_on_their_uplink() {
+        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        let first = net
+            .send(SimTime::ZERO, NodeId(0), NodeId(1), 1_250_000)
+            .delivery_time()
+            .unwrap();
+        let second = net
+            .send(SimTime::ZERO, NodeId(0), NodeId(2), 1_250_000)
+            .delivery_time()
+            .unwrap();
+        assert!(second > first, "second packet queues behind the first");
+        // Different source does not queue.
+        let other = net
+            .send(SimTime::ZERO, NodeId(3), NodeId(1), 1_250_000)
+            .delivery_time()
+            .unwrap();
+        assert_eq!(other, first);
+    }
+
+    #[test]
+    fn loopback_is_fast_and_never_partitioned() {
+        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        let t = net
+            .send(SimTime::ZERO, NodeId(0), NodeId(0), 1_000_000)
+            .delivery_time()
+            .unwrap();
+        assert_eq!(t, SimTime::from_micros(30));
+        assert!(!net.is_partitioned(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn node_down_partitions_all_traffic() {
+        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        net.set_node_down(NodeId(1), true);
+        assert_eq!(
+            net.send(SimTime::ZERO, NodeId(0), NodeId(1), 100),
+            SendVerdict::Partitioned
+        );
+        assert_eq!(
+            net.send(SimTime::ZERO, NodeId(1), NodeId(0), 100),
+            SendVerdict::Partitioned
+        );
+        net.set_node_down(NodeId(1), false);
+        assert!(net.send(SimTime::ZERO, NodeId(0), NodeId(1), 100).delivery_time().is_some());
+    }
+
+    #[test]
+    fn link_down_is_bidirectional_and_specific() {
+        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        net.set_link_down(NodeId(0), NodeId(1), true);
+        assert!(net.is_partitioned(NodeId(0), NodeId(1)));
+        assert!(net.is_partitioned(NodeId(1), NodeId(0)));
+        assert!(!net.is_partitioned(NodeId(0), NodeId(2)));
+        net.set_link_down(NodeId(1), NodeId(0), false);
+        assert!(!net.is_partitioned(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn load_window_inflates_latency_then_expires() {
+        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        let nominal = net
+            .send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000)
+            .delivery_time()
+            .unwrap();
+        let mut net2 = Network::new(quiet_config(), SimRng::new(1));
+        net2.inject_load(SimTime::ZERO, SimDuration::from_secs(1), 2.0);
+        let loaded = net2
+            .send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000)
+            .delivery_time()
+            .unwrap();
+        assert!(loaded > nominal, "contention adds delay");
+        // After the window expires the penalty disappears.
+        let after = net2
+            .send(SimTime::from_secs(2), NodeId(0), NodeId(1), 125_000)
+            .delivery_time()
+            .unwrap();
+        assert_eq!(after - SimTime::from_secs(2), nominal - SimTime::ZERO);
+    }
+
+    #[test]
+    fn drops_occur_at_configured_rate() {
+        let mut net = Network::new(NetworkConfig::lossy(0.5), SimRng::new(42));
+        let mut dropped = 0;
+        for _ in 0..1000 {
+            if net.send(SimTime::ZERO, NodeId(0), NodeId(1), 100) == SendVerdict::Dropped {
+                dropped += 1;
+            }
+        }
+        assert!((350..650).contains(&dropped), "dropped {dropped} of 1000");
+        assert_eq!(net.packets_dropped(), dropped);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        net.send(SimTime::ZERO, NodeId(0), NodeId(1), 100);
+        net.send(SimTime::ZERO, NodeId(0), NodeId(1), 200);
+        assert_eq!(net.packets_sent(), 2);
+        assert_eq!(net.bytes_sent(), 300);
+    }
+}

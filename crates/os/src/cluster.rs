@@ -1,0 +1,979 @@
+//! The simulated cluster: nodes, process table, signals, timers, CPU work,
+//! message delivery, and the fault-activation hook.
+//!
+//! This is the substrate substituting for the paper's 4/6-node PowerPC-750
+//! LynxOS testbed (§2). Everything the SIFT protocols can observe — child
+//! exits via `waitpid`, process-table liveness, signal semantics, message
+//! timing, stable storage — is modelled here; everything above (ARMORs,
+//! MPI, applications) is ordinary `Process` behaviour.
+
+use crate::machine::{FaultConsequence, InjectionSite, MachineState};
+use crate::process::{ExitStatus, HeapHit, HeapTarget, Message, Pid, Process, Signal};
+use crate::storage::{RamDisk, RemoteFs};
+use crate::trace::{Trace, TraceKind};
+use ree_net::{Network, NetworkConfig, NodeId, SendVerdict};
+use ree_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+/// Identifies a pending timer (for cancellation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(u64);
+
+/// Identifies a unit of CPU work (for cancellation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WorkId(u64);
+
+/// Where a newly spawned process's text image comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TextSource {
+    /// Fresh image loaded from the (uncorruptible) remote file system.
+    Pristine,
+    /// Copy of another process's current image — the daemon
+    /// fork-style recovery of §3.4, which *propagates text corruption*.
+    CopyFrom(Pid),
+}
+
+/// Parameters for spawning a process.
+pub struct SpawnSpec {
+    /// Human-readable instance name (unique names ease trace queries).
+    pub name: String,
+    /// Node to run on.
+    pub node: NodeId,
+    /// The behaviour state machine.
+    pub behavior: Box<dyn Process>,
+    /// Parent for `waitpid` notification, if any.
+    pub parent: Option<Pid>,
+    /// Text-image source.
+    pub text: TextSource,
+    /// Override of the spawn latency (e.g. image copy vs. disk reload).
+    pub latency: Option<SimDuration>,
+}
+
+impl SpawnSpec {
+    /// Convenience constructor with pristine text and default latency.
+    pub fn new(name: impl Into<String>, node: NodeId, behavior: Box<dyn Process>) -> Self {
+        SpawnSpec {
+            name: name.into(),
+            node,
+            behavior,
+            parent: None,
+            text: TextSource::Pristine,
+            latency: None,
+        }
+    }
+
+    /// Sets the parent process.
+    pub fn with_parent(mut self, parent: Pid) -> Self {
+        self.parent = Some(parent);
+        self
+    }
+
+    /// Sets the text-image source.
+    pub fn with_text(mut self, text: TextSource) -> Self {
+        self.text = text;
+        self
+    }
+
+    /// Sets an explicit spawn latency.
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+}
+
+impl std::fmt::Debug for SpawnSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpawnSpec")
+            .field("name", &self.name)
+            .field("node", &self.node)
+            .field("parent", &self.parent)
+            .field("text", &self.text)
+            .finish()
+    }
+}
+
+/// Static configuration of a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes (the paper uses 4 and 6).
+    pub nodes: usize,
+    /// Interconnect model.
+    pub net: NetworkConfig,
+    /// Master seed; all stochastic behaviour derives from it.
+    pub seed: u64,
+    /// Per-node RAM-disk capacity in bytes.
+    pub ramdisk_capacity: usize,
+    /// Whether node failure wipes the node's RAM disk (checkpoints lost).
+    pub wipe_ramdisk_on_node_failure: bool,
+    /// Granularity at which CPU work executes (and faults can activate).
+    pub work_chunk: SimDuration,
+    /// Latency of process creation.
+    pub spawn_latency: SimDuration,
+    /// Whether the trace buffer records events.
+    pub trace_enabled: bool,
+}
+
+impl ClusterConfig {
+    /// The paper's 4-node testbed (two boards × two PowerPC 750s).
+    pub fn ree_testbed(seed: u64) -> Self {
+        ClusterConfig {
+            nodes: 4,
+            net: NetworkConfig::ethernet_100mbps(),
+            seed,
+            ramdisk_capacity: 2 << 20,
+            wipe_ramdisk_on_node_failure: true,
+            work_chunk: SimDuration::from_millis(250),
+            spawn_latency: SimDuration::from_millis(150),
+            trace_enabled: true,
+        }
+    }
+
+    /// The 6-node testbed used for the two-application experiments (§8).
+    pub fn ree_testbed_6node(seed: u64) -> Self {
+        ClusterConfig { nodes: 6, ..Self::ree_testbed(seed) }
+    }
+}
+
+enum OsEvent {
+    Start { pid: Pid },
+    Deliver { to: Pid, from: Pid, label: &'static str, payload: Box<dyn Any> },
+    Timer { pid: Pid, timer_id: u64, tag: u64 },
+    WorkChunk { pid: Pid, work_id: u64 },
+    SignalEv { pid: Pid, sig: Signal },
+    ChildExit { parent: Pid, child: Pid, status: ExitStatus },
+}
+
+struct WorkState {
+    tag: u64,
+    remaining: SimDuration,
+}
+
+struct ProcEntry {
+    node: NodeId,
+    name: String,
+    kind: &'static str,
+    parent: Option<Pid>,
+    behavior: Option<Box<dyn Process>>,
+    machine: MachineState,
+    stopped: bool,
+    deaf: bool,
+    stash: Vec<OsEvent>,
+    live_timers: HashSet<u64>,
+    works: HashMap<u64, WorkState>,
+    spawned_at: SimTime,
+}
+
+struct NodeState {
+    ramdisk: RamDisk,
+    alive: bool,
+}
+
+/// The simulated cluster world.
+///
+/// # Examples
+///
+/// ```
+/// use ree_os::{Cluster, ClusterConfig, Message, Process, ProcCtx, SpawnSpec};
+/// use ree_net::NodeId;
+/// use ree_sim::SimTime;
+///
+/// struct Hello;
+/// impl Process for Hello {
+///     fn kind(&self) -> &'static str { "hello" }
+///     fn on_start(&mut self, ctx: &mut ProcCtx<'_>) { ctx.trace("hello started"); }
+///     fn on_message(&mut self, _msg: Message, _ctx: &mut ProcCtx<'_>) {}
+/// }
+///
+/// let mut cluster = Cluster::new(ClusterConfig::ree_testbed(1));
+/// cluster.spawn(SpawnSpec::new("hello", NodeId(0), Box::new(Hello)));
+/// cluster.run_until(SimTime::from_secs(1));
+/// assert!(cluster.trace().contains("hello started"));
+/// ```
+pub struct Cluster {
+    config: ClusterConfig,
+    now: SimTime,
+    queue: EventQueue<OsEvent>,
+    net: Network,
+    nodes: Vec<NodeState>,
+    procs: HashMap<Pid, ProcEntry>,
+    graveyard: HashMap<Pid, (SimTime, ExitStatus)>,
+    remote_fs: RemoteFs,
+    rng: SimRng,
+    machine_rng: SimRng,
+    trace: Trace,
+    next_pid: u64,
+    next_timer: u64,
+    next_work: u64,
+    pending_self_exit: Option<ExitStatus>,
+    current_pid: Option<Pid>,
+}
+
+impl Cluster {
+    /// Builds a cluster from configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        let mut master = SimRng::new(config.seed);
+        let net_rng = master.fork(1);
+        let rng = master.fork(2);
+        let machine_rng = master.fork(3);
+        let nodes = (0..config.nodes)
+            .map(|_| NodeState { ramdisk: RamDisk::with_capacity(config.ramdisk_capacity), alive: true })
+            .collect();
+        let mut trace = Trace::new();
+        trace.set_enabled(config.trace_enabled);
+        Cluster {
+            net: Network::new(config.net.clone(), net_rng),
+            config,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes,
+            procs: HashMap::new(),
+            graveyard: HashMap::new(),
+            remote_fs: RemoteFs::new(),
+            rng,
+            machine_rng,
+            trace,
+            next_pid: 1,
+            next_timer: 1,
+            next_work: 1,
+            pending_self_exit: None,
+            current_pid: None,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The run trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable trace access (to clear between phases).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// The shared remote file system.
+    pub fn remote_fs(&mut self) -> &mut RemoteFs {
+        &mut self.remote_fs
+    }
+
+    /// Read-only remote FS access.
+    pub fn remote_fs_ref(&self) -> &RemoteFs {
+        &self.remote_fs
+    }
+
+    /// A node's RAM disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn ramdisk(&mut self, node: NodeId) -> &mut RamDisk {
+        &mut self.nodes[node.0 as usize].ramdisk
+    }
+
+    /// Direct network access (for load injection in recovery paths).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Forks an independent RNG stream (for injectors).
+    pub fn fork_rng(&mut self, tag: u64) -> SimRng {
+        self.rng.fork(tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Process management
+    // ------------------------------------------------------------------
+
+    /// Spawns a process; it starts after the spawn latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target node does not exist.
+    pub fn spawn(&mut self, spec: SpawnSpec) -> Pid {
+        assert!((spec.node.0 as usize) < self.nodes.len(), "spawn on unknown node");
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let kind = spec.behavior.kind();
+        let profile = spec.behavior.machine_profile();
+        let text = match spec.text {
+            TextSource::Pristine => MachineState::generic_text_image(kind),
+            TextSource::CopyFrom(src) => self
+                .procs
+                .get(&src)
+                .map(|e| e.machine.copy_text_image())
+                .unwrap_or_else(|| MachineState::generic_text_image(kind)),
+        };
+        let entry = ProcEntry {
+            node: spec.node,
+            name: spec.name.clone(),
+            kind,
+            parent: spec.parent,
+            behavior: Some(spec.behavior),
+            machine: MachineState::new(profile, text),
+            stopped: false,
+            deaf: false,
+            stash: Vec::new(),
+            live_timers: HashSet::new(),
+            works: HashMap::new(),
+            spawned_at: self.now,
+        };
+        self.procs.insert(pid, entry);
+        let latency = spec.latency.unwrap_or(self.config.spawn_latency);
+        self.queue.schedule(self.now + latency, OsEvent::Start { pid });
+        self.trace.push(
+            self.now,
+            Some(pid),
+            TraceKind::Lifecycle,
+            format!("spawn {} ({kind}) on {}", spec.name, spec.node),
+        );
+        pid
+    }
+
+    /// True if the process is in the process table.
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.procs.contains_key(&pid)
+    }
+
+    /// True if the process is alive but stopped (hung).
+    pub fn is_stopped(&self, pid: Pid) -> bool {
+        self.procs.get(&pid).map(|e| e.stopped).unwrap_or(false)
+    }
+
+    /// True if the process suffers receive omissions (messages dropped).
+    pub fn is_deaf(&self, pid: Pid) -> bool {
+        self.procs.get(&pid).map(|e| e.deaf).unwrap_or(false)
+    }
+
+    /// Exit record of a dead process.
+    pub fn exit_status(&self, pid: Pid) -> Option<&(SimTime, ExitStatus)> {
+        self.graveyard.get(&pid)
+    }
+
+    /// Node a live process runs on.
+    pub fn node_of(&self, pid: Pid) -> Option<NodeId> {
+        self.procs.get(&pid).map(|e| e.node)
+    }
+
+    /// Instance name of a live process.
+    pub fn name_of(&self, pid: Pid) -> Option<&str> {
+        self.procs.get(&pid).map(|e| e.name.as_str())
+    }
+
+    /// Behaviour kind of a live process (e.g. `armor`, `mpi-app`).
+    pub fn kind_of(&self, pid: Pid) -> Option<&'static str> {
+        self.procs.get(&pid).map(|e| e.kind)
+    }
+
+    /// Finds a live process by instance name.
+    pub fn find_by_name(&self, name: &str) -> Option<Pid> {
+        self.procs.iter().find(|(_, e)| e.name == name).map(|(p, _)| *p)
+    }
+
+    /// All live processes on a node.
+    pub fn procs_on_node(&self, node: NodeId) -> Vec<Pid> {
+        let mut v: Vec<Pid> =
+            self.procs.iter().filter(|(_, e)| e.node == node).map(|(p, _)| *p).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All live processes.
+    pub fn all_procs(&self) -> Vec<Pid> {
+        let mut v: Vec<Pid> = self.procs.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection surface
+    // ------------------------------------------------------------------
+
+    /// Delivers a signal to a process (the SIGINT/SIGSTOP error models).
+    pub fn send_signal(&mut self, pid: Pid, sig: Signal) {
+        self.trace.push(self.now, Some(pid), TraceKind::Injection, format!("signal {sig}"));
+        self.queue.schedule(self.now, OsEvent::SignalEv { pid, sig });
+    }
+
+    /// Flips a bit in the target's register file.
+    pub fn inject_register(&mut self, pid: Pid) -> Option<InjectionSite> {
+        let entry = self.procs.get_mut(&pid)?;
+        let site = entry.machine.inject_register_bit(&mut self.machine_rng);
+        self.trace.push(self.now, Some(pid), TraceKind::Injection, format!("register flip {site:?}"));
+        Some(site)
+    }
+
+    /// Flips a bit in the target's text segment.
+    pub fn inject_text(&mut self, pid: Pid) -> Option<InjectionSite> {
+        let entry = self.procs.get_mut(&pid)?;
+        let site = entry.machine.inject_text_bit(&mut self.machine_rng);
+        self.trace.push(self.now, Some(pid), TraceKind::Injection, format!("text flip {site:?}"));
+        Some(site)
+    }
+
+    /// Flips a bit in the target's heap model.
+    pub fn inject_heap(&mut self, pid: Pid, target: &HeapTarget) -> Option<HeapHit> {
+        // Split borrows: heap lives in behaviour, RNG in the cluster.
+        let entry = self.procs.get_mut(&pid)?;
+        let behavior = entry.behavior.as_mut()?;
+        let hit = behavior.heap()?.flip_bit(&mut self.machine_rng, target)?;
+        self.trace.push(self.now, Some(pid), TraceKind::Injection, format!("heap flip {hit:?}"));
+        Some(hit)
+    }
+
+    /// Crashes an entire node: all processes killed, link down, RAM disk
+    /// optionally wiped.
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.trace.push(self.now, None, TraceKind::Injection, format!("{node} failed"));
+        let victims = self.procs_on_node(node);
+        for pid in victims {
+            self.terminate(pid, ExitStatus::Killed(Signal::Kill), false);
+        }
+        self.nodes[node.0 as usize].alive = false;
+        if self.config.wipe_ramdisk_on_node_failure {
+            self.nodes[node.0 as usize].ramdisk.wipe();
+        }
+        self.net.set_node_down(node, true);
+    }
+
+    /// Restores a failed node (rebooted, empty).
+    pub fn restore_node(&mut self, node: NodeId) {
+        self.nodes[node.0 as usize].alive = true;
+        self.net.set_node_down(node, false);
+        self.trace.push(self.now, None, TraceKind::Recovery, format!("{node} restored"));
+    }
+
+    /// True if the node is up.
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.nodes.get(node.0 as usize).map(|n| n.alive).unwrap_or(false)
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Executes the next pending event, returning its time, or `None` if
+    /// the cluster is quiescent.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (time, _, ev) = self.queue.pop()?;
+        self.now = time;
+        self.dispatch(ev);
+        Some(time)
+    }
+
+    /// Runs until `horizon`; afterwards `now() == horizon` unless the
+    /// queue drained earlier (then `now()` is the last event time).
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (time, _, ev) = self.queue.pop().expect("peeked event");
+            self.now = time;
+            self.dispatch(ev);
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        self.now
+    }
+
+    /// Runs until `pred` holds (checked after each event) or the horizon
+    /// passes. Returns `true` if the predicate was satisfied.
+    pub fn run_until_pred<F: FnMut(&Cluster) -> bool>(
+        &mut self,
+        horizon: SimTime,
+        mut pred: F,
+    ) -> bool {
+        if pred(self) {
+            return true;
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (time, _, ev) = self.queue.pop().expect("peeked event");
+            self.now = time;
+            self.dispatch(ev);
+            if pred(self) {
+                return true;
+            }
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        false
+    }
+
+    fn dispatch(&mut self, ev: OsEvent) {
+        match ev {
+            OsEvent::SignalEv { pid, sig } => {
+                self.handle_signal(pid, sig);
+                return;
+            }
+            OsEvent::WorkChunk { pid, work_id } => {
+                self.handle_work_chunk(pid, work_id);
+                return;
+            }
+            OsEvent::Timer { pid, timer_id, .. } => {
+                // One-shot semantics: a cancelled timer never fires. Fired
+                // timers stashed during a stop re-arm their id on resume.
+                let live = match self.procs.get_mut(&pid) {
+                    Some(e) => e.live_timers.remove(&timer_id),
+                    None => false,
+                };
+                if !live {
+                    return;
+                }
+            }
+            _ => {}
+        }
+        let pid = match &ev {
+            OsEvent::Start { pid } => *pid,
+            OsEvent::Deliver { to, .. } => *to,
+            OsEvent::Timer { pid, .. } => *pid,
+            OsEvent::ChildExit { parent, .. } => *parent,
+            OsEvent::SignalEv { .. } | OsEvent::WorkChunk { .. } => unreachable!(),
+        };
+        let Some(ev) = self.pre_execute(pid, ev) else { return };
+        match ev {
+            OsEvent::Start { .. } => self.with_behavior(pid, |b, ctx| b.on_start(ctx)),
+            OsEvent::Deliver { from, label, payload, .. } => {
+                self.trace.push(
+                    self.now,
+                    Some(pid),
+                    TraceKind::Message,
+                    format!("deliver {label} from {from}"),
+                );
+                self.with_behavior(pid, |b, ctx| b.on_message(Message { from, label, payload }, ctx));
+            }
+            OsEvent::Timer { tag, .. } => self.with_behavior(pid, |b, ctx| b.on_timer(tag, ctx)),
+            OsEvent::ChildExit { child, status, .. } => {
+                self.with_behavior(pid, |b, ctx| b.on_child_exit(child, status, ctx));
+            }
+            OsEvent::SignalEv { .. } | OsEvent::WorkChunk { .. } => unreachable!(),
+        }
+    }
+
+    /// Common pre-execution path: liveness check, stop-stashing, and
+    /// fault activation. Returns the event back if it should be delivered
+    /// to the behaviour, `None` if it was consumed (process dead, event
+    /// stashed, or fault-induced crash).
+    fn pre_execute(&mut self, pid: Pid, ev: OsEvent) -> Option<OsEvent> {
+        let Some(entry) = self.procs.get_mut(&pid) else { return None };
+        if entry.stopped {
+            entry.stash.push(ev);
+            return None;
+        }
+        if entry.deaf {
+            if let OsEvent::Deliver { label, .. } = &ev {
+                self.trace.push(
+                    self.now,
+                    Some(pid),
+                    TraceKind::Message,
+                    format!("receive omission drops {label}"),
+                );
+                return None;
+            }
+        }
+        match entry.machine.activate(&mut self.machine_rng) {
+            None => Some(ev),
+            Some(FaultConsequence::SegFault) => {
+                self.terminate(pid, ExitStatus::Killed(Signal::Segv), true);
+                None
+            }
+            Some(FaultConsequence::IllegalInstruction) => {
+                self.terminate(pid, ExitStatus::Killed(Signal::Ill), true);
+                None
+            }
+            Some(FaultConsequence::Hang) => {
+                entry.stopped = true;
+                entry.stash.push(ev);
+                self.trace.push(self.now, Some(pid), TraceKind::Lifecycle, "fault-induced hang".into());
+                None
+            }
+            Some(FaultConsequence::SilentCorruption) => {
+                if let Some(b) = entry.behavior.as_mut() {
+                    b.silent_corruption(&mut self.machine_rng);
+                }
+                self.trace.push(self.now, Some(pid), TraceKind::Injection, "silent corruption".into());
+                Some(ev)
+            }
+            Some(FaultConsequence::ReceiveOmission) => {
+                entry.deaf = true;
+                self.trace.push(
+                    self.now,
+                    Some(pid),
+                    TraceKind::Lifecycle,
+                    "fault-induced receive omission".into(),
+                );
+                Some(ev)
+            }
+        }
+    }
+
+    /// Takes the behaviour out, runs `f` with a context, handles
+    /// self-exit, and puts the behaviour back.
+    fn with_behavior<F>(&mut self, pid: Pid, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Process>, &mut ProcCtx<'_>),
+    {
+        let Some(entry) = self.procs.get_mut(&pid) else { return };
+        let Some(mut behavior) = entry.behavior.take() else { return };
+        self.current_pid = Some(pid);
+        {
+            let mut ctx = ProcCtx { cluster: self, pid };
+            f(&mut behavior, &mut ctx);
+        }
+        self.current_pid = None;
+        if let Some(status) = self.pending_self_exit.take() {
+            // Behaviour requested exit; drop it and terminate.
+            drop(behavior);
+            self.terminate(pid, status, true);
+        } else if let Some(entry) = self.procs.get_mut(&pid) {
+            entry.behavior = Some(behavior);
+        }
+        // If the entry vanished (killed during its own handler via a
+        // signal it sent itself synchronously — not possible since signals
+        // are queued), the behaviour is dropped here.
+    }
+
+    fn handle_signal(&mut self, pid: Pid, sig: Signal) {
+        let Some(entry) = self.procs.get_mut(&pid) else { return };
+        match sig {
+            Signal::Int | Signal::Kill => {
+                self.terminate(pid, ExitStatus::Killed(sig), true);
+            }
+            Signal::Segv | Signal::Ill => {
+                self.terminate(pid, ExitStatus::Killed(sig), true);
+            }
+            Signal::Stop => {
+                entry.stopped = true;
+                self.trace.push(self.now, Some(pid), TraceKind::Signal, "stopped".into());
+            }
+            Signal::Cont => {
+                if entry.stopped {
+                    entry.stopped = false;
+                    let stash = std::mem::take(&mut entry.stash);
+                    self.trace.push(self.now, Some(pid), TraceKind::Signal, "continued".into());
+                    for ev in stash {
+                        if let OsEvent::Timer { timer_id, .. } = &ev {
+                            // The id was consumed when the timer fired
+                            // into the stash; re-arm it for redelivery.
+                            entry.live_timers.insert(*timer_id);
+                        }
+                        self.queue.schedule(self.now, ev);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_work_chunk(&mut self, pid: Pid, work_id: u64) {
+        let chunk = self.config.work_chunk;
+        let Some(entry) = self.procs.get_mut(&pid) else { return };
+        if !entry.works.contains_key(&work_id) {
+            return;
+        }
+        if entry.stopped {
+            entry.stash.push(OsEvent::WorkChunk { pid, work_id });
+            return;
+        }
+        // Fault activation for this slice of computation.
+        match entry.machine.activate(&mut self.machine_rng) {
+            None => {}
+            Some(FaultConsequence::SegFault) => {
+                self.terminate(pid, ExitStatus::Killed(Signal::Segv), true);
+                return;
+            }
+            Some(FaultConsequence::IllegalInstruction) => {
+                self.terminate(pid, ExitStatus::Killed(Signal::Ill), true);
+                return;
+            }
+            Some(FaultConsequence::Hang) => {
+                entry.stopped = true;
+                entry.stash.push(OsEvent::WorkChunk { pid, work_id });
+                self.trace.push(self.now, Some(pid), TraceKind::Lifecycle, "fault-induced hang".into());
+                return;
+            }
+            Some(FaultConsequence::SilentCorruption) => {
+                if let Some(b) = entry.behavior.as_mut() {
+                    b.silent_corruption(&mut self.machine_rng);
+                }
+                self.trace.push(self.now, Some(pid), TraceKind::Injection, "silent corruption".into());
+            }
+            Some(FaultConsequence::ReceiveOmission) => {
+                entry.deaf = true;
+                self.trace.push(
+                    self.now,
+                    Some(pid),
+                    TraceKind::Lifecycle,
+                    "fault-induced receive omission".into(),
+                );
+            }
+        }
+        let Some(entry) = self.procs.get_mut(&pid) else { return };
+        let Some(work) = entry.works.get_mut(&work_id) else { return };
+        if work.remaining > chunk {
+            work.remaining -= chunk;
+            self.queue.schedule(self.now + chunk, OsEvent::WorkChunk { pid, work_id });
+        } else {
+            let tag = work.tag;
+            entry.works.remove(&work_id);
+            self.with_behavior(pid, |b, ctx| b.on_work_done(tag, ctx));
+        }
+    }
+
+    fn terminate(&mut self, pid: Pid, status: ExitStatus, notify_parent: bool) {
+        let Some(entry) = self.procs.remove(&pid) else { return };
+        self.trace.push(
+            self.now,
+            Some(pid),
+            TraceKind::Lifecycle,
+            format!("{} exits: {status}", entry.name),
+        );
+        self.graveyard.insert(pid, (self.now, status.clone()));
+        if notify_parent {
+            if let Some(parent) = entry.parent {
+                if self.procs.contains_key(&parent) {
+                    // waitpid wakes the parent essentially immediately.
+                    self.queue.schedule(
+                        self.now + SimDuration::from_micros(500),
+                        OsEvent::ChildExit { parent, child: pid, status },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The system-call surface a process sees while handling an event.
+pub struct ProcCtx<'a> {
+    cluster: &'a mut Cluster,
+    pid: Pid,
+}
+
+impl ProcCtx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.cluster.now
+    }
+
+    /// This process's PID.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The node this process runs on.
+    pub fn node(&self) -> NodeId {
+        self.cluster.procs[&self.pid].node
+    }
+
+    /// Deterministic random stream (shared cluster stream).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.cluster.rng
+    }
+
+    /// Sends `payload` (`size` simulated bytes) to another process.
+    ///
+    /// Delivery is asynchronous and may be silently dropped by a lossy or
+    /// partitioned network; reliable protocols must acknowledge.
+    pub fn send<T: Any>(&mut self, to: Pid, label: &'static str, size: u64, payload: T) {
+        self.send_boxed(to, label, size, Box::new(payload));
+    }
+
+    /// Type-erased variant of [`ProcCtx::send`].
+    pub fn send_boxed(&mut self, to: Pid, label: &'static str, size: u64, payload: Box<dyn Any>) {
+        let from_node = self.node();
+        let to_node = match self.cluster.procs.get(&to) {
+            Some(e) => e.node,
+            None => {
+                // Destination already dead: packet goes nowhere. Still
+                // consumes send-side bandwidth.
+                self.cluster.trace.push(
+                    self.cluster.now,
+                    Some(self.pid),
+                    TraceKind::Message,
+                    format!("send {label} to dead {to}"),
+                );
+                return;
+            }
+        };
+        match self.cluster.net.send(self.cluster.now, from_node, to_node, size) {
+            SendVerdict::Delivered(at) => {
+                let from = self.pid;
+                self.cluster.queue.schedule(at, OsEvent::Deliver { to, from, label, payload });
+            }
+            SendVerdict::Dropped => {
+                self.cluster.trace.push(
+                    self.cluster.now,
+                    Some(self.pid),
+                    TraceKind::Message,
+                    format!("dropped {label} to {to}"),
+                );
+            }
+            SendVerdict::Partitioned => {
+                self.cluster.trace.push(
+                    self.cluster.now,
+                    Some(self.pid),
+                    TraceKind::Message,
+                    format!("partitioned {label} to {to}"),
+                );
+            }
+        }
+    }
+
+    /// Arms a one-shot timer; `tag` is returned to
+    /// [`Process::on_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = self.cluster.next_timer;
+        self.cluster.next_timer += 1;
+        let entry = self.cluster.procs.get_mut(&self.pid).expect("self entry");
+        entry.live_timers.insert(id);
+        self.cluster
+            .queue
+            .schedule(self.cluster.now + delay, OsEvent::Timer { pid: self.pid, timer_id: id, tag });
+        TimerId(id)
+    }
+
+    /// Cancels a timer if it has not fired.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        if let Some(entry) = self.cluster.procs.get_mut(&self.pid) {
+            entry.live_timers.remove(&id.0);
+        }
+    }
+
+    /// Starts a CPU-bound work unit of the given total duration; the
+    /// process receives [`Process::on_work_done`] with `tag` when it
+    /// finishes. Work executes in chunks, pausing while the process is
+    /// stopped and dying with the process.
+    pub fn start_work(&mut self, total: SimDuration, tag: u64) -> WorkId {
+        let id = self.cluster.next_work;
+        self.cluster.next_work += 1;
+        let entry = self.cluster.procs.get_mut(&self.pid).expect("self entry");
+        entry.works.insert(id, WorkState { tag, remaining: total });
+        let first = self.cluster.config.work_chunk.min(total);
+        let first = if first.is_zero() { SimDuration::from_micros(1) } else { first };
+        self.cluster
+            .queue
+            .schedule(self.cluster.now + first, OsEvent::WorkChunk { pid: self.pid, work_id: id });
+        WorkId(id)
+    }
+
+    /// Cancels an in-progress work unit.
+    pub fn abort_work(&mut self, id: WorkId) {
+        if let Some(entry) = self.cluster.procs.get_mut(&self.pid) {
+            entry.works.remove(&id.0);
+        }
+    }
+
+    /// Spawns a child or detached process.
+    pub fn spawn(&mut self, spec: SpawnSpec) -> Pid {
+        self.cluster.spawn(spec)
+    }
+
+    /// Voluntarily exits with a status code after this handler returns.
+    pub fn exit(&mut self, code: i32) {
+        self.cluster.pending_self_exit = Some(ExitStatus::Exited(code));
+    }
+
+    /// Kills the process after an internal self-check detected an error
+    /// (the ARMOR fail-fast path).
+    pub fn abort(&mut self, reason: impl Into<String>) {
+        self.cluster.pending_self_exit = Some(ExitStatus::Aborted(reason.into()));
+    }
+
+    /// Crashes the process as if the hardware raised `sig` (e.g. a
+    /// segmentation fault from dereferencing a corrupted pointer). Takes
+    /// effect when the current handler returns.
+    pub fn crash(&mut self, sig: Signal) {
+        self.cluster.pending_self_exit = Some(ExitStatus::Killed(sig));
+    }
+
+    /// Sends a signal to any process (including self; takes effect when
+    /// the signal event is dispatched).
+    pub fn kill(&mut self, pid: Pid, sig: Signal) {
+        self.cluster.queue.schedule(self.cluster.now, OsEvent::SignalEv { pid, sig });
+    }
+
+    /// Checks the OS process table — how Execution ARMORs detect crashes
+    /// of MPI ranks they did not spawn (§3.3).
+    pub fn process_alive(&self, pid: Pid) -> bool {
+        self.cluster.is_alive(pid)
+    }
+
+    /// Exit status of a dead process, if known.
+    pub fn exit_status_of(&self, pid: Pid) -> Option<ExitStatus> {
+        self.cluster.graveyard.get(&pid).map(|(_, s)| s.clone())
+    }
+
+    /// The local node's RAM disk (stable storage for checkpoints).
+    pub fn ramdisk(&mut self) -> &mut RamDisk {
+        let node = self.node();
+        &mut self.cluster.nodes[node.0 as usize].ramdisk
+    }
+
+    /// The shared remote file system.
+    pub fn remote_fs(&mut self) -> &mut RemoteFs {
+        &mut self.cluster.remote_fs
+    }
+
+    /// Registers transient network contention (recovery traffic).
+    pub fn net_load(&mut self, window: SimDuration, slowdown: f64) {
+        let now = self.cluster.now;
+        self.cluster.net.inject_load(now, window, slowdown);
+    }
+
+    /// Copies this process's current text image (fork-style recovery).
+    pub fn self_text_source(&self) -> TextSource {
+        TextSource::CopyFrom(self.pid)
+    }
+
+    /// Count of corrupted sites in this process's own text image.
+    pub fn own_text_corruption(&self) -> usize {
+        self.cluster.procs[&self.pid].machine.corrupted_text_sites()
+    }
+
+    /// Reloads this process's text image from disk (clears corruption).
+    pub fn reload_own_text(&mut self) {
+        if let Some(e) = self.cluster.procs.get_mut(&self.pid) {
+            e.machine.reload_text_from_disk();
+        }
+    }
+
+    /// Appends an application-level trace record.
+    pub fn trace(&mut self, detail: impl Into<String>) {
+        self.cluster.trace.push(self.cluster.now, Some(self.pid), TraceKind::App, detail.into());
+    }
+
+    /// Appends a recovery-category trace record.
+    pub fn trace_recovery(&mut self, detail: impl Into<String>) {
+        self.cluster
+            .trace
+            .push(self.cluster.now, Some(self.pid), TraceKind::Recovery, detail.into());
+    }
+
+    /// Seconds since this process was (re)spawned.
+    pub fn uptime(&self) -> SimDuration {
+        self.cluster.now.since(self.cluster.procs[&self.pid].spawned_at)
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("now", &self.now)
+            .field("procs", &self.procs.len())
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}

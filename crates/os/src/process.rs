@@ -1,0 +1,234 @@
+//! Process identity, signals, exit status, and the behaviour traits that
+//! simulated processes implement.
+
+use crate::machine::MachineProfile;
+use ree_sim::SimRng;
+use std::any::Any;
+
+/// A globally unique process identifier.
+///
+/// Unlike Unix PIDs these are never reused, so stale references are
+/// detectable ("is this the same FTM I installed, or its replacement?").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub u64);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Signals the simulated LynxOS can deliver (the paper's Table 2 error
+/// models plus the fault-manifestation signals).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Signal {
+    /// Interrupt: target terminates (crash-failure model).
+    Int,
+    /// Stop: all threads suspend (hang-failure model).
+    Stop,
+    /// Continue a stopped process.
+    Cont,
+    /// Unconditional kill.
+    Kill,
+    /// Segmentation fault (invalid memory access).
+    Segv,
+    /// Illegal instruction.
+    Ill,
+}
+
+impl std::fmt::Display for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Signal::Int => "SIGINT",
+            Signal::Stop => "SIGSTOP",
+            Signal::Cont => "SIGCONT",
+            Signal::Kill => "SIGKILL",
+            Signal::Segv => "SIGSEGV",
+            Signal::Ill => "SIGILL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a process ended, as observed by its parent via `waitpid`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExitStatus {
+    /// Voluntary exit with a code (0 = success).
+    Exited(i32),
+    /// Terminated by a signal.
+    Killed(Signal),
+    /// The process killed itself after an internal check (assertion,
+    /// self-check) detected an error — the ARMOR fail-fast path (§3.3).
+    Aborted(String),
+}
+
+impl ExitStatus {
+    /// True for any termination a parent should treat as a failure.
+    pub fn is_abnormal(&self) -> bool {
+        !matches!(self, ExitStatus::Exited(0))
+    }
+}
+
+impl std::fmt::Display for ExitStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExitStatus::Exited(c) => write!(f, "exited({c})"),
+            ExitStatus::Killed(s) => write!(f, "killed({s})"),
+            ExitStatus::Aborted(r) => write!(f, "aborted({r})"),
+        }
+    }
+}
+
+/// A message delivered to a process's mailbox.
+#[derive(Debug)]
+pub struct Message {
+    /// Sender process.
+    pub from: Pid,
+    /// Short protocol label (appears in traces; lets receivers route
+    /// cheaply without downcasting).
+    pub label: &'static str,
+    /// Opaque payload; receivers downcast to the concrete type.
+    pub payload: Box<dyn Any>,
+}
+
+impl Message {
+    /// Attempts to take the payload as a `T`, consuming it on success.
+    pub fn take<T: 'static>(self) -> Result<T, Message> {
+        match self.payload.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(payload) => Err(Message { from: self.from, label: self.label, payload }),
+        }
+    }
+
+    /// Borrowing downcast.
+    pub fn peek<T: 'static>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
+
+/// Kind of a heap field, for the targeted injections of §7.2 ("a single
+/// error in data (not pointers) was injected").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FieldKind {
+    /// Connects data structures; corruption typically segfaults quickly.
+    Pointer,
+    /// Carries information; corruption propagates silently.
+    Data,
+}
+
+/// Which part of a process's heap an injection should target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HeapTarget {
+    /// Any allocated region, any field kind (§7.1 experiments).
+    Any,
+    /// Non-pointer data fields only (§7.2 experiments).
+    DataOnly,
+    /// Data fields of one named region/element (Table 8 experiments).
+    Region(String),
+}
+
+/// Report of a heap bit flip: what was hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeapHit {
+    /// Region/element name (e.g. `node_mgmt`).
+    pub region: String,
+    /// Field description.
+    pub field: String,
+    /// Pointer or data.
+    pub kind: FieldKind,
+}
+
+/// Dynamic heap exposed for fault injection.
+///
+/// ARMOR processes expose their element state; applications expose their
+/// matrices and control blocks. Implementations flip *real bits in real
+/// state* so propagation follows genuine data flow.
+pub trait HeapModel {
+    /// Names of the injectable regions.
+    fn region_names(&self) -> Vec<String>;
+
+    /// Flips one bit according to `target`; reports what was hit, or
+    /// `None` if the target does not exist in this process.
+    fn flip_bit(&mut self, rng: &mut SimRng, target: &HeapTarget) -> Option<HeapHit>;
+}
+
+/// Behaviour of a simulated process: a state machine over OS events.
+///
+/// Methods receive a [`crate::ProcCtx`] giving access to messaging,
+/// timers, CPU work, spawning, storage, and self-termination. All methods
+/// other than [`Process::on_message`] have empty defaults.
+pub trait Process {
+    /// Short kind tag (names the text image; appears in traces).
+    fn kind(&self) -> &'static str;
+
+    /// Called once when the process starts running.
+    fn on_start(&mut self, ctx: &mut crate::ProcCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called for each mailbox message.
+    fn on_message(&mut self, msg: Message, ctx: &mut crate::ProcCtx<'_>);
+
+    /// Called when a timer set via [`crate::ProcCtx::set_timer`] fires.
+    fn on_timer(&mut self, tag: u64, ctx: &mut crate::ProcCtx<'_>) {
+        let _ = (tag, ctx);
+    }
+
+    /// Called when a unit of CPU work completes.
+    fn on_work_done(&mut self, tag: u64, ctx: &mut crate::ProcCtx<'_>) {
+        let _ = (tag, ctx);
+    }
+
+    /// Called when a child process exits (`waitpid` semantics, §3.2).
+    fn on_child_exit(&mut self, child: Pid, status: ExitStatus, ctx: &mut crate::ProcCtx<'_>) {
+        let _ = (child, status, ctx);
+    }
+
+    /// Machine-model parameters for this process kind.
+    fn machine_profile(&self) -> MachineProfile {
+        MachineProfile::default()
+    }
+
+    /// The injectable heap, if this process models one.
+    fn heap(&mut self) -> Option<&mut dyn HeapModel> {
+        None
+    }
+
+    /// Invoked when an activated fault silently corrupts state: the
+    /// default flips a random bit in the heap model (if any).
+    fn silent_corruption(&mut self, rng: &mut SimRng) {
+        if let Some(heap) = self.heap() {
+            let _ = heap.flip_bit(rng, &HeapTarget::Any);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_status_abnormality() {
+        assert!(!ExitStatus::Exited(0).is_abnormal());
+        assert!(ExitStatus::Exited(1).is_abnormal());
+        assert!(ExitStatus::Killed(Signal::Int).is_abnormal());
+        assert!(ExitStatus::Aborted("range check".into()).is_abnormal());
+    }
+
+    #[test]
+    fn message_take_downcasts() {
+        let msg = Message { from: Pid(1), label: "x", payload: Box::new(42u32) };
+        assert_eq!(msg.take::<u32>().unwrap(), 42);
+
+        let msg = Message { from: Pid(1), label: "x", payload: Box::new(42u32) };
+        let back = msg.take::<String>().unwrap_err();
+        assert_eq!(back.peek::<u32>(), Some(&42));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Pid(3).to_string(), "pid3");
+        assert_eq!(Signal::Stop.to_string(), "SIGSTOP");
+        assert_eq!(ExitStatus::Killed(Signal::Segv).to_string(), "killed(SIGSEGV)");
+    }
+}

@@ -1,0 +1,259 @@
+//! Stable storage: per-node RAM disks and the shared remote file system.
+//!
+//! The REE testbed (paper §2) set aside 1–2 MB of RAM per node to emulate
+//! local non-volatile memory (checkpoints go here — §3.4 "the local RAM
+//! disk on each node serves as stable storage"), plus a remote file system
+//! on a Sun workstation holding program executables, application input and
+//! output data.
+
+use std::collections::HashMap;
+
+/// A node-local RAM disk emulating non-volatile memory.
+///
+/// Contents survive *process* failures (the recovering ARMOR reads its
+/// checkpoint back) but, mirroring the testbed, are lost if the node
+/// itself is wiped — tolerating node failures requires checkpoints in
+/// centralized storage (paper §3.4).
+///
+/// # Examples
+///
+/// ```
+/// use ree_os::RamDisk;
+/// let mut disk = RamDisk::with_capacity(1 << 20);
+/// disk.write("ckpt/ftm", b"state".to_vec()).unwrap();
+/// assert_eq!(disk.read("ckpt/ftm"), Some(&b"state"[..]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RamDisk {
+    files: HashMap<String, Vec<u8>>,
+    capacity: usize,
+    used: usize,
+    writes: u64,
+    bytes_written: u64,
+}
+
+/// Error writing to a [`RamDisk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskError {
+    /// The write would exceed the configured capacity.
+    Full {
+        /// Bytes requested by the write.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Full { requested, available } => {
+                write!(f, "ram disk full: requested {requested} bytes, {available} available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+impl RamDisk {
+    /// Creates a RAM disk with the REE default capacity (2 MB).
+    pub fn new() -> Self {
+        Self::with_capacity(2 << 20)
+    }
+
+    /// Creates a RAM disk with an explicit byte capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RamDisk { files: HashMap::new(), capacity, used: 0, writes: 0, bytes_written: 0 }
+    }
+
+    /// Writes (creating or replacing) a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::Full`] if the write would exceed capacity; the
+    /// previous contents of the file are preserved in that case.
+    pub fn write(&mut self, path: &str, data: Vec<u8>) -> Result<(), DiskError> {
+        let existing = self.files.get(path).map_or(0, Vec::len);
+        let new_used = self.used - existing + data.len();
+        if new_used > self.capacity {
+            return Err(DiskError::Full {
+                requested: data.len(),
+                available: self.capacity - (self.used - existing),
+            });
+        }
+        self.writes += 1;
+        self.bytes_written += data.len() as u64;
+        self.used = new_used;
+        self.files.insert(path.to_owned(), data);
+        Ok(())
+    }
+
+    /// Reads a file's contents, if present.
+    pub fn read(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(Vec::as_slice)
+    }
+
+    /// Removes a file; returns its contents if it existed.
+    pub fn remove(&mut self, path: &str) -> Option<Vec<u8>> {
+        let data = self.files.remove(path)?;
+        self.used -= data.len();
+        Some(data)
+    }
+
+    /// True if the file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Erases everything (models a node wipe / power loss on volatile
+    /// portions).
+    pub fn wipe(&mut self) {
+        self.files.clear();
+        self.used = 0;
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Total writes performed (checkpoint-commit accounting).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bytes written over the disk's lifetime.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Iterates over stored paths.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+}
+
+/// The shared remote file system (the Sun workstation in Figure 2).
+///
+/// Visible to every node; holds executables, input images, application
+/// status files, and output products. Unlike [`RamDisk`] it has no
+/// capacity limit and survives any cluster failure.
+#[derive(Debug, Clone, Default)]
+pub struct RemoteFs {
+    files: HashMap<String, Vec<u8>>,
+    reads: u64,
+    writes: u64,
+}
+
+impl RemoteFs {
+    /// Creates an empty remote file system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes (creating or replacing) a file.
+    pub fn write(&mut self, path: &str, data: Vec<u8>) {
+        self.writes += 1;
+        self.files.insert(path.to_owned(), data);
+    }
+
+    /// Reads a file's contents, if present.
+    pub fn read(&mut self, path: &str) -> Option<&[u8]> {
+        self.reads += 1;
+        self.files.get(path).map(Vec::as_slice)
+    }
+
+    /// Reads without bumping access counters (for assertions in tests).
+    pub fn peek(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(Vec::as_slice)
+    }
+
+    /// Removes a file; returns its contents if it existed.
+    pub fn remove(&mut self, path: &str) -> Option<Vec<u8>> {
+        self.files.remove(path)
+    }
+
+    /// True if the file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Number of read operations served.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write operations served.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Iterates over stored paths.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramdisk_roundtrip_and_remove() {
+        let mut d = RamDisk::new();
+        d.write("a", vec![1, 2, 3]).unwrap();
+        assert_eq!(d.read("a"), Some(&[1u8, 2, 3][..]));
+        assert!(d.exists("a"));
+        assert_eq!(d.remove("a"), Some(vec![1, 2, 3]));
+        assert!(!d.exists("a"));
+        assert_eq!(d.used(), 0);
+    }
+
+    #[test]
+    fn ramdisk_replacement_accounts_for_freed_space() {
+        let mut d = RamDisk::with_capacity(10);
+        d.write("a", vec![0; 8]).unwrap();
+        // Replacing an 8-byte file with a 10-byte file fits exactly.
+        d.write("a", vec![0; 10]).unwrap();
+        assert_eq!(d.used(), 10);
+    }
+
+    #[test]
+    fn ramdisk_rejects_overflow_and_preserves_old_contents() {
+        let mut d = RamDisk::with_capacity(4);
+        d.write("a", vec![7; 4]).unwrap();
+        let err = d.write("a", vec![0; 5]).unwrap_err();
+        assert!(matches!(err, DiskError::Full { requested: 5, .. }));
+        assert_eq!(d.read("a"), Some(&[7u8; 4][..]));
+    }
+
+    #[test]
+    fn ramdisk_wipe_clears_all() {
+        let mut d = RamDisk::new();
+        d.write("x", vec![1]).unwrap();
+        d.write("y", vec![2]).unwrap();
+        d.wipe();
+        assert_eq!(d.used(), 0);
+        assert!(!d.exists("x"));
+        // Write counters persist across a wipe (they are lifetime stats).
+        assert_eq!(d.writes(), 2);
+    }
+
+    #[test]
+    fn remote_fs_roundtrip() {
+        let mut fs = RemoteFs::new();
+        fs.write("images/mars_001.img", vec![9; 16]);
+        assert_eq!(fs.read("images/mars_001.img"), Some(&[9u8; 16][..]));
+        assert_eq!(fs.reads(), 1);
+        assert_eq!(fs.writes(), 1);
+        assert!(fs.exists("images/mars_001.img"));
+        assert_eq!(fs.peek("missing"), None);
+    }
+
+    #[test]
+    fn disk_error_displays() {
+        let e = DiskError::Full { requested: 5, available: 2 };
+        assert!(e.to_string().contains("5 bytes"));
+    }
+}

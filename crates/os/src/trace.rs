@@ -1,0 +1,156 @@
+//! Structured run trace — the "data collection" half of the NFTAPE role.
+//!
+//! Every OS-level occurrence (spawn, exit, signal, message, injection) is
+//! recorded with its virtual timestamp. Experiments and tests query the
+//! trace instead of scraping stdout.
+
+use crate::process::Pid;
+use ree_sim::SimTime;
+
+/// Category of a trace record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// Process lifecycle (spawn/exit).
+    Lifecycle,
+    /// Signal delivery.
+    Signal,
+    /// Message send/deliver.
+    Message,
+    /// Fault injection.
+    Injection,
+    /// Application- or ARMOR-level annotation.
+    App,
+    /// Recovery actions.
+    Recovery,
+}
+
+/// One timestamped trace record.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// Virtual time of the occurrence.
+    pub time: SimTime,
+    /// Process involved, if any.
+    pub pid: Option<Pid>,
+    /// Record category.
+    pub kind: TraceKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// An in-memory, bounded trace buffer.
+#[derive(Debug)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trace {
+    /// Creates an enabled trace with a generous default cap.
+    pub fn new() -> Self {
+        Trace { records: Vec::new(), enabled: true, cap: 400_000, dropped: 0 }
+    }
+
+    /// Enables or disables recording (campaigns disable it for speed).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True if recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record (no-op when disabled or at capacity).
+    pub fn push(&mut self, time: SimTime, pid: Option<Pid>, kind: TraceKind, detail: String) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(TraceRecord { time, pid, kind, detail });
+    }
+
+    /// All records, in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records of one category.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// True if any record's detail contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.records.iter().any(|r| r.detail.contains(needle))
+    }
+
+    /// First record whose detail contains `needle`.
+    pub fn find(&self, needle: &str) -> Option<&TraceRecord> {
+        self.records.iter().find(|r| r.detail.contains(needle))
+    }
+
+    /// Count of records whose detail contains `needle`.
+    pub fn count(&self, needle: &str) -> usize {
+        self.records.iter().filter(|r| r.detail.contains(needle)).count()
+    }
+
+    /// Number of records dropped after hitting the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries() {
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, Some(Pid(1)), TraceKind::Lifecycle, "spawn ftm".into());
+        t.push(SimTime::from_secs(1), None, TraceKind::Injection, "SIGINT into ftm".into());
+        assert_eq!(t.records().len(), 2);
+        assert!(t.contains("SIGINT"));
+        assert_eq!(t.count("ftm"), 2);
+        assert_eq!(t.of_kind(TraceKind::Injection).count(), 1);
+        assert_eq!(t.find("spawn").unwrap().pid, Some(Pid(1)));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.set_enabled(false);
+        t.push(SimTime::ZERO, None, TraceKind::App, "x".into());
+        assert!(t.records().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn cap_drops_and_counts() {
+        let mut t = Trace { records: Vec::new(), enabled: true, cap: 2, dropped: 0 };
+        for i in 0..5 {
+            t.push(SimTime::ZERO, None, TraceKind::App, format!("{i}"));
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        t.clear();
+        assert_eq!(t.dropped(), 0);
+    }
+}

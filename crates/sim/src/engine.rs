@@ -1,0 +1,230 @@
+//! A minimal generic discrete-event executor.
+//!
+//! The cluster OS layer drives its own specialised loop, but smaller models
+//! (the SAN solver, unit experiments) reuse this engine: a [`World`]
+//! receives events in virtual-time order and may schedule more.
+
+use crate::queue::{EventHandle, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// The event-scheduling facade handed to a [`World`] while it processes an
+/// event.
+pub struct Scheduler<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler { now: SimTime::ZERO, queue: EventQueue::new() }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn after(&mut self, delay: SimDuration, event: E) -> EventHandle {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Schedules `event` at an absolute instant (clamped to now if in the
+    /// past, preserving causality).
+    pub fn at(&mut self, time: SimTime, event: E) -> EventHandle {
+        let t = if time < self.now { self.now } else { time };
+        self.queue.schedule(t, event)
+    }
+
+    /// Cancels a pending event.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.queue.cancel(handle)
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+/// A simulated world: state plus an event handler.
+pub trait World {
+    /// The event alphabet of this world.
+    type Event;
+
+    /// Handles one event at its firing time; may schedule further events
+    /// through `sched`.
+    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Drives a [`World`] until quiescence or a time horizon.
+///
+/// # Examples
+///
+/// ```
+/// use ree_sim::{Engine, Scheduler, SimDuration, SimTime, World};
+///
+/// struct Counter(u32);
+/// impl World for Counter {
+///     type Event = ();
+///     fn handle(&mut self, _ev: (), sched: &mut Scheduler<()>) {
+///         self.0 += 1;
+///         if self.0 < 3 {
+///             sched.after(SimDuration::from_secs(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new(Counter(0));
+/// engine.seed(SimTime::ZERO, ());
+/// engine.run_until(SimTime::MAX);
+/// assert_eq!(engine.world().0, 3);
+/// ```
+pub struct Engine<W: World> {
+    world: W,
+    sched: Scheduler<W::Event>,
+    steps: u64,
+}
+
+impl<W: World> Engine<W> {
+    /// Wraps a world with an empty schedule at time zero.
+    pub fn new(world: W) -> Self {
+        Engine { world, sched: Scheduler::new(), steps: 0 }
+    }
+
+    /// Schedules an initial event.
+    pub fn seed(&mut self, time: SimTime, event: W::Event) -> EventHandle {
+        self.sched.at(time, event)
+    }
+
+    /// Runs until the queue drains or the next event would fire after
+    /// `horizon`. Returns the final virtual time.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some(t) = self.sched.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (time, _, ev) = self.sched.queue.pop().expect("peeked event exists");
+            self.sched.now = time;
+            self.steps += 1;
+            self.world.handle(ev, &mut self.sched);
+        }
+        if self.sched.now < horizon && self.sched.queue.is_empty() {
+            // Quiescent before the horizon: time effectively stops.
+            self.sched.now
+        } else {
+            self.sched.now
+        }
+    }
+
+    /// Executes a single event if one is pending; returns its time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (time, _, ev) = self.sched.queue.pop()?;
+        self.sched.now = time;
+        self.steps += 1;
+        self.world.handle(ev, &mut self.sched);
+        Some(time)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Number of events executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Immutable access to the world state.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world state.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the engine, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+impl<W: World + std::fmt::Debug> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.sched.now)
+            .field("steps", &self.steps)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ping {
+        fired: Vec<u32>,
+    }
+
+    impl World for Ping {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, sched: &mut Scheduler<u32>) {
+            self.fired.push(ev);
+            if ev < 5 {
+                sched.after(SimDuration::from_secs(1), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chains_events_in_order() {
+        let mut e = Engine::new(Ping { fired: vec![] });
+        e.seed(SimTime::ZERO, 0);
+        e.run_until(SimTime::MAX);
+        assert_eq!(e.world().fired, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(e.now(), SimTime::from_secs(5));
+        assert_eq!(e.steps(), 6);
+    }
+
+    #[test]
+    fn horizon_stops_execution() {
+        let mut e = Engine::new(Ping { fired: vec![] });
+        e.seed(SimTime::ZERO, 0);
+        e.run_until(SimTime::from_secs(2));
+        assert_eq!(e.world().fired, vec![0, 1, 2]);
+        // Remaining events still pending.
+        assert_eq!(e.step(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        struct P(Vec<SimTime>);
+        impl World for P {
+            type Event = bool;
+            fn handle(&mut self, first: bool, sched: &mut Scheduler<bool>) {
+                self.0.push(sched.now());
+                if first {
+                    // Attempt to schedule in the past.
+                    sched.at(SimTime::ZERO, false);
+                }
+            }
+        }
+        let mut e = Engine::new(P(vec![]));
+        e.seed(SimTime::from_secs(10), true);
+        e.run_until(SimTime::MAX);
+        assert_eq!(e.world().0, vec![SimTime::from_secs(10), SimTime::from_secs(10)]);
+    }
+}

@@ -1,0 +1,222 @@
+//! The pending-event set: a time-ordered queue with deterministic
+//! tie-breaking and O(log n) cancellation.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: Option<E>,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. The seq tie-break makes simultaneous events fire in
+        // scheduling order, which keeps runs bit-for-bit reproducible.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events scheduled for the same instant fire in the order they were
+/// scheduled. Cancellation is lazy: cancelled entries are skipped on pop.
+///
+/// # Examples
+///
+/// ```
+/// use ree_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "later");
+/// q.schedule(SimTime::from_secs(1), "sooner");
+/// assert_eq!(q.pop().unwrap().2, "sooner");
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: std::collections::HashSet<u64>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`; returns a cancellation handle.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event: Some(event) });
+        self.live += 1;
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 < self.next_seq && self.cancelled.insert(handle.0) {
+            self.live = self.live.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest live event as `(time, handle, event)`.
+    pub fn pop(&mut self) -> Option<(SimTime, EventHandle, E)> {
+        while let Some(mut entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live = self.live.saturating_sub(1);
+            let ev = entry.event.take().expect("event present for live entry");
+            return Some((entry.time, EventHandle(entry.seq), ev));
+        }
+        None
+    }
+
+    /// Time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let skip = match self.heap.peek() {
+                Some(entry) => self.cancelled.contains(&entry.seq),
+                None => return None,
+            };
+            if skip {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.seq);
+            } else {
+                return self.heap.peek().map(|e| e.time);
+            }
+        }
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live = 0;
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.live)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert!(q.cancel(h1));
+        assert!(!q.cancel(h1), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().2, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(5), "b");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(h);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+}

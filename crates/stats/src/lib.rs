@@ -1,0 +1,18 @@
+//! # ree-stats — statistics for the injection experiments
+//!
+//! The paper reports means with "ninety-five percent confidence intervals
+//! (t-distribution)" (§4.2) and bounds unobserved failure probabilities
+//! with `p < 1 − 0.95^(1/n)` (§5). Both are implemented here from first
+//! principles (no lookup tables): the Student-t quantile comes from
+//! inverting the regularised incomplete beta function.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod special;
+mod summary;
+mod table;
+
+pub use special::{inc_beta, ln_gamma, t_cdf, t_quantile};
+pub use summary::{no_failure_upper_bound, Summary};
+pub use table::{format_pm, TableBuilder};

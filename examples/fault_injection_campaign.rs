@@ -1,0 +1,48 @@
+//! A miniature NFTAPE campaign: SIGSTOP injections into the Execution
+//! ARMORs with live per-run classification — the §5 experiment in a few
+//! seconds.
+//!
+//! Run with: `cargo run --release --example fault_injection_campaign`
+
+use ree_experiments::Scenario;
+use ree_inject::{execute, ErrorModel, RunPlan, Target};
+use ree_sim::SimTime;
+
+fn main() {
+    let plan = RunPlan {
+        scenario: Scenario::single_texture(0),
+        target: Target::ExecArmor,
+        model: ErrorModel::Sigstop,
+        timeout: SimTime::from_secs(320),
+    };
+    println!("SIGSTOP campaign against the Execution ARMORs (12 runs):");
+    let mut recovered = 0;
+    let mut injected = 0;
+    let mut correlated = 0;
+    for seed in 0..12 {
+        let r = execute(&plan, 7000 + seed);
+        let status = if r.injections == 0 {
+            "no error injected (injection time after completion)".to_owned()
+        } else if r.recovered() {
+            format!(
+                "recovered; perceived {:.1} s, {} restarts{}",
+                r.perceived.unwrap_or(0.0),
+                r.restarts,
+                if r.correlated { " [correlated failure]" } else { "" }
+            )
+        } else {
+            format!("SYSTEM FAILURE: {:?}", r.system_failure)
+        };
+        println!("  run {seed:>2}: {status}");
+        if r.injections > 0 {
+            injected += 1;
+            if r.recovered() {
+                recovered += 1;
+            }
+            if r.correlated {
+                correlated += 1;
+            }
+        }
+    }
+    println!("\n{recovered}/{injected} injected runs recovered; {correlated} correlated failures");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: boot the SIFT environment on the 4-node REE testbed, run
+//! the Mars Rover texture-analysis program under ARMOR supervision, and
+//! print the Table 1 lifecycle as it happens.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ree_experiments::Scenario;
+use ree_sim::SimTime;
+
+fn main() {
+    let scenario = Scenario::single_texture(42);
+    let mut run = scenario.start();
+    let done = run.run_until_done(SimTime::from_secs(300));
+
+    println!("== Table 1 lifecycle trace ==");
+    for record in run.cluster.trace().records() {
+        let d = &record.detail;
+        if d.contains("SCC")
+            || d.contains("registering")
+            || d.contains("installed")
+            || d.contains("accepted submission")
+            || d.contains("exits")
+            || d.contains("reports slot")
+        {
+            println!("[{:>9}] {}", record.time.to_string(), d);
+        }
+    }
+
+    println!();
+    println!("completed: {done}");
+    let times = run.job_times(0).expect("job record");
+    println!(
+        "perceived execution time: {:.2} s (submit -> completion report)",
+        times.perceived().unwrap().as_secs_f64()
+    );
+    println!(
+        "actual execution time:    {:.2} s (app start -> last rank exit)",
+        times.actual().unwrap().as_secs_f64()
+    );
+
+    // The science product is on the remote file system; verify it.
+    let verdict = ree_apps::verify::verify_texture(
+        run.cluster.remote_fs_ref(),
+        "texture",
+        0,
+        0,
+        scenario.texture.image_px,
+        scenario.texture.tile_px,
+        scenario.texture.clusters,
+    );
+    println!("output verification:      {verdict:?}");
+}

@@ -1,0 +1,20 @@
+//! # ree — reproduction of the REE SIFT environment evaluation
+//!
+//! Umbrella crate for the workspace reproducing K. Whisnant, R. K. Iyer,
+//! Z. Kalbarczyk, and P. Jones, *An Experimental Evaluation of the REE
+//! SIFT Environment for Spaceborne Applications* (CRHC-02-02 / DSN 2002).
+//!
+//! Re-exports every layer; see the README for the architecture map and
+//! `repro` for regenerating the paper's tables.
+
+pub use ree_apps as apps;
+pub use ree_armor as armor;
+pub use ree_experiments as experiments;
+pub use ree_inject as inject;
+pub use ree_mpi as mpi;
+pub use ree_net as net;
+pub use ree_os as os;
+pub use ree_san as san;
+pub use ree_sift as sift;
+pub use ree_sim as sim;
+pub use ree_stats as stats;

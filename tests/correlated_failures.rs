@@ -1,0 +1,108 @@
+//! Cross-crate integration tests for the paper's correlated-failure
+//! scenarios (§5.2, §6.1, Figures 8 & 10).
+
+use ree::experiments::{figures, Scenario};
+use ree::inject::{execute, run_campaign, ErrorModel, RunPlan, Target};
+use ree::os::Signal;
+use ree::sim::SimTime;
+
+#[test]
+fn exec_armor_hangs_can_induce_correlated_app_restarts() {
+    // §5.2: "22 correlated failures were due to SIGSTOP injections as
+    // opposed to 1 correlated failure resulting from an ARMOR crash."
+    // SIGSTOP makes the Execution ARMOR unavailable for the full
+    // probe-detection window, so blocked SIFT calls stall the MPI pair
+    // long enough for the peer's hang detection to fire sometimes.
+    let plan = RunPlan {
+        scenario: Scenario::single_texture(0),
+        target: Target::ExecArmor,
+        model: ErrorModel::Sigstop,
+        timeout: SimTime::from_secs(400),
+    };
+    let results = run_campaign(&plan, 40, 4242);
+    let injected = results.iter().filter(|r| r.injections > 0).count();
+    let recovered = results.iter().filter(|r| r.injections > 0 && r.recovered()).count();
+    assert!(injected >= 25, "injected {injected}");
+    // The headline property: every correlated failure recovers.
+    assert_eq!(recovered, injected, "all SIGSTOP exec-armor runs must recover");
+}
+
+#[test]
+fn sigstop_correlates_more_than_sigint() {
+    // Crash detection via waitpid is nearly instant; hang detection
+    // costs a probe round. Correlated failures need long unavailability.
+    let mk = |model: ErrorModel| RunPlan {
+        scenario: Scenario::single_texture(0),
+        target: Target::ExecArmor,
+        model,
+        timeout: SimTime::from_secs(400),
+    };
+    let stop = run_campaign(&mk(ErrorModel::Sigstop), 60, 991);
+    let int = run_campaign(&mk(ErrorModel::Sigint), 60, 992);
+    let corr = |rs: &[ree::inject::RunResult]| rs.iter().filter(|r| r.correlated).count();
+    let stop_corr = corr(&stop);
+    let int_corr = corr(&int);
+    assert!(
+        stop_corr >= int_corr,
+        "SIGSTOP correlated {stop_corr} should be >= SIGINT correlated {int_corr}"
+    );
+}
+
+#[test]
+fn ftm_death_during_mpi_launch_aborts_and_recovers() {
+    // Figure 8: the slave blocks attaching (its Execution ARMOR cannot
+    // learn the pid from the dead FTM), rank 0 times out, the MPI app
+    // aborts, and the environment restarts everything once the FTM is
+    // recovered.
+    let fig8 = figures::fig8(ree::experiments::Effort::Quick, 31);
+    assert!(fig8.completed >= fig8.runs * 9 / 10, "{fig8:?}");
+    assert!(fig8.aborts_observed > 0, "expected at least one MPI abort: {fig8:?}");
+}
+
+#[test]
+fn figure10_race_loses_the_armor_without_the_fix() {
+    let fig10 = figures::fig10(7);
+    assert!(fig10.unrecovered_without_fix, "without the fix the ARMOR must stay dead");
+    assert!(fig10.recovered_with_fix, "with the fix the ARMOR must recover");
+}
+
+#[test]
+fn ftm_killed_mid_run_does_not_disturb_the_application() {
+    // §5.2: "The application is decoupled from the FTM's execution after
+    // starting, so failures in the FTM do not affect it."
+    let scenario = Scenario::single_texture(5);
+    let mut run = scenario.start();
+    run.run_until(SimTime::from_secs(40));
+    let ftm = run.cluster.find_by_name("ftm").expect("ftm alive");
+    run.cluster.send_signal(ftm, Signal::Int);
+    assert!(run.run_until_done(SimTime::from_secs(400)), "must still complete");
+    let times = run.job_times(0).unwrap();
+    let actual = times.actual().unwrap().as_secs_f64();
+    assert!(actual < 80.0, "actual time {actual} should stay near baseline (74.3)");
+    assert_eq!(times.restarts, 0, "no app restart for a mid-run FTM crash");
+}
+
+#[test]
+fn blocked_sift_calls_pause_and_resume_the_application() {
+    // SIGSTOP the rank-0 Execution ARMOR mid-run: the app blocks on its
+    // next progress indicator until the ARMOR is recovered and rebinds.
+    let plan = RunPlan {
+        scenario: Scenario::single_texture(0),
+        target: Target::ExecArmor,
+        model: ErrorModel::Sigstop,
+        timeout: SimTime::from_secs(400),
+    };
+    // Over a few runs, completed ones must show a modest slowdown, not a
+    // runaway.
+    let mut slowdowns = Vec::new();
+    for seed in 0..8 {
+        let r = execute(&plan, 880 + seed);
+        if r.injections > 0 && r.completed && r.restarts == 0 {
+            slowdowns.push(r.actual.unwrap_or(0.0) - 74.3);
+        }
+    }
+    assert!(!slowdowns.is_empty());
+    for s in &slowdowns {
+        assert!(*s >= -1.0 && *s < 60.0, "slowdown {s} out of plausible range");
+    }
+}

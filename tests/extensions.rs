@@ -1,0 +1,113 @@
+//! Integration tests for the paper's proposed extensions (§5.1, §9, §11)
+//! that this reproduction implements as configuration knobs.
+
+use ree::experiments::{figures, Effort, Scenario};
+use ree::sim::{SimDuration, SimTime};
+
+#[test]
+fn interrupt_driven_progress_indicators_halve_detection_latency() {
+    // §5.1: "By resetting the timer to expire 20 s from the last progress
+    // indicator update, any future hang will be detected within a
+    // 20-second window" — versus up to 2× the period for polling.
+    let fig6 = figures::fig6(Effort::Quick, 17);
+    assert!(fig6.polling.n() >= 3, "need polling samples, got {}", fig6.polling.n());
+    assert!(fig6.interrupt.n() >= 3, "need interrupt samples");
+    // Polling can exceed one period; interrupt-driven must not (modulo
+    // modest protocol slack).
+    assert!(
+        fig6.polling.max() > fig6.period_s,
+        "polling max {} should exceed one period",
+        fig6.polling.max()
+    );
+    assert!(
+        fig6.polling.max() <= 2.0 * fig6.period_s + 8.0,
+        "polling max {} must stay under ~2 periods",
+        fig6.polling.max()
+    );
+    assert!(
+        fig6.interrupt.max() <= fig6.period_s + 8.0,
+        "interrupt-driven max {} must stay near one period",
+        fig6.interrupt.max()
+    );
+    assert!(
+        fig6.interrupt.mean() < fig6.polling.mean(),
+        "interrupt mean {} must beat polling mean {}",
+        fig6.interrupt.mean(),
+        fig6.polling.mean()
+    );
+}
+
+#[test]
+fn connect_timeout_guard_retries_stuck_setups() {
+    // §9 lessons: "a timeout can be placed on the application connecting
+    // to the SIFT environment … errors that occur in the critical phase
+    // of preparing the SIFT environment for a new application can be
+    // detected using this timeout without significant delay."
+    let mut scenario = Scenario::single_texture(23);
+    scenario.sift.connect_timeout = Some(SimDuration::from_secs(20));
+    let mut run = scenario.start();
+    // Sabotage the first launch: kill the rank-0 Execution ARMOR's node
+    // daemon's install by killing the exec armor just after install.
+    run.run_until(SimTime::from_secs(7));
+    if let Some(exec) = run.cluster.find_by_name("exec0_0") {
+        run.cluster.send_signal(exec, ree::os::Signal::Stop);
+    }
+    let done = run.run_until_done(SimTime::from_secs(400));
+    assert!(done, "the guard must eventually get the app through");
+}
+
+#[test]
+fn disabling_assertions_still_runs_fault_free() {
+    // Ablation knob for Table 9: with assertions off, fault-free
+    // behaviour is unchanged.
+    let mut scenario = Scenario::single_texture(29);
+    scenario.sift.assertions_enabled = false;
+    let mut run = scenario.start();
+    assert!(run.run_until_done(SimTime::from_secs(300)));
+    assert_eq!(run.job_times(0).unwrap().restarts, 0);
+}
+
+#[test]
+fn precheck_assertions_mode_runs_fault_free() {
+    // §11: "detection mechanisms can be incorporated into the common
+    // ARMOR infrastructure to preemptively check for errors before state
+    // changes occur."
+    let mut scenario = Scenario::single_texture(31);
+    scenario.sift.precheck_assertions = true;
+    let mut run = scenario.start();
+    assert!(run.run_until_done(SimTime::from_secs(300)));
+}
+
+#[test]
+fn two_applications_complete_simultaneously() {
+    // §8: the six-node two-application configuration, fault-free.
+    let scenario = Scenario::two_apps(37);
+    let mut run = scenario.start();
+    assert!(run.run_until_done(SimTime::from_secs(700)), "both apps must complete");
+    let rover = run.job_times(0).unwrap();
+    let otis = run.job_times(1).unwrap();
+    let rover_actual = rover.actual().unwrap().as_secs_f64();
+    let otis_actual = otis.actual().unwrap().as_secs_f64();
+    // Paper shape: Rover ~151 s (two images), OTIS ~191 s.
+    assert!((120.0..200.0).contains(&rover_actual), "rover {rover_actual}");
+    assert!((150.0..260.0).contains(&otis_actual), "otis {otis_actual}");
+    assert!(otis_actual > rover_actual, "OTIS is the longer-running app");
+}
+
+#[test]
+fn heartbeat_period_trades_perceived_time_for_network_quiet() {
+    // Table 5 shape at quick scale: perceived grows with the period.
+    let t5 = ree::experiments::table5::run(Effort::Quick, 41);
+    assert_eq!(t5.rows.len(), 4);
+    let first = t5.rows.first().unwrap();
+    let last = t5.rows.last().unwrap();
+    assert!(
+        last.perceived.mean() > first.perceived.mean(),
+        "perceived with 30 s HB ({}) must exceed 5 s HB ({})",
+        last.perceived.mean(),
+        first.perceived.mean()
+    );
+    // Actual time stays within a few percent.
+    let spread = (last.actual.mean() - first.actual.mean()).abs();
+    assert!(spread < 5.0, "actual-time spread {spread} too large");
+}

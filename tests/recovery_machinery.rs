@@ -1,0 +1,137 @@
+//! Integration tests for the recovery machinery itself: checkpoint
+//! restore, fork-image recovery with text-corruption propagation, and
+//! application status-file restarts.
+
+use ree::experiments::Scenario;
+use ree::os::Signal;
+use ree::sim::SimTime;
+
+#[test]
+fn recovered_exec_armor_restores_state_from_checkpoint() {
+    let scenario = Scenario::single_texture(51);
+    let mut run = scenario.start();
+    run.run_until(SimTime::from_secs(30));
+    let exec = run.cluster.find_by_name("exec0_0").expect("exec armor");
+    run.cluster.send_signal(exec, Signal::Int);
+    run.run_until(SimTime::from_secs(36));
+    // A new incarnation exists and restored from the RAM-disk checkpoint.
+    let new_exec = run.cluster.find_by_name("exec0_0").expect("reinstalled");
+    assert_ne!(new_exec, exec, "a fresh process must exist");
+    assert!(run.cluster.trace().contains("exec0_0 restored state from checkpoint"));
+    assert!(run.run_until_done(SimTime::from_secs(300)));
+    assert_eq!(run.job_times(0).unwrap().restarts, 0, "state restore avoids an app restart");
+}
+
+#[test]
+fn repeated_failures_force_image_reload_from_disk() {
+    // §3.4 footnote: after repeated fork-image recoveries the daemon
+    // reloads a pristine image from disk.
+    let scenario = Scenario::single_texture(53);
+    let mut run = scenario.start();
+    for round in 0..4u64 {
+        run.run_until(SimTime::from_secs(20 + round * 8));
+        if let Some(exec) = run.cluster.find_by_name("exec0_0") {
+            run.cluster.send_signal(exec, Signal::Int);
+        }
+    }
+    run.run_until(SimTime::from_secs(60));
+    assert!(
+        run.cluster.trace().contains("reloading image from disk"),
+        "the image-reload path must trigger after repeated failures"
+    );
+    assert!(run.run_until_done(SimTime::from_secs(400)));
+}
+
+#[test]
+fn application_restart_skips_completed_filters() {
+    // §2: "If the application restarts, it can skip filters that have
+    // already completed, but it must redo any filtering that was
+    // interrupted."
+    let scenario = Scenario::single_texture(57);
+    let mut run = scenario.start();
+    // Let two filter phases finish (load 3 s + 2 × 19 s ≈ 45 s), then
+    // crash a rank.
+    run.run_until(SimTime::from_secs(55));
+    let rank0 = run
+        .cluster
+        .all_procs()
+        .into_iter()
+        .find(|p| run.cluster.name_of(*p).map(|n| n.contains("texture-r0")).unwrap_or(false))
+        .expect("rank 0 alive");
+    run.cluster.send_signal(rank0, Signal::Int);
+    assert!(run.run_until_done(SimTime::from_secs(400)));
+    let times = run.job_times(0).unwrap();
+    assert_eq!(times.restarts, 1, "exactly one restart");
+    let actual = times.actual().unwrap().as_secs_f64();
+    // A full redo would cost ~74 s extra; skipping completed filters
+    // keeps the overhead well under that.
+    assert!(
+        actual < 74.3 + 55.0,
+        "actual {actual} suggests completed filters were redone from scratch"
+    );
+    // And the output is still correct.
+    let verdict = ree::apps::verify::verify_texture(
+        run.cluster.remote_fs_ref(),
+        "texture",
+        0,
+        0,
+        scenario.texture.image_px,
+        scenario.texture.tile_px,
+        scenario.texture.clusters,
+    );
+    assert_eq!(verdict, ree::apps::Verdict::Correct);
+}
+
+#[test]
+fn heartbeat_armor_failure_is_invisible_to_the_application() {
+    // §5.2: "Direct SIGINT/SIGSTOP injections into the Heartbeat ARMOR
+    // did not affect the application."
+    let scenario = Scenario::single_texture(59);
+    let mut run = scenario.start();
+    run.run_until(SimTime::from_secs(30));
+    let hb = run.cluster.find_by_name("heartbeat").expect("hb armor");
+    run.cluster.send_signal(hb, Signal::Int);
+    assert!(run.run_until_done(SimTime::from_secs(300)));
+    let times = run.job_times(0).unwrap();
+    let perceived = times.perceived().unwrap().as_secs_f64();
+    assert!((74.0..78.5).contains(&perceived), "perceived {perceived} should match baseline");
+    // And the Heartbeat ARMOR itself was recovered by the FTM.
+    assert!(run.cluster.find_by_name("heartbeat").is_some());
+}
+
+#[test]
+fn node_failure_migrates_the_heartbeat_armor() {
+    // §7.1: a daemon failure is treated as a node failure; "the FTM
+    // migrated the Heartbeat ARMOR to another node. The application was
+    // able to complete in spite of the daemon failure."
+    let scenario = Scenario::single_texture(61);
+    let mut run = scenario.start();
+    run.run_until(SimTime::from_secs(10));
+    let hb_node = run
+        .cluster
+        .find_by_name("heartbeat")
+        .and_then(|p| run.cluster.node_of(p))
+        .expect("hb placed");
+    run.cluster.fail_node(hb_node);
+    let done = run.run_until_done(SimTime::from_secs(500));
+    assert!(done, "application must complete despite the node failure");
+    let hb_new_node = run
+        .cluster
+        .find_by_name("heartbeat")
+        .and_then(|p| run.cluster.node_of(p));
+    assert!(hb_new_node.is_some(), "heartbeat ARMOR must be reinstalled somewhere");
+    assert_ne!(hb_new_node, Some(hb_node), "…on a different node");
+}
+
+#[test]
+fn deterministic_replay_of_a_full_sift_run() {
+    let run_once = |seed: u64| {
+        let scenario = Scenario::single_texture(seed);
+        let mut run = scenario.start();
+        run.run_until_done(SimTime::from_secs(300));
+        let t = run.job_times(0).unwrap();
+        (t.perceived(), t.actual(), run.cluster.trace().records().len())
+    };
+    assert_eq!(run_once(71), run_once(71));
+    assert_ne!(run_once(71).2, 0);
+}
