@@ -68,7 +68,9 @@ fn oriented_energy(spectrum: &[Complex], size: usize, filter: usize) -> f64 {
             // Orientation of this frequency component.
             let ang = fv.atan2(fu).abs(); // 0..pi
             let in_band = match filter {
-                0 => ang < std::f64::consts::FRAC_PI_8 || ang > std::f64::consts::PI - std::f64::consts::FRAC_PI_8,
+                0 => !(std::f64::consts::FRAC_PI_8
+                    ..=std::f64::consts::PI - std::f64::consts::FRAC_PI_8)
+                    .contains(&ang),
                 1 => (ang - std::f64::consts::FRAC_PI_2).abs() < std::f64::consts::FRAC_PI_8,
                 _ => {
                     (ang - std::f64::consts::FRAC_PI_4).abs() < std::f64::consts::FRAC_PI_8
@@ -107,8 +109,7 @@ mod tests {
     fn horizontal_texture_excites_filter_zero() {
         // A pure horizontal grating: intensity varies along x.
         let size = 32;
-        let pixels: Vec<f64> =
-            (0..size * size).map(|i| ((i % size) as f64 * 1.2).sin()).collect();
+        let pixels: Vec<f64> = (0..size * size).map(|i| ((i % size) as f64 * 1.2).sin()).collect();
         let img = Image { size, pixels };
         let f0 = filter_tiles(&img, 0, 0..16, 8);
         let f1 = filter_tiles(&img, 1, 0..16, 8);
@@ -120,8 +121,7 @@ mod tests {
     #[test]
     fn vertical_texture_excites_filter_one() {
         let size = 32;
-        let pixels: Vec<f64> =
-            (0..size * size).map(|i| ((i / size) as f64 * 1.2).sin()).collect();
+        let pixels: Vec<f64> = (0..size * size).map(|i| ((i / size) as f64 * 1.2).sin()).collect();
         let img = Image { size, pixels };
         let e0: f64 = filter_tiles(&img, 0, 0..16, 8).iter().map(|(_, e)| e).sum();
         let e1: f64 = filter_tiles(&img, 1, 0..16, 8).iter().map(|(_, e)| e).sum();
@@ -140,11 +140,8 @@ mod tests {
 
     #[test]
     fn assemble_orders_features_by_tile_then_filter() {
-        let per_filter = vec![
-            vec![(0, 1.0), (1, 2.0)],
-            vec![(0, 3.0), (1, 4.0)],
-            vec![(0, 5.0), (1, 6.0)],
-        ];
+        let per_filter =
+            vec![vec![(0, 1.0), (1, 2.0)], vec![(0, 3.0), (1, 4.0)], vec![(0, 5.0), (1, 6.0)]];
         let f = assemble_features(&per_filter, 2);
         assert_eq!(f, vec![1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
     }

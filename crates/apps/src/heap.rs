@@ -51,7 +51,7 @@ impl SciHeap {
     /// True if the status-block pointer was corrupted — dereferencing it
     /// crashes the process.
     pub fn ptr_fault(&self) -> bool {
-        self.status_ptr % APP_PTR_ALIGN != 0
+        !self.status_ptr.is_multiple_of(APP_PTR_ALIGN)
     }
 
     /// True if the recorded dimensions no longer match `side` — indexing
@@ -113,7 +113,11 @@ impl SciHeap {
         let (region, field, value) = if idx < image_len {
             ("image", format!("image/{idx}"), &mut self.image[idx])
         } else {
-            ("features", format!("features/{}", idx - image_len), &mut self.features[idx - image_len])
+            (
+                "features",
+                format!("features/{}", idx - image_len),
+                &mut self.features[idx - image_len],
+            )
         };
         *value = f64::from_bits(value.to_bits() ^ (1 << bit));
         Some(HeapHit { region: region.into(), field, kind: FieldKind::Data })

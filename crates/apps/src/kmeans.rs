@@ -36,8 +36,8 @@ pub fn kmeans(vectors: &[f64], dim: usize, k: usize, max_iters: usize) -> Cluste
     // closest to the mean; each next is the farthest from chosen centres.
     let mut mean = vec![0.0; dim];
     for i in 0..n {
-        for d in 0..dim {
-            mean[d] += row(i)[d];
+        for (m, v) in mean.iter_mut().zip(row(i)) {
+            *m += v;
         }
     }
     for m in &mut mean {
@@ -46,9 +46,8 @@ pub fn kmeans(vectors: &[f64], dim: usize, k: usize, max_iters: usize) -> Cluste
     // NaN-tolerant comparisons throughout: corrupted inputs (injected
     // bit flips can produce NaN/inf) must yield a wrong clustering, not
     // a crash — the paper's app fails by "detectably incorrect output".
-    let first = (0..n)
-        .min_by(|&a, &b| dist2(row(a), &mean).total_cmp(&dist2(row(b), &mean)))
-        .unwrap();
+    let first =
+        (0..n).min_by(|&a, &b| dist2(row(a), &mean).total_cmp(&dist2(row(b), &mean))).unwrap();
     let mut centres = vec![first];
     while centres.len() < k {
         let next = (0..n)
@@ -68,15 +67,15 @@ pub fn kmeans(vectors: &[f64], dim: usize, k: usize, max_iters: usize) -> Cluste
         iterations += 1;
         // Assign.
         let mut changed = false;
-        for i in 0..n {
+        for (i, label) in labels.iter_mut().enumerate() {
             let best = (0..k)
                 .min_by(|&a, &b| {
                     dist2(row(i), &centroids[a * dim..(a + 1) * dim])
                         .total_cmp(&dist2(row(i), &centroids[b * dim..(b + 1) * dim]))
                 })
                 .unwrap();
-            if labels[i] != best {
-                labels[i] = best;
+            if *label != best {
+                *label = best;
                 changed = true;
             }
         }
@@ -100,9 +99,8 @@ pub fn kmeans(vectors: &[f64], dim: usize, k: usize, max_iters: usize) -> Cluste
             break;
         }
     }
-    let inertia = (0..n)
-        .map(|i| dist2(row(i), &centroids[labels[i] * dim..(labels[i] + 1) * dim]))
-        .sum();
+    let inertia =
+        (0..n).map(|i| dist2(row(i), &centroids[labels[i] * dim..(labels[i] + 1) * dim])).sum();
     Clustering { labels, centroids, iterations, inertia }
 }
 

@@ -46,11 +46,7 @@ pub fn otis_factory(params: OtisParams) -> AppFactory {
 
 /// Registers both paper applications in a blueprint under their
 /// conventional names (`texture`, `otis`).
-pub fn register_paper_apps(
-    blueprint: &Blueprint,
-    texture: TextureParams,
-    otis: OtisParams,
-) {
+pub fn register_paper_apps(blueprint: &Blueprint, texture: TextureParams, otis: OtisParams) {
     blueprint.register_app("texture", texture_factory(texture));
     blueprint.register_app("otis", otis_factory(otis));
 }

@@ -111,13 +111,10 @@ impl AppShell {
                 if self.state == ShellState::Attaching && kind == ree_sift::tags::APP_ATTACH {
                     self.state = ShellState::CreatingPi;
                     self.client.pi_create(ctx, self.pi_period);
-                } else if self.state == ShellState::CreatingPi
-                    && kind == ree_sift::tags::PI_CREATE
+                } else if self.state == ShellState::CreatingPi && kind == ree_sift::tags::PI_CREATE
                 {
                     self.state = ShellState::InitBarrier;
-                } else if self.state == ShellState::Exiting
-                    && kind == ree_sift::tags::APP_EXITING
-                {
+                } else if self.state == ShellState::Exiting && kind == ree_sift::tags::APP_EXITING {
                     self.state = ShellState::Dead;
                     ctx.exit(0);
                 }

@@ -3,8 +3,8 @@
 //! starts from a [`Scenario`].
 
 use crate::{OtisParams, TextureParams};
-use ree_os::{Cluster, ClusterConfig, Pid, SpawnSpec};
 use ree_os::NodeId;
+use ree_os::{Cluster, ClusterConfig, Pid, SpawnSpec};
 use ree_sift::{Blueprint, JobSpec, JobTimes, Scc, SiftConfig};
 use ree_sim::{SimDuration, SimTime};
 use std::rc::Rc;
@@ -52,8 +52,7 @@ impl Scenario {
     /// The §8 two-application setup on the 6-node testbed: Mars Rover
     /// texture (two images) + OTIS, each rank on a dedicated node.
     pub fn two_apps(seed: u64) -> Scenario {
-        let mut texture = TextureParams::default();
-        texture.images = 2;
+        let texture = TextureParams { images: 2, ..Default::default() };
         Scenario {
             nodes: 6,
             sift: SiftConfig::paper(),
@@ -131,10 +130,7 @@ impl Running {
 
     /// Timing record of one job slot.
     pub fn job_times(&self, slot: u64) -> Option<JobTimes> {
-        self.cluster
-            .remote_fs_ref()
-            .peek(&JobTimes::path(slot))
-            .and_then(JobTimes::decode)
+        self.cluster.remote_fs_ref().peek(&JobTimes::path(slot)).and_then(JobTimes::decode)
     }
 
     /// True if every job completed.
@@ -172,10 +168,7 @@ impl Running {
 
     /// Count of application restarts observed across all jobs.
     pub fn total_restarts(&self) -> u64 {
-        (0..self.jobs as u64)
-            .filter_map(|s| self.job_times(s))
-            .map(|t| t.restarts)
-            .sum()
+        (0..self.jobs as u64).filter_map(|s| self.job_times(s)).map(|t| t.restarts).sum()
     }
 }
 

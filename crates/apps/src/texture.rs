@@ -1,4 +1,4 @@
-//! The Mars Rover texture analysis program (§2, [7]).
+//! The Mars Rover texture analysis program (§2, \[7\]).
 //!
 //! "Cameras on the Mars Rover take images of the Martian surface and
 //! store the images on stable storage. The program applies a series of
@@ -23,7 +23,7 @@ use crate::kmeans::kmeans;
 use crate::shell::{AppShell, ShellPoll};
 use crate::synth::{mars_surface, Image};
 use ree_mpi::MpiPayload;
-use ree_os::{HeapModel, HeapTarget, HeapHit, Message, ProcCtx, Process, Signal};
+use ree_os::{HeapHit, HeapModel, HeapTarget, Message, ProcCtx, Process, Signal};
 use ree_sift::AppLaunch;
 use ree_sim::{SimDuration, SimRng};
 
@@ -72,10 +72,7 @@ impl TextureParams {
     /// Expected failure-free *actual* execution time per image for a
     /// 2-rank run (used by experiment calibration and tests).
     pub fn nominal_per_image(&self) -> SimDuration {
-        self.load_time
-            + self.filter_time * NUM_FILTERS as u64
-            + self.cluster_time
-            + self.write_time
+        self.load_time + self.filter_time * NUM_FILTERS as u64 + self.cluster_time + self.write_time
     }
 }
 
@@ -191,13 +188,20 @@ impl TextureApp {
     fn finish_load(&mut self, ctx: &mut ProcCtx<'_>) {
         // The camera stored the image on stable storage; generate it
         // deterministically on first access.
-        let path = format!("images/{}-s{}-{}.img", self.shell.launch.app, self.shell.launch.slot, self.image_idx);
+        let path = format!(
+            "images/{}-s{}-{}.img",
+            self.shell.launch.app, self.shell.launch.slot, self.image_idx
+        );
         let image = match ctx.remote_fs().read(&path).and_then(Image::from_bytes) {
             Some(img) if img.size == self.params.image_px => img,
             _ => {
                 let img = mars_surface(
                     self.params.image_px,
-                    texture_image_seed(&self.shell.launch.app, self.shell.launch.slot, self.image_idx),
+                    texture_image_seed(
+                        &self.shell.launch.app,
+                        self.shell.launch.slot,
+                        self.image_idx,
+                    ),
                 );
                 ctx.remote_fs().write(&path, img.to_bytes());
                 img
@@ -230,14 +234,10 @@ impl TextureApp {
         // The real FFT computation for this rank's tiles. The image may
         // carry injected bit flips — they propagate through this
         // arithmetic into the features and the final segmentation.
-        let image = Image {
-            size: self.params.image_px,
-            pixels: self.heap.image.clone(),
-        };
+        let image = Image { size: self.params.image_px, pixels: self.heap.image.clone() };
         let mine = filter_tiles(&image, f as usize, self.my_tiles(), self.params.tile_px);
         // Share with every peer, collect everyone's share.
-        let flat: Vec<f64> =
-            mine.iter().flat_map(|(t, e)| vec![*t as f64, *e]).collect();
+        let flat: Vec<f64> = mine.iter().flat_map(|(t, e)| vec![*t as f64, *e]).collect();
         for rank in 0..self.shell.launch.size {
             if rank != self.shell.launch.rank {
                 self.shell.mpi.send(ctx, rank, TAG_FEAT_BASE + f, MpiPayload::F64s(flat.clone()));

@@ -54,7 +54,14 @@ pub fn rand_index(a: &[u8], b: &[u8]) -> f64 {
 
 /// Reference segmentation for one texture image (the fault-free
 /// pipeline run locally).
-pub fn texture_reference(app: &str, slot: u32, image: u32, image_px: usize, tile_px: usize, clusters: usize) -> Vec<u8> {
+pub fn texture_reference(
+    app: &str,
+    slot: u32,
+    image: u32,
+    image_px: usize,
+    tile_px: usize,
+    clusters: usize,
+) -> Vec<u8> {
     let img = mars_surface(image_px, texture_image_seed(app, slot, image));
     let per_side = image_px / tile_px;
     let n_tiles = per_side * per_side;

@@ -92,11 +92,8 @@ pub struct ArmorMessage {
 impl ArmorMessage {
     /// Approximate wire size (for the network model).
     pub fn wire_size(&self) -> u64 {
-        let payload: usize = self
-            .events
-            .iter()
-            .map(|e| e.tag.len() + 16 + e.fields.leaf_paths().len() * 24)
-            .sum();
+        let payload: usize =
+            self.events.iter().map(|e| e.tag.len() + 16 + e.fields.leaf_paths().len() * 24).sum();
         64 + payload as u64
     }
 }
@@ -177,9 +174,9 @@ mod tests {
             src: ArmorId(1),
             dst: ArmorId(2),
             seq: 0,
-            events: vec![
-                ArmorEvent::new("a").with("x", Value::U64(1)).with("y", Value::Str("zzz".into()))
-            ],
+            events: vec![ArmorEvent::new("a")
+                .with("x", Value::U64(1))
+                .with("y", Value::Str("zzz".into()))],
         };
         assert!(big.wire_size() > small.wire_size());
     }

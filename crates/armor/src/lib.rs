@@ -1,4 +1,4 @@
-//! # ree-armor — the ARMOR architecture (Chameleon [19])
+//! # ree-armor — the ARMOR architecture (Chameleon \[19\])
 //!
 //! Adaptive Reconfigurable Mobile Objects of Reliability: self-checking
 //! processes "internally structured around objects called elements that

@@ -1,4 +1,4 @@
-//! Microcheckpointing (§3.4, Figure 4, and [36]).
+//! Microcheckpointing (§3.4, Figure 4, and \[36\]).
 //!
 //! "Microcheckpointing leverages the modular element composition of the
 //! ARMOR process to incrementally checkpoint state on an

@@ -13,9 +13,7 @@ use crate::element::{Element, ElementOutcome};
 use crate::event::{ArmorEvent, ArmorId, WirePacket};
 use crate::microcheckpoint::CheckpointBuffer;
 use crate::value::{Fields, Value};
-use ree_os::{
-    FieldKind, HeapHit, HeapModel, HeapTarget, Message, Pid, ProcCtx, Process, Signal,
-};
+use ree_os::{FieldKind, HeapHit, HeapModel, HeapTarget, Message, Pid, ProcCtx, Process, Signal};
 use ree_sim::{SimDuration, SimRng};
 use std::collections::{HashMap, VecDeque};
 
@@ -586,8 +584,7 @@ impl Process for ArmorProcess {
                     ));
                     self.try_restore(ctx);
                     self.awaiting_restore = false;
-                    let result =
-                        self.process_events(vec![ArmorEvent::new("armor-restored")], ctx);
+                    let result = self.process_events(vec![ArmorEvent::new("armor-restored")], ctx);
                     self.finish_local(result, ctx);
                     while let Some((from, packet)) = self.buffered.pop_front() {
                         self.handle_wire(from, packet, ctx);
@@ -675,11 +672,8 @@ impl HeapModel for ArmorProcess {
                     continue;
                 }
             }
-            let has_leaf = elem
-                .state()
-                .leaf_paths()
-                .iter()
-                .any(|(_, k)| want.is_none() || want == Some(*k));
+            let has_leaf =
+                elem.state().leaf_paths().iter().any(|(_, k)| want.is_none() || want == Some(*k));
             if has_leaf {
                 candidates.push(i);
             }

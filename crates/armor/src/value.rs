@@ -315,8 +315,7 @@ mod tests {
         let f = sample();
         let leaves = f.leaf_paths();
         assert_eq!(leaves.len(), 7);
-        let ptr_leaves: Vec<_> =
-            leaves.iter().filter(|(_, k)| *k == FieldKind::Pointer).collect();
+        let ptr_leaves: Vec<_> = leaves.iter().filter(|(_, k)| *k == FieldKind::Pointer).collect();
         assert_eq!(ptr_leaves.len(), 1);
         assert_eq!(ptr_leaves[0].0, "link");
     }

@@ -117,7 +117,7 @@ proptest! {
             for ack in acks {
                 let _ = sender.on_packet(ack);
             }
-            now = now + SimDuration::from_secs(2);
+            now += SimDuration::from_secs(2);
             in_flight = sender.tick(now);
             if sender.pending_count() == 0 {
                 break;

@@ -19,11 +19,10 @@ fn bench_figures(c: &mut Criterion) {
             seed += 1;
             let mut running = Scenario::single_texture(seed).start();
             running.run_until(SimTime::from_secs(30));
-            if let Some(pid) = running
-                .cluster
-                .all_procs()
-                .into_iter()
-                .find(|p| running.cluster.name_of(*p).map(|n| n.contains("-r1-")).unwrap_or(false))
+            if let Some(pid) =
+                running.cluster.all_procs().into_iter().find(|p| {
+                    running.cluster.name_of(*p).map(|n| n.contains("-r1-")).unwrap_or(false)
+                })
             {
                 running.cluster.send_signal(pid, Signal::Stop);
             }

@@ -48,9 +48,8 @@ fn micro(c: &mut Criterion) {
 
     group.bench_function("kmeans_64x3", |b| {
         let img = ree_apps::synth::mars_surface(64, 7);
-        let per: Vec<Vec<(usize, f64)>> = (0..3)
-            .map(|f| ree_apps::filters::filter_tiles(&img, f, 0..64, 8))
-            .collect();
+        let per: Vec<Vec<(usize, f64)>> =
+            (0..3).map(|f| ree_apps::filters::filter_tiles(&img, f, 0..64, 8)).collect();
         let features = ree_apps::filters::assemble_features(&per, 64);
         b.iter(|| black_box(ree_apps::kmeans::kmeans(&features, 3, 4, 50)));
     });

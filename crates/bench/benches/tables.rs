@@ -48,8 +48,7 @@ fn bench_tables(c: &mut Criterion) {
     });
     group.bench_function("table5_hb30_ftm_run", |b| {
         let mut scenario = Scenario::single_texture(0);
-        scenario.sift =
-            scenario.sift.with_heartbeat_period(ree_sim::SimDuration::from_secs(30));
+        scenario.sift = scenario.sift.with_heartbeat_period(ree_sim::SimDuration::from_secs(30));
         let p = RunPlan {
             scenario,
             target: Target::Ftm,
@@ -87,10 +86,7 @@ fn bench_tables(c: &mut Criterion) {
         });
     });
     group.bench_function("table8_targeted_node_mgmt_run", |b| {
-        let p = plan(
-            Target::Ftm,
-            ErrorModel::HeapSingle(HeapTarget::Region("node_mgmt".into())),
-        );
+        let p = plan(Target::Ftm, ErrorModel::HeapSingle(HeapTarget::Region("node_mgmt".into())));
         let mut seed = 0;
         b.iter(|| {
             seed += 1;

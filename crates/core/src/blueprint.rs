@@ -220,8 +220,6 @@ impl Blueprint {
 
 impl std::fmt::Debug for Blueprint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Blueprint")
-            .field("apps", &self.app_names())
-            .finish()
+        f.debug_struct("Blueprint").field("apps", &self.app_names()).finish()
     }
 }

@@ -5,7 +5,9 @@
 use crate::blueprint::Blueprint;
 use crate::config::{ids, tags};
 use crate::util::{rec_str, rec_u64, table_get, table_remove, table_set};
-use ree_armor::{ArmorEvent, ArmorId, ControlOp, Element, ElementCtx, ElementOutcome, Fields, Value};
+use ree_armor::{
+    ArmorEvent, ArmorId, ControlOp, Element, ElementCtx, ElementOutcome, Fields, Value,
+};
 use ree_os::{NodeId, Pid, Signal, SpawnSpec, TextSource};
 use ree_sim::SimDuration;
 use std::rc::Rc;
@@ -216,9 +218,7 @@ impl DaemonInstaller {
             );
         }
         // Tell the prober to start watching.
-        ctx.raise(
-            ArmorEvent::new("local-armor-added").with("armor", Value::U64(armor.0 as u64)),
-        );
+        ctx.raise(ArmorEvent::new("local-armor-added").with("armor", Value::U64(armor.0 as u64)));
         ctx.trace(format!("installed {kind} as {armor} ({pid}) on {node}"));
         pid
     }
@@ -477,18 +477,14 @@ impl Element for LocalProber {
                     .get("watch")
                     .and_then(Value::as_map)
                     .map(|m| {
-                        m.iter()
-                            .map(|(k, v)| (k.clone(), v.as_bool().unwrap_or(false)))
-                            .collect()
+                        m.iter().map(|(k, v)| (k.clone(), v.as_bool().unwrap_or(false))).collect()
                     })
                     .unwrap_or_default();
                 for (key, awaiting) in watched {
                     let armor: u64 = key.parse().unwrap_or(0);
                     if awaiting {
                         // No reply since the previous round: hung.
-                        ctx.raise(
-                            ArmorEvent::new("armor-hung").with("armor", Value::U64(armor)),
-                        );
+                        ctx.raise(ArmorEvent::new("armor-hung").with("armor", Value::U64(armor)));
                         table_set(&mut self.state, "watch", &key, Value::Bool(false));
                     } else {
                         self.state.bump("probes_sent");
@@ -496,7 +492,10 @@ impl Element for LocalProber {
                             ArmorId(armor as u32),
                             vec![ArmorEvent::new(tags::ARE_YOU_ALIVE)
                                 .with("daemon", Value::U64(ctx.armor_id().0 as u64))
-                                .with("seq", Value::U64(self.state.u64("probes_sent").unwrap_or(0)))],
+                                .with(
+                                    "seq",
+                                    Value::U64(self.state.u64("probes_sent").unwrap_or(0)),
+                                )],
                         );
                         table_set(&mut self.state, "watch", &key, Value::Bool(true));
                     }

@@ -159,15 +159,13 @@ impl Element for AppMonitor {
                 let me = ctx.os.pid();
                 let node = ctx.os.node();
                 let pid = ctx.os.spawn(
-                    SpawnSpec::new(
-                        format!("{app}-r{rank}-a{attempt}"),
-                        node,
-                        factory(&launch),
-                    )
-                    .with_parent(me),
+                    SpawnSpec::new(format!("{app}-r{rank}-a{attempt}"), node, factory(&launch))
+                        .with_parent(me),
                 );
                 if attempt > 0 {
-                    ctx.os.trace_recovery(format!("recovered application slot{slot} (attempt {attempt})"));
+                    ctx.os.trace_recovery(format!(
+                        "recovered application slot{slot} (attempt {attempt})"
+                    ));
                 }
                 self.state.set("app", Value::Str(app));
                 self.state.set("app_pid", Value::U64(pid.0));
@@ -287,19 +285,17 @@ impl Element for AppMonitor {
                 }
                 ctx.set_timer_event(PROC_POLL_PERIOD, ArmorEvent::new("proc-poll"));
             }
-            "pi-hang-detected" => {
-                if self.status() == "running" {
-                    ctx.os.trace_recovery(format!(
-                        "detect app hang rank{}",
-                        self.state.u64("rank").unwrap_or(0)
-                    ));
-                    if let Some(pid) = self.app_pid() {
-                        if ctx.os.process_alive(pid) {
-                            ctx.os.kill(pid, Signal::Kill);
-                        }
+            "pi-hang-detected" if self.status() == "running" => {
+                ctx.os.trace_recovery(format!(
+                    "detect app hang rank{}",
+                    self.state.u64("rank").unwrap_or(0)
+                ));
+                if let Some(pid) = self.app_pid() {
+                    if ctx.os.process_alive(pid) {
+                        ctx.os.kill(pid, Signal::Kill);
                     }
-                    self.report_failure(ctx, "hang");
                 }
+                self.report_failure(ctx, "hang");
             }
             _ => {}
         }

@@ -11,7 +11,9 @@
 use crate::config::{ids, tags};
 use crate::report::SccReport;
 use crate::util::{rec_str, rec_u64, record, table_get, table_keys, table_remove, table_set};
-use ree_armor::{valid_ptr, ArmorEvent, ArmorId, Element, ElementCtx, ElementOutcome, Fields, Value};
+use ree_armor::{
+    valid_ptr, ArmorEvent, ArmorId, Element, ElementCtx, ElementOutcome, Fields, Value,
+};
 use ree_os::Pid;
 use ree_sim::SimDuration;
 
@@ -255,7 +257,17 @@ impl MgrArmorInfo {
         MgrArmorInfo { state, checks, race_fix }
     }
 
-    fn register(&mut self, armor: u64, kind: &str, node: u64, pid: u64, slot: u64, rank: u64, status: &str) {
+    #[allow(clippy::too_many_arguments)]
+    fn register(
+        &mut self,
+        armor: u64,
+        kind: &str,
+        node: u64,
+        pid: u64,
+        slot: u64,
+        rank: u64,
+        status: &str,
+    ) {
         table_set(
             &mut self.state,
             "armors",
@@ -303,7 +315,15 @@ impl Element for MgrArmorInfo {
                     if self.race_fix {
                         // Figure 10 fix: add the Execution ARMOR to the
                         // table *before* instructing the daemon.
-                        self.register(armor.0 as u64, "exec", *node, 0, slot, rank as u64, "installing");
+                        self.register(
+                            armor.0 as u64,
+                            "exec",
+                            *node,
+                            0,
+                            slot,
+                            rank as u64,
+                            "installing",
+                        );
                     }
                     ctx.raise(
                         ArmorEvent::new("need-install")
@@ -378,7 +398,13 @@ impl Element for MgrArmorInfo {
                 let node = rec_u64(rec, "node").unwrap_or(0);
                 let slot = rec_u64(rec, "slot").unwrap_or(0);
                 let rank = rec_u64(rec, "rank").unwrap_or(0);
-                crate::util::rec_set(&mut self.state, "armors", &key, "status", Value::Str("recovering".into()));
+                crate::util::rec_set(
+                    &mut self.state,
+                    "armors",
+                    &key,
+                    "status",
+                    Value::Str("recovering".into()),
+                );
                 ctx.raise(
                     ArmorEvent::new("need-reinstall")
                         .with("armor", Value::U64(armor))
@@ -424,8 +450,16 @@ impl Element for MgrArmorInfo {
                     let slot = rec_u64(rec, "slot").unwrap_or(0);
                     let rank = rec_u64(rec, "rank").unwrap_or(0);
                     let Some(new_node) = alive.first().copied() else { continue };
-                    crate::util::rec_set(&mut self.state, "armors", &key, "node", Value::U64(new_node));
-                    ctx.os.trace_recovery(format!("migrating armor{armor} ({kind}) to node{new_node}"));
+                    crate::util::rec_set(
+                        &mut self.state,
+                        "armors",
+                        &key,
+                        "node",
+                        Value::U64(new_node),
+                    );
+                    ctx.os.trace_recovery(format!(
+                        "migrating armor{armor} ({kind}) to node{new_node}"
+                    ));
                     ctx.raise(
                         ArmorEvent::new("need-reinstall")
                             .with("armor", Value::U64(armor))
@@ -698,7 +732,9 @@ impl Element for AppParam {
                 let slot = ev.u64("slot").unwrap_or(0);
                 let key = slot.to_string();
                 let Some(rec) = table_get(&self.state, "apps", &key) else {
-                    return ElementOutcome::AbortThread(format!("slot-ready for unknown slot {slot}"));
+                    return ElementOutcome::AbortThread(format!(
+                        "slot-ready for unknown slot {slot}"
+                    ));
                 };
                 if !crate::util::rec_bool(rec, "awaiting_launch").unwrap_or(true) {
                     return ElementOutcome::Ok;
@@ -706,10 +742,26 @@ impl Element for AppParam {
                 let app = rec_str(rec, "app").unwrap_or("unknown").to_owned();
                 let ranks = rec_u64(rec, "ranks").unwrap_or(1);
                 let attempt = rec_u64(rec, "restart_count").unwrap_or(0);
-                let nodes = rec.as_map().and_then(|m| m.get("nodes")).cloned().unwrap_or(Value::List(vec![]));
+                let nodes = rec
+                    .as_map()
+                    .and_then(|m| m.get("nodes"))
+                    .cloned()
+                    .unwrap_or(Value::List(vec![]));
                 let exec_pids = ev.fields.get("exec_pids").cloned().unwrap_or(Value::List(vec![]));
-                crate::util::rec_set(&mut self.state, "apps", &key, "pending_relaunch", Value::Bool(false));
-                crate::util::rec_set(&mut self.state, "apps", &key, "awaiting_launch", Value::Bool(false));
+                crate::util::rec_set(
+                    &mut self.state,
+                    "apps",
+                    &key,
+                    "pending_relaunch",
+                    Value::Bool(false),
+                );
+                crate::util::rec_set(
+                    &mut self.state,
+                    "apps",
+                    &key,
+                    "awaiting_launch",
+                    Value::Bool(false),
+                );
                 let target = ids::exec(slot as u32, 0);
                 ctx.send(
                     target,
@@ -729,8 +781,20 @@ impl Element for AppParam {
                 };
                 let ranks = rec_u64(rec, "ranks").unwrap_or(1);
                 let restart = rec_u64(rec, "restart_count").unwrap_or(0) + 1;
-                crate::util::rec_set(&mut self.state, "apps", &key, "restart_count", Value::U64(restart));
-                crate::util::rec_set(&mut self.state, "apps", &key, "pending_relaunch", Value::Bool(true));
+                crate::util::rec_set(
+                    &mut self.state,
+                    "apps",
+                    &key,
+                    "restart_count",
+                    Value::U64(restart),
+                );
+                crate::util::rec_set(
+                    &mut self.state,
+                    "apps",
+                    &key,
+                    "pending_relaunch",
+                    Value::Bool(true),
+                );
                 ctx.trace(format!("FTM restarting app slot {slot} (restart #{restart})"));
                 // Stop every rank, then relaunch after a short settle.
                 for rank in 0..ranks {
@@ -841,11 +905,16 @@ impl Element for MgrAppDetect {
                 }
                 let expected = rec_u64(rec, "expected").unwrap_or(1);
                 let mask = rec_u64(rec, "done_mask").unwrap_or(0) | (1u64 << rank.min(63));
-                let end = rec_u64(rec, "last_end_us")
-                    .unwrap_or(0)
-                    .max(ev.u64("at_us").unwrap_or(0));
+                let end =
+                    rec_u64(rec, "last_end_us").unwrap_or(0).max(ev.u64("at_us").unwrap_or(0));
                 crate::util::rec_set(&mut self.state, "slots", &key, "done_mask", Value::U64(mask));
-                crate::util::rec_set(&mut self.state, "slots", &key, "last_end_us", Value::U64(end));
+                crate::util::rec_set(
+                    &mut self.state,
+                    "slots",
+                    &key,
+                    "last_end_us",
+                    Value::U64(end),
+                );
                 if mask.count_ones() as u64 >= expected {
                     table_remove(&mut self.state, "slots", &key);
                     ctx.raise(
@@ -864,14 +933,26 @@ impl Element for MgrAppDetect {
                 if crate::util::rec_bool(rec, "restarting").unwrap_or(false) {
                     return ElementOutcome::Ok;
                 }
-                crate::util::rec_set(&mut self.state, "slots", &key, "restarting", Value::Bool(true));
+                crate::util::rec_set(
+                    &mut self.state,
+                    "slots",
+                    &key,
+                    "restarting",
+                    Value::Bool(true),
+                );
                 crate::util::rec_set(&mut self.state, "slots", &key, "done_mask", Value::U64(0));
                 ctx.raise(ArmorEvent::new("app-restart-needed").with("slot", Value::U64(slot)));
             }
             "app-relaunching" => {
                 let slot = ev.u64("slot").unwrap_or(0);
                 let key = slot.to_string();
-                crate::util::rec_set(&mut self.state, "slots", &key, "restarting", Value::Bool(false));
+                crate::util::rec_set(
+                    &mut self.state,
+                    "slots",
+                    &key,
+                    "restarting",
+                    Value::Bool(false),
+                );
                 crate::util::rec_set(&mut self.state, "slots", &key, "done_mask", Value::U64(0));
             }
             tags::NODE_FAILED => {
@@ -884,7 +965,13 @@ impl Element for MgrAppDetect {
                     if crate::util::rec_bool(rec, "restarting").unwrap_or(false) {
                         continue;
                     }
-                    crate::util::rec_set(&mut self.state, "slots", &key, "restarting", Value::Bool(true));
+                    crate::util::rec_set(
+                        &mut self.state,
+                        "slots",
+                        &key,
+                        "restarting",
+                        Value::Bool(true),
+                    );
                     let slot: u64 = key.parse().unwrap_or(0);
                     ctx.raise(ArmorEvent::new("app-restart-needed").with("slot", Value::U64(slot)));
                 }
@@ -960,7 +1047,6 @@ impl NodeMgmt {
         }
         0
     }
-
 }
 
 fn rec_bool_or(rec: &Value, field: &str, default: bool) -> bool {
@@ -1015,7 +1101,8 @@ impl Element for NodeMgmt {
                 );
                 // Table 1 step 1c: install the Heartbeat ARMOR via the
                 // first registered daemon on a node other than the FTM's.
-                let hb_done = self.state.get("hb_installed").and_then(Value::as_bool).unwrap_or(false);
+                let hb_done =
+                    self.state.get("hb_installed").and_then(Value::as_bool).unwrap_or(false);
                 let ftm_node = self.state.u64("ftm_node").unwrap_or(0);
                 if !hb_done && node != ftm_node {
                     self.state.set("hb_installed", Value::Bool(true));
@@ -1136,7 +1223,13 @@ impl Element for DaemonHb {
                 // or it would mass-declare node failures on its first
                 // cycle.
                 for key in table_keys(&self.state, "watch") {
-                    crate::util::rec_set(&mut self.state, "watch", &key, "awaiting", Value::Bool(false));
+                    crate::util::rec_set(
+                        &mut self.state,
+                        "watch",
+                        &key,
+                        "awaiting",
+                        Value::Bool(false),
+                    );
                 }
             }
             "daemon-registered" => {
@@ -1193,7 +1286,13 @@ impl Element for DaemonHb {
                         );
                     } else {
                         self.state.bump("pings");
-                        crate::util::rec_set(&mut self.state, "watch", &key, "awaiting", Value::Bool(true));
+                        crate::util::rec_set(
+                            &mut self.state,
+                            "watch",
+                            &key,
+                            "awaiting",
+                            Value::Bool(true),
+                        );
                         let daemon: u64 = key.parse().unwrap_or(0);
                         ctx.send_unreliable(
                             ArmorId(daemon as u32),

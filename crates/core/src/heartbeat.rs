@@ -84,7 +84,8 @@ impl Element for HbWatch {
                 self.state.set("recover_wait", Value::U64(0));
             }
             "hb-cycle" => {
-                let recovering = self.state.get("recovering").and_then(Value::as_bool).unwrap_or(false);
+                let recovering =
+                    self.state.get("recovering").and_then(Value::as_bool).unwrap_or(false);
                 if recovering {
                     // Waiting for the reinstall ack; give it one cycle,
                     // then retry the whole recovery.
@@ -117,17 +118,15 @@ impl Element for HbWatch {
                 self.state.set("awaiting", Value::Bool(false));
                 self.state.set("misses", Value::U64(0));
             }
-            tags::REINSTALL_ACK => {
-                if ev.u64("armor") == Some(ids::FTM.0 as u64) {
-                    self.state.set("recovering", Value::Bool(false));
-                    self.state.set("recover_wait", Value::U64(0));
-                    self.state.set("awaiting", Value::Bool(false));
-                    self.state.set("misses", Value::U64(0));
-                    // Step two: instruct the recovered FTM to restore its
-                    // state from the checkpoint.
-                    ctx.send(ids::FTM, vec![ArmorEvent::new("__restore-state")]);
-                    ctx.os.trace_recovery("ftm reinstalled; restore instructed".to_owned());
-                }
+            tags::REINSTALL_ACK if ev.u64("armor") == Some(ids::FTM.0 as u64) => {
+                self.state.set("recovering", Value::Bool(false));
+                self.state.set("recover_wait", Value::U64(0));
+                self.state.set("awaiting", Value::Bool(false));
+                self.state.set("misses", Value::U64(0));
+                // Step two: instruct the recovered FTM to restore its
+                // state from the checkpoint.
+                ctx.send(ids::FTM, vec![ArmorEvent::new("__restore-state")]);
+                ctx.os.trace_recovery("ftm reinstalled; restore instructed".to_owned());
             }
             _ => {}
         }

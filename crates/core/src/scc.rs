@@ -152,9 +152,9 @@ impl Process for Scc {
                 // application started (the submission may have reached a
                 // dead FTM), resubmit.
                 let slot = (verify - TIMER_VERIFY_BASE) as usize;
-                let started =
-                    self.job_times.get(slot).map(|t| t.started.is_some()).unwrap_or(true);
-                if !started && self.submit_attempts.get(slot).copied().unwrap_or(0) < MAX_SUBMIT_ATTEMPTS
+                let started = self.job_times.get(slot).map(|t| t.started.is_some()).unwrap_or(true);
+                if !started
+                    && self.submit_attempts.get(slot).copied().unwrap_or(0) < MAX_SUBMIT_ATTEMPTS
                 {
                     ctx.trace(format!("SCC resubmitting slot {slot} (no start report)"));
                     ctx.set_timer(SimDuration::from_micros(1), TIMER_SUBMIT_BASE + slot as u64);
@@ -175,8 +175,7 @@ impl Process for Scc {
                 self.submit_attempts[slot] += 1;
                 ctx.set_timer(SimDuration::from_secs(45), TIMER_VERIFY_BASE + slot as u64);
                 let me = ctx.pid();
-                let nodes: Vec<Value> =
-                    job.nodes.iter().map(|n| Value::U64(*n as u64)).collect();
+                let nodes: Vec<Value> = job.nodes.iter().map(|n| Value::U64(*n as u64)).collect();
                 ctx.send(
                     ftm,
                     "armor-control",

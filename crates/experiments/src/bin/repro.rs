@@ -1,8 +1,10 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `repro [--quick] <table3|table4|table5|table6|table7|table8|table9|table10|table11|table12|fig6|fig7|fig8|fig10|all>`
+//! Usage: `repro [--quick] [--seed N] <table1..table12|fig6..fig10|all>`
 
-use ree_experiments::{fig9, figures, table10, table11, table3, table4, table5, table6, table7, table8, Effort};
+use ree_experiments::{
+    fig9, figures, table10, table11, table3, table4, table5, table6, table7, table8, Effort,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,7 +18,15 @@ fn main() {
         .unwrap_or(20020401); // CRHC-02-02, April 2002
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--") && Some(a.as_str()) != args.iter().position(|x| x == "--seed").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
+        .find(|a| {
+            !a.starts_with("--")
+                && Some(a.as_str())
+                    != args
+                        .iter()
+                        .position(|x| x == "--seed")
+                        .and_then(|i| args.get(i + 1))
+                        .map(|s| s.as_str())
+        })
         .cloned()
         .unwrap_or_else(|| "all".to_owned());
 
@@ -48,7 +58,11 @@ fn main() {
         "fig8" => print!("{}", figures::fig8(effort, seed).render()),
         "fig9" => print!("{}", fig9::run(seed).render()),
         "fig10" => print!("{}", figures::fig10(seed).render()),
-        other => eprintln!("unknown experiment: {other}"),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!("usage: repro [--quick] [--seed N] <table1..table12|fig6..fig10|all>");
+            std::process::exit(2);
+        }
     };
 
     if what == "all" {

@@ -28,16 +28,10 @@ pub struct Fig9 {
 impl Fig9 {
     /// Renders the sweep.
     pub fn render(&self) -> String {
-        let mut t = TableBuilder::new(vec![
-            "SIFT MTBF (s)",
-            "RECOVERY",
-            "APP UNAVAIL.",
-            "P(CORRELATED)",
-        ])
-        .with_title("Figure 9: SAN model of SIFT-induced application failures");
-        for (label, points) in
-            [("0.5 s", &self.fast_recovery), ("60 s", &self.slow_recovery)]
-        {
+        let mut t =
+            TableBuilder::new(vec!["SIFT MTBF (s)", "RECOVERY", "APP UNAVAIL.", "P(CORRELATED)"])
+                .with_title("Figure 9: SAN model of SIFT-induced application failures");
+        for (label, points) in [("0.5 s", &self.fast_recovery), ("60 s", &self.slow_recovery)] {
             for p in points {
                 t.row(vec![
                     format!("{:.0}", p.sift_mtbf_s),

@@ -4,11 +4,11 @@
 
 use crate::effort::Effort;
 use ree_apps::Scenario;
+use ree_armor::{ArmorEvent, ControlOp, Value};
 use ree_os::{Signal, SpawnSpec, TraceKind};
 use ree_sift::{ids, tags};
-use ree_armor::{ArmorEvent, ControlOp, Value};
-use ree_stats::{Summary, TableBuilder};
 use ree_sim::{SimDuration, SimTime};
+use ree_stats::{Summary, TableBuilder};
 
 /// Figure 6: distribution of application hang-detection latency under the
 /// polling progress-indicator design (up to 2× the check period) versus
@@ -26,10 +26,11 @@ pub struct Fig6 {
 impl Fig6 {
     /// Renders the comparison.
     pub fn render(&self) -> String {
-        let mut t =
-            TableBuilder::new(vec!["DESIGN", "MEAN (s)", "MIN (s)", "MAX (s)", "SAMPLES"])
-                .with_title("Figure 6: hang-detection latency (progress indicators, 20 s period)");
-        for (name, s) in [("polling (paper)", &self.polling), ("interrupt-driven (§5.1)", &self.interrupt)] {
+        let mut t = TableBuilder::new(vec!["DESIGN", "MEAN (s)", "MIN (s)", "MAX (s)", "SAMPLES"])
+            .with_title("Figure 6: hang-detection latency (progress indicators, 20 s period)");
+        for (name, s) in
+            [("polling (paper)", &self.polling), ("interrupt-driven (§5.1)", &self.interrupt)]
+        {
             t.row(vec![
                 name.into(),
                 format!("{:.1}", s.mean()),
@@ -59,11 +60,10 @@ pub fn fig6(effort: Effort, seed0: u64) -> Fig6 {
             let mut running = scenario.start();
             // Stop a rank mid-computation (well inside the filter phases).
             running.run_until(SimTime::from_secs(25 + (i as u64 % 30)));
-            let Some(pid) = running
-                .cluster
-                .all_procs()
-                .into_iter()
-                .find(|p| running.cluster.name_of(*p).map(|n| n.contains("-r1-")).unwrap_or(false))
+            let Some(pid) =
+                running.cluster.all_procs().into_iter().find(|p| {
+                    running.cluster.name_of(*p).map(|n| n.contains("-r1-")).unwrap_or(false)
+                })
             else {
                 continue;
             };
@@ -129,9 +129,7 @@ pub fn fig7(effort: Effort, seed0: u64) -> Fig7 {
             let scenario = Scenario::single_texture(seed0 ^ (window.0) ^ i as u64);
             let mut running = scenario.start();
             let kill_at = if window.1 > 0 {
-                SimTime::from_micros(
-                    window.0 + (i as u64 * 77_777) % (window.1 - window.0),
-                )
+                SimTime::from_micros(window.0 + (i as u64 * 77_777) % (window.1 - window.0))
             } else {
                 // Takedown: kill just as the ranks finish (~80.5 s).
                 SimTime::from_micros(80_400_000 + (i as u64 * 50_000) % 900_000)

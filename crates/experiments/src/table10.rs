@@ -8,8 +8,8 @@ use crate::effort::Effort;
 use ree_apps::{Scenario, Verdict};
 use ree_inject::{run_campaign, ErrorModel, FailureClass, RunPlan, Target};
 use ree_os::HeapTarget;
-use ree_stats::TableBuilder;
 use ree_sim::SimTime;
+use ree_stats::TableBuilder;
 
 /// Table 10 outcome counts.
 #[derive(Debug, Clone, Default)]
@@ -29,11 +29,9 @@ pub struct Table10 {
 impl Table10 {
     /// Renders the paper-shaped table.
     pub fn render(&self) -> String {
-        let mut t = TableBuilder::new(vec!["OUTCOME", "COUNT", "PAPER (of 1000)"])
-            .with_title(format!(
-                "Table 10: {} heap injections into the application",
-                self.injected
-            ));
+        let mut t = TableBuilder::new(vec!["OUTCOME", "COUNT", "PAPER (of 1000)"]).with_title(
+            format!("Table 10: {} heap injections into the application", self.injected),
+        );
         t.row(vec!["No effect (correct output)".into(), self.no_effect.to_string(), "981".into()]);
         t.row(vec!["Incorrect output".into(), self.incorrect_output.to_string(), "10".into()]);
         t.row(vec!["Crash".into(), self.crash.to_string(), "9".into()]);

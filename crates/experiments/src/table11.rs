@@ -10,8 +10,8 @@
 use crate::effort::Effort;
 use ree_apps::Scenario;
 use ree_inject::{run_campaign, ErrorModel, FailureClass, RunPlan, RunResult, Target};
-use ree_stats::{Summary, TableBuilder};
 use ree_sim::SimTime;
+use ree_stats::{Summary, TableBuilder};
 
 /// One row of Table 11.
 #[derive(Debug, Clone)]
@@ -222,12 +222,8 @@ pub fn run(effort: Effort, seed0: u64) -> (Table11, Table12) {
     ] {
         let mut pooled: Vec<RunResult> = Vec::new();
         for (k, model) in models.into_iter().enumerate() {
-            let plan = RunPlan {
-                scenario: scenario.clone(),
-                target: target.clone(),
-                model,
-                timeout,
-            };
+            let plan =
+                RunPlan { scenario: scenario.clone(), target: target.clone(), model, timeout };
             pooled.extend(run_campaign(&plan, runs / 2, seed0 ^ ((k as u64 + 3) << 20)));
         }
         let (t11, t12) = collect_row(label, &pooled);

@@ -8,8 +8,8 @@
 
 use crate::effort::Effort;
 use ree_apps::{run_without_sift, Scenario};
-use ree_stats::{Summary, TableBuilder};
 use ree_sim::SimTime;
+use ree_stats::{Summary, TableBuilder};
 
 /// Results of the Table 3 reproduction.
 #[derive(Debug, Clone)]

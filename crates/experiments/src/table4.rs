@@ -9,8 +9,8 @@
 use crate::effort::Effort;
 use ree_apps::Scenario;
 use ree_inject::{run_campaign, ErrorModel, RunPlan, RunResult, Target};
-use ree_stats::{no_failure_upper_bound, Summary, TableBuilder};
 use ree_sim::SimTime;
+use ree_stats::{no_failure_upper_bound, Summary, TableBuilder};
 
 /// One row of Table 4.
 #[derive(Debug, Clone)]

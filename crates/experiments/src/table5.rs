@@ -9,8 +9,8 @@
 use crate::effort::Effort;
 use ree_apps::Scenario;
 use ree_inject::{run_campaign, ErrorModel, RunPlan, Target};
-use ree_stats::{Summary, TableBuilder};
 use ree_sim::{SimDuration, SimTime};
+use ree_stats::{Summary, TableBuilder};
 
 /// One row of Table 5.
 #[derive(Debug, Clone)]

@@ -11,8 +11,8 @@
 use crate::effort::Effort;
 use ree_apps::Scenario;
 use ree_inject::{run_campaign, ErrorModel, FailureClass, RunPlan, RunResult, Target};
-use ree_stats::{Summary, TableBuilder};
 use ree_sim::SimTime;
+use ree_stats::{Summary, TableBuilder};
 
 /// One row of Table 6.
 #[derive(Debug, Clone)]

@@ -8,8 +8,8 @@
 use crate::effort::Effort;
 use ree_apps::Scenario;
 use ree_inject::{run_campaign, ErrorModel, RunPlan, RunResult, Target};
-use ree_stats::{Summary, TableBuilder};
 use ree_sim::SimTime;
+use ree_stats::{Summary, TableBuilder};
 
 /// One row of Table 7.
 #[derive(Debug, Clone)]

@@ -12,8 +12,8 @@ use crate::effort::Effort;
 use ree_apps::Scenario;
 use ree_inject::{run_campaign, ErrorModel, RunPlan, RunResult, SystemFailure, Target};
 use ree_os::HeapTarget;
-use ree_stats::TableBuilder;
 use ree_sim::SimTime;
+use ree_stats::TableBuilder;
 
 /// The five Table 8 elements.
 pub const ELEMENTS: [&str; 5] =
@@ -69,8 +69,7 @@ impl Table8 {
     /// inversely; the recovered share is 37/64 ≈ 58%).
     pub fn assertion_efficiency(&self) -> f64 {
         let fired: u64 = self.elements.iter().map(ElementOutcomes::assertions_fired).sum();
-        let recovered: u64 =
-            self.elements.iter().map(|e| e.recovered_after_assertion).sum();
+        let recovered: u64 = self.elements.iter().map(|e| e.recovered_after_assertion).sum();
         if fired == 0 {
             0.0
         } else {

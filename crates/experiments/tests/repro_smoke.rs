@@ -1,0 +1,38 @@
+//! End-to-end smoke test for the `repro` binary: CI exercises the
+//! actual paper-reproduction path, not just the library APIs.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn quick_table3_exits_zero_and_prints_a_table() {
+    let out =
+        repro().args(["--quick", "--seed", "7", "table3"]).output().expect("repro binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "repro exited with {:?}; stderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("Table 3"), "expected a Table 3 header, got:\n{stdout}");
+    assert!(stdout.contains("Baseline"), "expected baseline rows, got:\n{stdout}");
+}
+
+#[test]
+fn textual_targets_exit_zero() {
+    for target in ["table1", "table2"] {
+        let out = repro().arg(target).output().expect("repro binary runs");
+        assert!(out.status.success(), "repro {target} failed");
+        assert!(!out.stdout.is_empty(), "repro {target} printed nothing");
+    }
+}
+
+#[test]
+fn unknown_target_fails_with_usage() {
+    let out = repro().arg("table99").output().expect("repro binary runs");
+    assert!(!out.status.success(), "unknown target should exit non-zero");
+}

@@ -29,9 +29,7 @@ impl Target {
             Target::Ftm => name == "ftm",
             Target::ExecArmor => name.starts_with("exec"),
             Target::Heartbeat => name == "heartbeat",
-            Target::AnyArmor => {
-                name == "ftm" || name == "heartbeat" || name.starts_with("exec")
-            }
+            Target::AnyArmor => name == "ftm" || name == "heartbeat" || name.starts_with("exec"),
         }
     }
 

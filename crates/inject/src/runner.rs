@@ -277,11 +277,7 @@ fn resolve_target(running: &Running, target: &Target, rng: &mut SimRng) -> Optio
 }
 
 /// Classifies the watched process's current condition (Table 6 columns).
-fn classify_target_state(
-    running: &Running,
-    pid: Pid,
-    model: &ErrorModel,
-) -> Option<FailureClass> {
+fn classify_target_state(running: &Running, pid: Pid, model: &ErrorModel) -> Option<FailureClass> {
     let cluster = &running.cluster;
     if cluster.is_stopped(pid) {
         return Some(FailureClass::Hang);

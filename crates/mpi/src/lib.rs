@@ -1,6 +1,6 @@
 //! # ree-mpi — miniature MPI substrate for the simulated REE cluster
 //!
-//! The paper's applications are MPI programs [23] run by MPICH-style
+//! The paper's applications are MPI programs \[23\] run by MPICH-style
 //! launch: "the MPI process with rank 0 — per the MPI implementation's
 //! protocol — remotely launches the remaining MPI processes on the other
 //! nodes" (Table 1 step 5). This crate provides the messaging half the

@@ -252,10 +252,7 @@ mod tests {
     #[test]
     fn delivery_includes_latency_and_serialisation() {
         let mut net = Network::new(quiet_config(), SimRng::new(1));
-        let t = net
-            .send(SimTime::ZERO, NodeId(0), NodeId(1), 12_500_000)
-            .delivery_time()
-            .unwrap();
+        let t = net.send(SimTime::ZERO, NodeId(0), NodeId(1), 12_500_000).delivery_time().unwrap();
         // 1 s of wire time + 200 us latency.
         assert_eq!(t, SimTime::from_micros(1_000_000 + 200));
     }
@@ -263,30 +260,21 @@ mod tests {
     #[test]
     fn senders_serialise_on_their_uplink() {
         let mut net = Network::new(quiet_config(), SimRng::new(1));
-        let first = net
-            .send(SimTime::ZERO, NodeId(0), NodeId(1), 1_250_000)
-            .delivery_time()
-            .unwrap();
-        let second = net
-            .send(SimTime::ZERO, NodeId(0), NodeId(2), 1_250_000)
-            .delivery_time()
-            .unwrap();
+        let first =
+            net.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_250_000).delivery_time().unwrap();
+        let second =
+            net.send(SimTime::ZERO, NodeId(0), NodeId(2), 1_250_000).delivery_time().unwrap();
         assert!(second > first, "second packet queues behind the first");
         // Different source does not queue.
-        let other = net
-            .send(SimTime::ZERO, NodeId(3), NodeId(1), 1_250_000)
-            .delivery_time()
-            .unwrap();
+        let other =
+            net.send(SimTime::ZERO, NodeId(3), NodeId(1), 1_250_000).delivery_time().unwrap();
         assert_eq!(other, first);
     }
 
     #[test]
     fn loopback_is_fast_and_never_partitioned() {
         let mut net = Network::new(quiet_config(), SimRng::new(1));
-        let t = net
-            .send(SimTime::ZERO, NodeId(0), NodeId(0), 1_000_000)
-            .delivery_time()
-            .unwrap();
+        let t = net.send(SimTime::ZERO, NodeId(0), NodeId(0), 1_000_000).delivery_time().unwrap();
         assert_eq!(t, SimTime::from_micros(30));
         assert!(!net.is_partitioned(NodeId(0), NodeId(0)));
     }
@@ -295,14 +283,8 @@ mod tests {
     fn node_down_partitions_all_traffic() {
         let mut net = Network::new(quiet_config(), SimRng::new(1));
         net.set_node_down(NodeId(1), true);
-        assert_eq!(
-            net.send(SimTime::ZERO, NodeId(0), NodeId(1), 100),
-            SendVerdict::Partitioned
-        );
-        assert_eq!(
-            net.send(SimTime::ZERO, NodeId(1), NodeId(0), 100),
-            SendVerdict::Partitioned
-        );
+        assert_eq!(net.send(SimTime::ZERO, NodeId(0), NodeId(1), 100), SendVerdict::Partitioned);
+        assert_eq!(net.send(SimTime::ZERO, NodeId(1), NodeId(0), 100), SendVerdict::Partitioned);
         net.set_node_down(NodeId(1), false);
         assert!(net.send(SimTime::ZERO, NodeId(0), NodeId(1), 100).delivery_time().is_some());
     }
@@ -321,16 +303,12 @@ mod tests {
     #[test]
     fn load_window_inflates_latency_then_expires() {
         let mut net = Network::new(quiet_config(), SimRng::new(1));
-        let nominal = net
-            .send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000)
-            .delivery_time()
-            .unwrap();
+        let nominal =
+            net.send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000).delivery_time().unwrap();
         let mut net2 = Network::new(quiet_config(), SimRng::new(1));
         net2.inject_load(SimTime::ZERO, SimDuration::from_secs(1), 2.0);
-        let loaded = net2
-            .send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000)
-            .delivery_time()
-            .unwrap();
+        let loaded =
+            net2.send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000).delivery_time().unwrap();
         assert!(loaded > nominal, "contention adds delay");
         // After the window expires the penalty disappears.
         let after = net2

@@ -217,7 +217,10 @@ impl Cluster {
         let rng = master.fork(2);
         let machine_rng = master.fork(3);
         let nodes = (0..config.nodes)
-            .map(|_| NodeState { ramdisk: RamDisk::with_capacity(config.ramdisk_capacity), alive: true })
+            .map(|_| NodeState {
+                ramdisk: RamDisk::with_capacity(config.ramdisk_capacity),
+                alive: true,
+            })
             .collect();
         let mut trace = Trace::new();
         trace.set_enabled(config.trace_enabled);
@@ -403,7 +406,12 @@ impl Cluster {
     pub fn inject_register(&mut self, pid: Pid) -> Option<InjectionSite> {
         let entry = self.procs.get_mut(&pid)?;
         let site = entry.machine.inject_register_bit(&mut self.machine_rng);
-        self.trace.push(self.now, Some(pid), TraceKind::Injection, format!("register flip {site:?}"));
+        self.trace.push(
+            self.now,
+            Some(pid),
+            TraceKind::Injection,
+            format!("register flip {site:?}"),
+        );
         Some(site)
     }
 
@@ -554,7 +562,9 @@ impl Cluster {
                     TraceKind::Message,
                     format!("deliver {label} from {from}"),
                 );
-                self.with_behavior(pid, |b, ctx| b.on_message(Message { from, label, payload }, ctx));
+                self.with_behavior(pid, |b, ctx| {
+                    b.on_message(Message { from, label, payload }, ctx)
+                });
             }
             OsEvent::Timer { tag, .. } => self.with_behavior(pid, |b, ctx| b.on_timer(tag, ctx)),
             OsEvent::ChildExit { child, status, .. } => {
@@ -569,7 +579,7 @@ impl Cluster {
     /// to the behaviour, `None` if it was consumed (process dead, event
     /// stashed, or fault-induced crash).
     fn pre_execute(&mut self, pid: Pid, ev: OsEvent) -> Option<OsEvent> {
-        let Some(entry) = self.procs.get_mut(&pid) else { return None };
+        let entry = self.procs.get_mut(&pid)?;
         if entry.stopped {
             entry.stash.push(ev);
             return None;
@@ -598,14 +608,24 @@ impl Cluster {
             Some(FaultConsequence::Hang) => {
                 entry.stopped = true;
                 entry.stash.push(ev);
-                self.trace.push(self.now, Some(pid), TraceKind::Lifecycle, "fault-induced hang".into());
+                self.trace.push(
+                    self.now,
+                    Some(pid),
+                    TraceKind::Lifecycle,
+                    "fault-induced hang".into(),
+                );
                 None
             }
             Some(FaultConsequence::SilentCorruption) => {
                 if let Some(b) = entry.behavior.as_mut() {
                     b.silent_corruption(&mut self.machine_rng);
                 }
-                self.trace.push(self.now, Some(pid), TraceKind::Injection, "silent corruption".into());
+                self.trace.push(
+                    self.now,
+                    Some(pid),
+                    TraceKind::Injection,
+                    "silent corruption".into(),
+                );
                 Some(ev)
             }
             Some(FaultConsequence::ReceiveOmission) => {
@@ -702,14 +722,24 @@ impl Cluster {
             Some(FaultConsequence::Hang) => {
                 entry.stopped = true;
                 entry.stash.push(OsEvent::WorkChunk { pid, work_id });
-                self.trace.push(self.now, Some(pid), TraceKind::Lifecycle, "fault-induced hang".into());
+                self.trace.push(
+                    self.now,
+                    Some(pid),
+                    TraceKind::Lifecycle,
+                    "fault-induced hang".into(),
+                );
                 return;
             }
             Some(FaultConsequence::SilentCorruption) => {
                 if let Some(b) = entry.behavior.as_mut() {
                     b.silent_corruption(&mut self.machine_rng);
                 }
-                self.trace.push(self.now, Some(pid), TraceKind::Injection, "silent corruption".into());
+                self.trace.push(
+                    self.now,
+                    Some(pid),
+                    TraceKind::Injection,
+                    "silent corruption".into(),
+                );
             }
             Some(FaultConsequence::ReceiveOmission) => {
                 entry.deaf = true;
@@ -839,9 +869,10 @@ impl ProcCtx<'_> {
         self.cluster.next_timer += 1;
         let entry = self.cluster.procs.get_mut(&self.pid).expect("self entry");
         entry.live_timers.insert(id);
-        self.cluster
-            .queue
-            .schedule(self.cluster.now + delay, OsEvent::Timer { pid: self.pid, timer_id: id, tag });
+        self.cluster.queue.schedule(
+            self.cluster.now + delay,
+            OsEvent::Timer { pid: self.pid, timer_id: id, tag },
+        );
         TimerId(id)
     }
 
@@ -957,9 +988,12 @@ impl ProcCtx<'_> {
 
     /// Appends a recovery-category trace record.
     pub fn trace_recovery(&mut self, detail: impl Into<String>) {
-        self.cluster
-            .trace
-            .push(self.cluster.now, Some(self.pid), TraceKind::Recovery, detail.into());
+        self.cluster.trace.push(
+            self.cluster.now,
+            Some(self.pid),
+            TraceKind::Recovery,
+            detail.into(),
+        );
     }
 
     /// Seconds since this process was (re)spawned.

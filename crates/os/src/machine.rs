@@ -413,8 +413,7 @@ mod tests {
         let count_illegal = |hit: TextHit, rng: &mut SimRng| {
             (0..2000)
                 .filter(|_| {
-                    MachineState::text_consequence(hit, rng)
-                        == FaultConsequence::IllegalInstruction
+                    MachineState::text_consequence(hit, rng) == FaultConsequence::IllegalInstruction
                 })
                 .count()
         };

@@ -61,7 +61,8 @@ fn cluster() -> Cluster {
 #[test]
 fn ping_pong_roundtrip_across_nodes() {
     let mut c = cluster();
-    let probe = c.spawn(SpawnSpec::new("probe", NodeId(0), Box::new(Probe { reply_to_ping: true })));
+    let probe =
+        c.spawn(SpawnSpec::new("probe", NodeId(0), Box::new(Probe { reply_to_ping: true })));
     c.run_until(SimTime::from_millis_helper(200));
     c.spawn(SpawnSpec::new("pinger", NodeId(1), Box::new(Pinger { target: probe })));
     c.run_until(SimTime::from_secs(1));
@@ -82,7 +83,8 @@ impl Ms for SimTime {
 #[test]
 fn sigint_terminates_and_parent_sees_it() {
     let mut c = cluster();
-    let parent = c.spawn(SpawnSpec::new("parent", NodeId(0), Box::new(Probe { reply_to_ping: false })));
+    let parent =
+        c.spawn(SpawnSpec::new("parent", NodeId(0), Box::new(Probe { reply_to_ping: false })));
     let child = c.spawn(
         SpawnSpec::new("child", NodeId(0), Box::new(Probe { reply_to_ping: false }))
             .with_parent(parent),
@@ -99,7 +101,8 @@ fn sigint_terminates_and_parent_sees_it() {
 #[test]
 fn sigstop_suspends_and_sigcont_resumes_with_stashed_messages() {
     let mut c = cluster();
-    let probe = c.spawn(SpawnSpec::new("probe", NodeId(0), Box::new(Probe { reply_to_ping: false })));
+    let probe =
+        c.spawn(SpawnSpec::new("probe", NodeId(0), Box::new(Probe { reply_to_ping: false })));
     c.run_until(SimTime::from_secs(1));
     c.send_signal(probe, Signal::Stop);
     c.run_until(SimTime::from_secs(2));
@@ -178,7 +181,8 @@ fn work_runs_for_its_duration_and_pauses_while_stopped() {
 #[test]
 fn messages_to_dead_processes_are_dropped() {
     let mut c = cluster();
-    let probe = c.spawn(SpawnSpec::new("probe", NodeId(0), Box::new(Probe { reply_to_ping: true })));
+    let probe =
+        c.spawn(SpawnSpec::new("probe", NodeId(0), Box::new(Probe { reply_to_ping: true })));
     c.run_until(SimTime::from_secs(1));
     c.send_signal(probe, Signal::Kill);
     c.run_until(SimTime::from_secs(2));
@@ -285,7 +289,11 @@ fn text_corruption_propagates_through_image_copy() {
         }
         fn on_message(&mut self, _m: Message, _c: &mut ProcCtx<'_>) {}
     }
-    c.spawn(SpawnSpec::new("spawner", NodeId(0), Box::new(SpawnOnce { from: daemon, done: false })));
+    c.spawn(SpawnSpec::new(
+        "spawner",
+        NodeId(0),
+        Box::new(SpawnOnce { from: daemon, done: false }),
+    ));
     c.run_until(SimTime::from_secs(2));
     // The copied process exists; its image carries the corruption, which
     // we verify indirectly: injecting nothing, failures can still occur in
@@ -352,7 +360,8 @@ fn abort_reports_assertion_reason() {
 #[test]
 fn run_until_pred_stops_early() {
     let mut c = cluster();
-    let probe = c.spawn(SpawnSpec::new("probe", NodeId(0), Box::new(Probe { reply_to_ping: true })));
+    let probe =
+        c.spawn(SpawnSpec::new("probe", NodeId(0), Box::new(Probe { reply_to_ping: true })));
     c.spawn(SpawnSpec::new("pinger", NodeId(1), Box::new(Pinger { target: probe })));
     let hit = c.run_until_pred(SimTime::from_secs(60), |c| c.trace().contains("got ping"));
     assert!(hit);

@@ -183,10 +183,7 @@ mod tests {
     #[test]
     fn healthy_sift_means_no_app_failures() {
         // With a negligible failure rate the app never times out.
-        let params = ReeModelParams {
-            sift_failure_rate: 1e-12,
-            ..ReeModelParams::default()
-        };
+        let params = ReeModelParams { sift_failure_rate: 1e-12, ..ReeModelParams::default() };
         let sol = solve(&params, 200_000.0, 1);
         assert_eq!(sol.app_failures, 0);
         assert!(sol.app_unavailability < 1e-3, "{}", sol.app_unavailability);
@@ -198,10 +195,7 @@ mod tests {
         // frequent SIFT failures rarely take the application down — the
         // paper's observation that only ~1.6% of SIFT failures induced
         // application failures.
-        let params = ReeModelParams {
-            sift_failure_rate: 1.0 / 600.0,
-            ..ReeModelParams::default()
-        };
+        let params = ReeModelParams { sift_failure_rate: 1.0 / 600.0, ..ReeModelParams::default() };
         let sol = solve(&params, 2_000_000.0, 2);
         assert!(sol.sift_failures > 1000);
         assert!(

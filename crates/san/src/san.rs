@@ -25,6 +25,12 @@ pub enum Delay {
     Instantaneous,
 }
 
+/// Enabling predicate over a marking (an input gate).
+pub type GatePredicate = Box<dyn Fn(&[u64]) -> bool>;
+
+/// Marking transformation applied on firing (an output gate).
+pub type GateEffect = Box<dyn Fn(&mut [u64])>;
+
 /// One activity: enabling condition + marking transformation + delay.
 pub struct Activity {
     /// Display name (for traces and tests).
@@ -32,9 +38,9 @@ pub struct Activity {
     /// Firing-delay distribution.
     pub delay: Delay,
     /// Enabling predicate over the marking (the input gate).
-    pub enabled: Box<dyn Fn(&[u64]) -> bool>,
+    pub enabled: GatePredicate,
     /// Marking transformation applied on firing (the output gate).
-    pub fire: Box<dyn Fn(&mut [u64])>,
+    pub fire: GateEffect,
 }
 
 /// A stochastic activity network: places (with a marking) + activities.
@@ -116,11 +122,7 @@ impl San {
     /// Runs until `horizon` model time, accumulating the total time each
     /// place was non-empty. Returns per-place occupancy fractions and the
     /// per-activity firing counts.
-    pub fn solve(
-        &mut self,
-        rng: &mut SimRng,
-        horizon: f64,
-    ) -> (Vec<f64>, Vec<u64>) {
+    pub fn solve(&mut self, rng: &mut SimRng, horizon: f64) -> (Vec<f64>, Vec<u64>) {
         let places = self.marking.len();
         let mut occupied = vec![0.0; places];
         let mut firings = vec![0u64; self.activities.len()];

@@ -31,10 +31,7 @@ impl<E> Ord for Entry<E> {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
         // first. The seq tie-break makes simultaneous events fire in
         // scheduling order, which keeps runs bit-for-bit reproducible.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -71,11 +71,7 @@ impl TableBuilder {
             out.push_str(title);
             out.push('\n');
         }
-        let sep: String = widths
-            .iter()
-            .map(|w| "-".repeat(w + 2))
-            .collect::<Vec<_>>()
-            .join("+");
+        let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
         let fmt_row = |cells: &[String]| -> String {
             cells
                 .iter()

@@ -19,24 +19,18 @@ fn main() {
             .zip(&frame.band12)
             .map(|(&b11, &b12)| split_window_retrieve(b11, b12))
             .collect();
-        let rmse = (retrieved
-            .iter()
-            .zip(&frame.truth)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            / retrieved.len() as f64)
-            .sqrt();
+        let rmse =
+            (retrieved.iter().zip(&frame.truth).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+                / retrieved.len() as f64)
+                .sqrt();
         let emissivity_mean =
             retrieved.iter().map(|&t| emissivity_of(t)).sum::<f64>() / retrieved.len() as f64;
 
         let product = compress(&quantize(&retrieved));
         let raw_bytes = retrieved.len() * 8;
         let back = dequantize(&decompress(&product).expect("lossless"));
-        let max_err = retrieved
-            .iter()
-            .zip(&back)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let max_err =
+            retrieved.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
 
         println!(
             "frame {frame_idx}: retrieval RMSE {rmse:.4} K | mean emissivity {emissivity_mean:.4} | \

@@ -115,10 +115,7 @@ fn node_failure_migrates_the_heartbeat_armor() {
     run.cluster.fail_node(hb_node);
     let done = run.run_until_done(SimTime::from_secs(500));
     assert!(done, "application must complete despite the node failure");
-    let hb_new_node = run
-        .cluster
-        .find_by_name("heartbeat")
-        .and_then(|p| run.cluster.node_of(p));
+    let hb_new_node = run.cluster.find_by_name("heartbeat").and_then(|p| run.cluster.node_of(p));
     assert!(hb_new_node.is_some(), "heartbeat ARMOR must be reinstalled somewhere");
     assert_ne!(hb_new_node, Some(hb_node), "…on a different node");
 }

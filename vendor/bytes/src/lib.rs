@@ -1,0 +1,259 @@
+//! Offline stand-in for the crates.io [`bytes`] crate.
+//!
+//! The build container has no network access, so the workspace vendors
+//! the small API subset the ARMOR wire/checkpoint encoders actually use:
+//! [`Bytes`] / [`BytesMut`] plus the [`Buf`] / [`BufMut`] traits with
+//! big-endian integer accessors (matching upstream's defaults). It is
+//! a drop-in for that subset only — swap back to the real crate by
+//! changing one line in the workspace manifest if the registry becomes
+//! reachable.
+//!
+//! [`bytes`]: https://docs.rs/bytes
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+
+/// An immutable byte buffer with a read cursor.
+///
+/// Upstream `Bytes` is a cheaply-cloneable view; this stand-in owns its
+/// storage. Reads via [`Buf`] consume from the front.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+
+    /// Number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the unread bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        let start = self.pos;
+        assert!(
+            n <= self.data.len() - start,
+            "advance past end of buffer: {} > {}",
+            n,
+            self.data.len() - start
+        );
+        self.pos += n;
+        &self.data[start..self.pos]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the written bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Converts the written bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read access to a byte buffer; integer reads are big-endian.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+    /// Skips `cnt` bytes. Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+    /// Consumes `len` bytes into a new [`Bytes`]. Panics if short.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+
+    /// Reads one byte. Panics if empty.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_to_bytes(1)[0]
+    }
+    /// Reads a big-endian `u32`. Panics if short.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.copy_to_bytes(4).to_vec().try_into().unwrap())
+    }
+    /// Reads a big-endian `u64`. Panics if short.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.copy_to_bytes(8).to_vec().try_into().unwrap())
+    }
+    /// Reads a big-endian `i64`. Panics if short.
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.copy_to_bytes(8).to_vec().try_into().unwrap())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        self.take(cnt);
+    }
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        Bytes::copy_from_slice(self.take(len))
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self[..len]);
+        *self = &self[len..];
+        out
+    }
+}
+
+/// Write access to a byte buffer; integer writes are big-endian.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_roundtrip() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(42);
+        buf.put_i64(-9);
+        buf.put_slice(b"hi");
+        let mut r = Bytes::copy_from_slice(&buf.to_vec());
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), 42);
+        assert_eq!(r.get_i64(), -9);
+        assert_eq!(r.copy_to_bytes(2).to_vec(), b"hi");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn u64_last_byte_is_lsb() {
+        // The checkpoint-corruption tests rely on upstream's big-endian
+        // layout: flipping the final payload byte perturbs the low bits.
+        let mut buf = BytesMut::new();
+        buf.put_u64(42);
+        let mut image = buf.to_vec();
+        *image.last_mut().unwrap() ^= 0x01;
+        let mut r = Bytes::copy_from_slice(&image);
+        assert_eq!(r.get_u64(), 43);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn overread_panics() {
+        let mut r = Bytes::copy_from_slice(&[1, 2]);
+        let _ = r.get_u32();
+    }
+}

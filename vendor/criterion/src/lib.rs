@@ -1,0 +1,217 @@
+//! Offline stand-in for the crates.io [`criterion`] crate.
+//!
+//! The build container has no network access, so the workspace vendors
+//! the API subset its benches use: [`Criterion`] with
+//! `benchmark_group` / `bench_function`, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark
+//! runs `sample_size` measured samples (after one warm-up batch) and
+//! prints the mean wall-clock time per iteration — enough to eyeball
+//! regressions; there is no statistical analysis or HTML report.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark configuration and driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget; sampling stops early
+    /// once it is exhausted.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget (one batch is always run; extra warm-up
+    /// repeats until the budget is spent).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned(), sample_size: None }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark; `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher {
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            samples,
+            mean: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "{}/{}: {:>12?} /iter ({} iterations)",
+            self.name, id, bencher.mean, bencher.iterations
+        );
+        self
+    }
+
+    /// Ends the group (upstream requires this to flush reports).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: usize,
+    mean: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, recording the mean wall-clock time per call.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: at least one call, more until the budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut count: u64 = 0;
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            total += t0.elapsed();
+            count += 1;
+            if started.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.mean = total / u32::try_from(count).unwrap_or(u32::MAX).max(1);
+        self.iterations = count;
+    }
+}
+
+/// Bundles benchmark functions into a group runner, in either the
+/// simple form `criterion_group!(benches, f1, f2)` or the configured
+/// form with `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("stub");
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        // One-plus warm-up calls, then at most `sample_size` samples.
+        assert!(calls >= 2);
+    }
+
+    criterion_group!(smoke_simple, noop_bench);
+    criterion_group! {
+        name = smoke_configured;
+        config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(10)).warm_up_time(Duration::from_millis(1));
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("noop");
+        g.sample_size(2).bench_function("nothing", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn group_macros_expand() {
+        smoke_simple();
+        smoke_configured();
+    }
+}
