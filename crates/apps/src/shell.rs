@@ -4,7 +4,7 @@
 //! and resume-point agreement after restarts.
 
 use ree_mpi::{MpiEndpoint, MpiPayload};
-use ree_os::{Message, NodeId, ProcCtx, SpawnSpec};
+use ree_os::{Message, NodeId, ProcCtx, SpawnSpec, TraceEvent};
 use ree_sift::{AppLaunch, ClientNote, SiftClient};
 use ree_sim::{SimDuration, SimTime};
 
@@ -147,11 +147,14 @@ impl AppShell {
             if self.client.blocked_for(ctx.now()) > self.launch.block_timeout {
                 // The SAN model's app_timeout transition: give up on the
                 // unavailable SIFT process.
-                ctx.trace(format!(
-                    "rank {} gave up after blocking {} on the SIFT interface",
-                    self.launch.rank,
-                    self.client.blocked_for(ctx.now())
-                ));
+                ctx.trace_event(
+                    TraceEvent::MpiRankGaveUp,
+                    format!(
+                        "rank {} gave up after blocking {} on the SIFT interface",
+                        self.launch.rank,
+                        self.client.blocked_for(ctx.now())
+                    ),
+                );
                 self.state = ShellState::Dead;
                 ctx.exit(1);
                 return true;
@@ -163,7 +166,10 @@ impl AppShell {
             // in, abort the whole application.
             if let Some(deadline) = self.init_deadline {
                 if self.launch.rank == 0 && ctx.now() > deadline && self.agreed.is_none() {
-                    ctx.trace("MPI init timeout: rank 0 aborts the application".to_owned());
+                    ctx.trace_event(
+                        TraceEvent::MpiInitTimeout,
+                        "MPI init timeout: rank 0 aborts the application".to_owned(),
+                    );
                     self.state = ShellState::Dead;
                     ctx.exit(1);
                 }
@@ -248,10 +254,13 @@ impl AppShell {
             (ShellState::Running, Some(token)) => {
                 if !self.announced_run {
                     self.announced_run = true;
-                    ctx.trace(format!(
-                        "{} rank {} running (resume '{}')",
-                        self.launch.app, self.launch.rank, token
-                    ));
+                    ctx.trace_event(
+                        TraceEvent::AppStarted,
+                        format!(
+                            "{} rank {} running (resume '{}')",
+                            self.launch.app, self.launch.rank, token
+                        ),
+                    );
                 }
                 ShellPoll::Run(token.clone())
             }

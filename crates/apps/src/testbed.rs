@@ -139,28 +139,28 @@ impl Running {
     }
 
     /// Recovery intervals measured from the trace: pairs each
-    /// `detect …` recovery record with the next `armor-ready`/recovery
-    /// completion for the same subject.
+    /// failure-detection event with the next recovery-completion event —
+    /// the interval between failure detection and target restart (§4.2's
+    /// recovery-time definition).
     pub fn recovery_times(&self) -> Vec<SimDuration> {
-        let mut out = Vec::new();
-        let records: Vec<(SimTime, String)> = self
-            .cluster
-            .trace()
-            .of_kind(ree_os::TraceKind::Recovery)
-            .map(|r| (r.time, r.detail.clone()))
+        let recs = self.cluster.trace().records();
+        let completions: Vec<(usize, SimTime)> = recs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.event == Some(ree_os::TraceEvent::RecoveryCompleted))
+            .map(|(i, r)| (i, r.time))
             .collect();
-        for (i, (t, detail)) in records.iter().enumerate() {
-            if !detail.starts_with("detect ") {
+        let mut out = Vec::new();
+        let mut c = 0;
+        for (i, r) in recs.iter().enumerate() {
+            if !r.event.map(|e| e.is_failure_detection()).unwrap_or(false) {
                 continue;
             }
-            // Pair with the next recovery completion ("recovered …") —
-            // the interval between failure detection and target restart
-            // (§4.2's recovery-time definition).
-            for (t2, d2) in records.iter().skip(i + 1) {
-                if d2.starts_with("recovered ") {
-                    out.push(t2.since(*t));
-                    break;
-                }
+            while c < completions.len() && completions[c].0 <= i {
+                c += 1;
+            }
+            if let Some(&(_, done)) = completions.get(c) {
+                out.push(done.since(r.time));
             }
         }
         out

@@ -255,6 +255,12 @@ impl ElementCtx<'_, '_> {
     pub fn trace(&mut self, detail: impl Into<String>) {
         self.os.trace(detail);
     }
+
+    /// Appends to the cluster trace with a typed event for O(1)
+    /// classification queries.
+    pub fn trace_event(&mut self, event: ree_os::TraceEvent, detail: impl Into<String>) {
+        self.os.trace_event(event, detail);
+    }
 }
 
 /// The ARMOR process: element container + runtime services.
@@ -356,7 +362,10 @@ impl ArmorProcess {
                 self.try_restore(ctx);
                 self.awaiting_restore = false;
                 if self.restored_from_checkpoint {
-                    ctx.trace_recovery(format!("recovered {}", self.core.name));
+                    ctx.trace_recovery_event(
+                        ree_os::TraceEvent::RecoveryCompleted,
+                        format!("recovered {}", self.core.name),
+                    );
                     // Let elements re-derive in-flight intentions (timers
                     // died with the previous incarnation).
                     queue.push_back(ArmorEvent::new("armor-restored"));
@@ -431,7 +440,10 @@ impl ArmorProcess {
                 ctx.crash(Signal::Segv);
             }
             Processing::Assertion(e) => {
-                ctx.trace(format!("{} assertion fired: {e}", self.core.name));
+                ctx.trace_event(
+                    ree_os::TraceEvent::AssertionFired,
+                    format!("{} assertion fired: {e}", self.core.name),
+                );
                 ctx.abort(e);
             }
             Processing::AbortThread(r) => {
@@ -471,7 +483,10 @@ impl ArmorProcess {
                         ctx.crash(Signal::Segv);
                     }
                     Processing::Assertion(e) => {
-                        ctx.trace(format!("{} assertion fired: {e}", self.core.name));
+                        ctx.trace_event(
+                            ree_os::TraceEvent::AssertionFired,
+                            format!("{} assertion fired: {e}", self.core.name),
+                        );
                         ctx.abort(e);
                     }
                 }
@@ -598,7 +613,10 @@ impl Process for ArmorProcess {
                 // they can re-derive in-flight intentions.
                 let mut events = vec![ArmorEvent::new("armor-start")];
                 if self.restored_from_checkpoint {
-                    ctx.trace_recovery(format!("recovered {}", self.core.name));
+                    ctx.trace_recovery_event(
+                        ree_os::TraceEvent::RecoveryCompleted,
+                        format!("recovered {}", self.core.name),
+                    );
                     events.push(ArmorEvent::new("armor-restored"));
                 }
                 let result = self.process_events(events, ctx);

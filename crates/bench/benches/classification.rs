@@ -1,0 +1,108 @@
+//! Classification-path benchmarks for the typed trace subsystem:
+//! string-scan vs typed-query classification on a realistic-size trace,
+//! and campaign wall-clock through the work-stealing streaming executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ree_apps::Scenario;
+use ree_inject::{run_campaign_aggregate, run_campaign_with_threads, ErrorModel, RunPlan, Target};
+use ree_os::{Pid, Trace, TraceEvent, TraceKind};
+use ree_sim::SimTime;
+use std::hint::black_box;
+
+/// Builds a trace shaped like a long injection run: mostly message and
+/// lifecycle noise, with the classification-relevant events sprinkled in.
+fn synthetic_run_trace(records: u64) -> Trace {
+    let mut t = Trace::new();
+    t.push_event(
+        SimTime::ZERO,
+        Some(Pid(3)),
+        TraceKind::App,
+        TraceEvent::SubmissionAccepted,
+        "FTM accepted submission of texture (slot 0)".into(),
+    );
+    for i in 0..4 {
+        t.push_event(
+            SimTime::from_secs(5 + i),
+            Some(Pid(10 + i)),
+            TraceKind::App,
+            TraceEvent::ExecArmorInstalled,
+            format!("installed exec as armor{} ({}) on node{}", 40 + i, 10 + i, 2 + i % 2),
+        );
+    }
+    for i in 0..records {
+        t.push(
+            SimTime::from_micros(6_000_000 + i * 500),
+            Some(Pid(20 + i % 8)),
+            TraceKind::Message,
+            format!("deliver armor-wire from pid{}", 4 + i % 6),
+        );
+    }
+    t.push_event(
+        SimTime::from_secs(70),
+        Some(Pid(11)),
+        TraceKind::App,
+        TraceEvent::AssertionFired,
+        "exec0_1 assertion fired: progress-indicator range".into(),
+    );
+    t
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classification");
+    group.sample_size(20);
+
+    // The exact queries runner.rs issues once per run, per classification:
+    // assertion check, hang attribution, and the system-failure phases.
+    let trace = synthetic_run_trace(100_000);
+
+    group.bench_function("string_scan_queries", |b| {
+        b.iter(|| {
+            let assertion = trace.contains("assertion fired");
+            let hang = trace.contains("fault-induced hang") || trace.contains("detect hang");
+            let submitted = trace.contains("FTM accepted submission");
+            let execs = trace.count("installed exec");
+            let terminated = trace.count("app-terminated");
+            black_box((assertion, hang, submitted, execs, terminated))
+        });
+    });
+
+    group.bench_function("typed_event_queries", |b| {
+        b.iter(|| {
+            let assertion = trace.any(TraceEvent::AssertionFired);
+            let hang =
+                trace.any(TraceEvent::FaultInducedHang) || trace.any(TraceEvent::HangDetected);
+            let submitted = trace.any(TraceEvent::SubmissionAccepted);
+            let execs = trace.count_of(TraceEvent::ExecArmorInstalled);
+            let terminated = trace.count_of(TraceEvent::AppTerminated);
+            black_box((assertion, hang, submitted, execs, terminated))
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    let plan = RunPlan {
+        scenario: Scenario::single_texture(0),
+        target: Target::App,
+        model: ErrorModel::Sigint,
+        timeout: SimTime::from_secs(320),
+    };
+    group.bench_function("run_campaign_4x_materialised", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1000;
+            black_box(run_campaign_with_threads(&plan, 4, seed, 4).len())
+        });
+    });
+    group.bench_function("run_campaign_4x_streaming_fold", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1000;
+            black_box(run_campaign_aggregate(&plan, 4, seed).errors_injected)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

@@ -8,7 +8,7 @@ use crate::util::{rec_str, rec_u64, table_get, table_remove, table_set};
 use ree_armor::{
     ArmorEvent, ArmorId, ControlOp, Element, ElementCtx, ElementOutcome, Fields, Value,
 };
-use ree_os::{NodeId, Pid, Signal, SpawnSpec, TextSource};
+use ree_os::{NodeId, Pid, Signal, SpawnSpec, TextSource, TraceEvent};
 use ree_sim::SimDuration;
 use std::rc::Rc;
 
@@ -59,7 +59,10 @@ impl Element for DaemonGateway {
             }
             "register-with-ftm" => {
                 let node = self.state.u64("node").unwrap_or(0);
-                ctx.trace(format!("daemon on node{node} registering with FTM"));
+                ctx.trace_event(
+                    TraceEvent::DaemonRegistered,
+                    format!("daemon on node{node} registering with FTM"),
+                );
                 ctx.send(
                     ids::FTM,
                     vec![ArmorEvent::new(tags::DAEMON_REGISTER)
@@ -219,7 +222,12 @@ impl DaemonInstaller {
         }
         // Tell the prober to start watching.
         ctx.raise(ArmorEvent::new("local-armor-added").with("armor", Value::U64(armor.0 as u64)));
-        ctx.trace(format!("installed {kind} as {armor} ({pid}) on {node}"));
+        let event = if kind == "exec" {
+            TraceEvent::ExecArmorInstalled
+        } else {
+            TraceEvent::ArmorInstalled
+        };
+        ctx.trace_event(event, format!("installed {kind} as {armor} ({pid}) on {node}"));
         pid
     }
 }
@@ -361,7 +369,10 @@ impl Element for DaemonInstaller {
                     ctx.raise(
                         ArmorEvent::new("local-armor-removed").with("armor", Value::U64(armor)),
                     );
-                    ctx.trace(format!("uninstalled armor{armor}"));
+                    ctx.trace_event(
+                        TraceEvent::ArmorUninstalled,
+                        format!("uninstalled armor{armor}"),
+                    );
                 }
             }
             "armor-hung" => {
@@ -370,7 +381,10 @@ impl Element for DaemonInstaller {
                 let Some(armor) = ev.u64("armor") else { return ElementOutcome::Ok };
                 if let Some(rec) = table_get(&self.state, "local", &armor.to_string()) {
                     if let Some(pid) = rec_u64(rec, "pid") {
-                        ctx.os.trace_recovery(format!("detect hang armor{armor}"));
+                        ctx.os.trace_recovery_event(
+                            TraceEvent::HangDetected,
+                            format!("detect hang armor{armor}"),
+                        );
                         ctx.os.kill(Pid(pid), Signal::Kill);
                     }
                 }
@@ -394,7 +408,10 @@ impl Element for DaemonInstaller {
                     // the daemon only observes.
                     ctx.trace("local FTM died; awaiting Heartbeat ARMOR recovery".to_owned());
                 } else {
-                    ctx.os.trace_recovery(format!("detect crash armor{armor}"));
+                    ctx.os.trace_recovery_event(
+                        TraceEvent::CrashDetected,
+                        format!("detect crash armor{armor}"),
+                    );
                     ctx.send(
                         ids::FTM,
                         vec![ArmorEvent::new(tags::ARMOR_FAILED)

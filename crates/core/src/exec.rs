@@ -5,7 +5,7 @@
 use crate::blueprint::{AppLaunch, Blueprint};
 use crate::config::{ids, tags};
 use ree_armor::{valid_ptr, ArmorEvent, Element, ElementCtx, ElementOutcome, Fields, Value};
-use ree_os::{Pid, Signal, SpawnSpec};
+use ree_os::{Pid, Signal, SpawnSpec, TraceEvent};
 use ree_sim::SimDuration;
 use std::rc::Rc;
 
@@ -163,9 +163,10 @@ impl Element for AppMonitor {
                         .with_parent(me),
                 );
                 if attempt > 0 {
-                    ctx.os.trace_recovery(format!(
-                        "recovered application slot{slot} (attempt {attempt})"
-                    ));
+                    ctx.os.trace_recovery_event(
+                        TraceEvent::RecoveryCompleted,
+                        format!("recovered application slot{slot} (attempt {attempt})"),
+                    );
                 }
                 self.state.set("app", Value::Str(app));
                 self.state.set("app_pid", Value::U64(pid.0));
@@ -230,6 +231,10 @@ impl Element for AppMonitor {
                 let slot = self.state.u64("slot").unwrap_or(0);
                 let rank = self.state.u64("rank").unwrap_or(0);
                 let at_us = ctx.now().as_micros();
+                ctx.os.trace_event(
+                    TraceEvent::AppTerminated,
+                    format!("app-terminated slot{slot} rank{rank}"),
+                );
                 ctx.send(
                     ids::FTM,
                     vec![ArmorEvent::new(tags::APP_TERMINATED)
@@ -259,10 +264,10 @@ impl Element for AppMonitor {
                     let clean =
                         self.state.get("clean_exit").and_then(Value::as_bool).unwrap_or(false);
                     if !clean {
-                        ctx.os.trace_recovery(format!(
-                            "detect app crash rank{}",
-                            self.state.u64("rank").unwrap_or(0)
-                        ));
+                        ctx.os.trace_recovery_event(
+                            TraceEvent::AppCrashDetected,
+                            format!("detect app crash rank{}", self.state.u64("rank").unwrap_or(0)),
+                        );
                         self.report_failure(ctx, "crash");
                     }
                 }
@@ -275,10 +280,13 @@ impl Element for AppMonitor {
                         let clean =
                             self.state.get("clean_exit").and_then(Value::as_bool).unwrap_or(false);
                         if !ctx.os.process_alive(pid) && !clean {
-                            ctx.os.trace_recovery(format!(
-                                "detect app crash rank{}",
-                                self.state.u64("rank").unwrap_or(0)
-                            ));
+                            ctx.os.trace_recovery_event(
+                                TraceEvent::AppCrashDetected,
+                                format!(
+                                    "detect app crash rank{}",
+                                    self.state.u64("rank").unwrap_or(0)
+                                ),
+                            );
                             self.report_failure(ctx, "crash");
                         }
                     }
@@ -286,10 +294,10 @@ impl Element for AppMonitor {
                 ctx.set_timer_event(PROC_POLL_PERIOD, ArmorEvent::new("proc-poll"));
             }
             "pi-hang-detected" if self.status() == "running" => {
-                ctx.os.trace_recovery(format!(
-                    "detect app hang rank{}",
-                    self.state.u64("rank").unwrap_or(0)
-                ));
+                ctx.os.trace_recovery_event(
+                    TraceEvent::AppHangDetected,
+                    format!("detect app hang rank{}", self.state.u64("rank").unwrap_or(0)),
+                );
                 if let Some(pid) = self.app_pid() {
                     if ctx.os.process_alive(pid) {
                         ctx.os.kill(pid, Signal::Kill);

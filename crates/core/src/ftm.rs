@@ -14,7 +14,7 @@ use crate::util::{rec_str, rec_u64, record, table_get, table_keys, table_remove,
 use ree_armor::{
     valid_ptr, ArmorEvent, ArmorId, Element, ElementCtx, ElementOutcome, Fields, Value,
 };
-use ree_os::Pid;
+use ree_os::{Pid, TraceEvent};
 use ree_sim::SimDuration;
 
 /// Answers the Heartbeat ARMOR's liveness polls.
@@ -143,7 +143,10 @@ impl Element for SccIface {
                         ("phase", Value::Str("accepted".into())),
                     ]),
                 );
-                ctx.trace(format!("FTM accepted submission of {app} (slot {slot})"));
+                ctx.trace_event(
+                    TraceEvent::SubmissionAccepted,
+                    format!("FTM accepted submission of {app} (slot {slot})"),
+                );
                 // Fan the submission out to the bookkeeping elements.
                 let mut accepted = ArmorEvent::new("app-submit-accepted");
                 accepted.fields = ev.fields.clone();
@@ -1265,7 +1268,10 @@ impl Element for DaemonHb {
                         // next heartbeat round, it assumes that the node
                         // has failed" (§3.3).
                         table_remove(&mut self.state, "watch", &key);
-                        ctx.os.trace_recovery(format!("detect node{node} failure (daemon silent)"));
+                        ctx.os.trace_recovery_event(
+                            TraceEvent::NodeFailureDetected,
+                            format!("detect node{node} failure (daemon silent)"),
+                        );
                         // Collect alive nodes for migration targets.
                         let alive: Vec<Value> = self
                             .state

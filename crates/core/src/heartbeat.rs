@@ -5,6 +5,7 @@
 
 use crate::config::{ids, tags};
 use ree_armor::{ArmorEvent, ArmorId, Element, ElementCtx, ElementOutcome, Fields, Value};
+use ree_os::TraceEvent;
 use ree_sim::SimDuration;
 
 /// Number of consecutive missed heartbeat rounds before the FTM is
@@ -35,7 +36,10 @@ impl HbWatch {
         let daemon = self.state.u64("ftm_daemon").unwrap_or(0);
         self.state.set("recovering", Value::Bool(true));
         self.state.bump("recoveries");
-        ctx.os.trace_recovery("detect ftm failure (heartbeat timeout)".to_owned());
+        ctx.os.trace_recovery_event(
+            TraceEvent::FtmFailureDetected,
+            "detect ftm failure (heartbeat timeout)".to_owned(),
+        );
         // Step one of the two-step recovery (§6.1): reinstall via the
         // FTM's daemon. Step two (state restore) happens only after the
         // REINSTALL_ACK arrives — a receive-omitting Heartbeat ARMOR

@@ -5,7 +5,7 @@
 use crate::effort::Effort;
 use ree_apps::Scenario;
 use ree_armor::{ArmorEvent, ControlOp, Value};
-use ree_os::{Signal, SpawnSpec, TraceKind};
+use ree_os::{Signal, SpawnSpec, TraceEvent};
 use ree_sift::{ids, tags};
 use ree_sim::{SimDuration, SimTime};
 use ree_stats::{Summary, TableBuilder};
@@ -70,16 +70,14 @@ pub fn fig6(effort: Effort, seed0: u64) -> Fig6 {
             let injected_at = running.cluster.now();
             running.cluster.send_signal(pid, Signal::Stop);
             let detected = running.cluster.run_until_pred(SimTime::from_secs(150), |c| {
-                c.trace()
-                    .of_kind(TraceKind::Recovery)
-                    .any(|r| r.detail.contains("detect app hang") && r.time > injected_at)
+                c.trace().of_event(TraceEvent::AppHangDetected).any(|r| r.time > injected_at)
             });
             if detected {
                 let t = running
                     .cluster
                     .trace()
-                    .of_kind(TraceKind::Recovery)
-                    .find(|r| r.detail.contains("detect app hang") && r.time > injected_at)
+                    .of_event(TraceEvent::AppHangDetected)
+                    .find(|r| r.time > injected_at)
                     .map(|r| r.time)
                     .expect("detection record");
                 let latency = t.since(injected_at).as_secs_f64();
@@ -189,8 +187,8 @@ pub fn fig8(effort: Effort, seed0: u64) -> Fig8 {
             running.cluster.send_signal(ftm, Signal::Int);
         }
         let done = running.run_until_done(SimTime::from_secs(400));
-        if running.cluster.trace().contains("MPI init timeout")
-            || running.cluster.trace().contains("gave up after blocking")
+        if running.cluster.trace().any(TraceEvent::MpiInitTimeout)
+            || running.cluster.trace().any(TraceEvent::MpiRankGaveUp)
         {
             out.aborts_observed += 1;
         }
@@ -257,7 +255,7 @@ pub fn fig10(seed0: u64) -> Fig10 {
         send_control(&mut running, ftm_pid, failure);
         running.run_until(SimTime::from_secs(8));
         // Did the FTM initiate a reinstall?
-        let reinstalled = running.cluster.trace().contains("installed exec");
+        let reinstalled = running.cluster.trace().any(TraceEvent::ExecArmorInstalled);
         outcomes[slot] = reinstalled;
     }
     Fig10 { unrecovered_without_fix: !outcomes[0], recovered_with_fix: outcomes[1] }

@@ -1,37 +1,133 @@
 //! Campaign execution: many seeded runs of one (target, model) pair,
 //! executed across worker threads, with aggregate views shaped like the
 //! paper's tables.
+//!
+//! Work is distributed by a shared atomic counter, not static chunking:
+//! a run that hangs into its timeout occupies one worker while the rest
+//! keep draining seeds, so skewed run durations no longer serialise the
+//! tail of the campaign. Results are folded back together **in seed
+//! order** regardless of which thread produced them, keeping every
+//! campaign bit-for-bit deterministic for any thread count.
 
 use crate::model::{FailureClass, SystemFailure};
 use crate::runner::{execute, RunPlan, RunResult};
 use ree_stats::Summary;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
 
 /// Runs `runs` seeded executions of `plan`, in parallel across available
 /// cores. Results are returned in seed order (deterministic).
 pub fn run_campaign(plan: &RunPlan, runs: u32, seed0: u64) -> Vec<RunResult> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+    run_campaign_with_threads(plan, runs, seed0, default_threads())
+}
+
+/// [`run_campaign`] with an explicit worker-thread count. The output is
+/// identical for every `threads` value (including 1).
+pub fn run_campaign_with_threads(
+    plan: &RunPlan,
+    runs: u32,
+    seed0: u64,
+    threads: usize,
+) -> Vec<RunResult> {
+    run_campaign_fold_with_threads(
+        plan,
+        runs,
+        seed0,
+        threads,
+        Vec::with_capacity(runs as usize),
+        |v, r| v.push(r),
+    )
+}
+
+/// Streams a campaign through a fold instead of materialising the full
+/// result vector: each [`RunResult`] is handed to `fold` exactly once,
+/// **in seed order**, as soon as every earlier seed has been folded.
+/// Peak memory is bounded by the reorder window (a few results per
+/// worker — the bounded channel stops workers from racing ahead of a
+/// straggler seed) instead of the campaign size.
+pub fn run_campaign_fold<A>(
+    plan: &RunPlan,
+    runs: u32,
+    seed0: u64,
+    init: A,
+    fold: impl FnMut(&mut A, RunResult),
+) -> A {
+    run_campaign_fold_with_threads(plan, runs, seed0, default_threads(), init, fold)
+}
+
+/// [`run_campaign_fold`] with an explicit worker-thread count.
+pub fn run_campaign_fold_with_threads<A>(
+    plan: &RunPlan,
+    runs: u32,
+    seed0: u64,
+    threads: usize,
+    init: A,
+    mut fold: impl FnMut(&mut A, RunResult),
+) -> A {
+    let mut acc = init;
     if runs == 0 {
-        return Vec::new();
+        return acc;
     }
-    let mut results: Vec<Option<RunResult>> = (0..runs).map(|_| None).collect();
+    let threads = threads.clamp(1, runs as usize);
+    if threads == 1 {
+        for i in 0..u64::from(runs) {
+            let r = execute(plan, seed0 + i);
+            fold(&mut acc, r);
+        }
+        return acc;
+    }
+    // Workers claim the next seed index from a shared counter (work
+    // stealing without a queue) and ship `(index, result)` pairs back;
+    // the caller's thread reorders with a small buffer and folds in seed
+    // order while workers are still running. The channel is bounded so a
+    // straggler seed cannot make the reorder buffer grow with the
+    // campaign: once it fills, workers block on send instead of claiming
+    // further seeds, capping buffered results at ~2 per worker.
+    let next = AtomicU64::new(0);
+    let (tx, rx) = mpsc::sync_channel::<(u64, RunResult)>(threads);
     std::thread::scope(|scope| {
-        let plan_ref = &*plan;
-        let chunks = results.chunks_mut(runs.div_ceil(threads as u32).max(1) as usize);
-        for (c, chunk) in chunks.enumerate() {
-            let base = c as u64 * runs.div_ceil(threads as u32).max(1) as u64;
-            scope.spawn(move || {
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    let seed = seed0 + base + i as u64;
-                    *slot = Some(execute(plan_ref, seed));
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= u64::from(runs) {
+                    break;
+                }
+                let r = execute(plan, seed0 + i);
+                if tx.send((i, r)).is_err() {
+                    break;
                 }
             });
         }
+        drop(tx);
+        let mut pending: BTreeMap<u64, RunResult> = BTreeMap::new();
+        let mut expect: u64 = 0;
+        for (i, r) in rx {
+            pending.insert(i, r);
+            while let Some(r) = pending.remove(&expect) {
+                fold(&mut acc, r);
+                expect += 1;
+            }
+        }
+        debug_assert_eq!(expect, u64::from(runs), "every seed folded exactly once");
     });
-    results.into_iter().flatten().collect()
+    acc
+}
+
+/// Runs a campaign and aggregates it on the fly — the streaming
+/// equivalent of `Aggregate::from_results(&run_campaign(..))`.
+pub fn run_campaign_aggregate(plan: &RunPlan, runs: u32, seed0: u64) -> Aggregate {
+    run_campaign_fold(plan, runs, seed0, Aggregate::default(), |agg, r| agg.accept(&r))
 }
 
 /// Aggregate view over campaign results (one paper-table row).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Aggregate {
     /// Runs in which at least one error was injected.
     pub errors_injected: u64,
@@ -60,59 +156,68 @@ pub struct Aggregate {
     pub correlated: u64,
     /// Incorrect-output runs.
     pub incorrect_output: u64,
-    /// Runs with no observable effect.
+    /// Runs with no observable effect (injected runs only — a run where
+    /// no error was injected has nothing to have an effect).
     pub no_effect: u64,
 }
 
 impl Aggregate {
+    /// Folds one run into the aggregate.
+    pub fn accept(&mut self, r: &RunResult) {
+        if r.injections > 0 {
+            self.errors_injected += 1;
+        }
+        if let Some(class) = r.induced {
+            self.failures += 1;
+            match class {
+                FailureClass::SegFault => self.seg_faults += 1,
+                FailureClass::IllegalInstruction => self.illegal_instrs += 1,
+                FailureClass::Hang => self.hangs += 1,
+                FailureClass::Assertion => self.assertions += 1,
+                FailureClass::InjectedSignal | FailureClass::Other => {}
+            }
+        }
+        if r.injections > 0 && r.recovered() {
+            self.successful_recoveries += 1;
+        }
+        if let Some(sf) = r.system_failure {
+            self.system_failures.push(sf);
+        }
+        if let Some(p) = r.perceived {
+            if r.completed {
+                self.perceived.push(p);
+            }
+        }
+        if let Some(a) = r.actual {
+            if r.completed {
+                self.actual.push(a);
+            }
+        }
+        for rec in &r.recovery_times {
+            self.recovery.push(*rec);
+        }
+        if r.correlated {
+            self.correlated += 1;
+        }
+        match r.output {
+            ree_apps::Verdict::Incorrect => self.incorrect_output += 1,
+            // The paper's no-effect category covers runs in which an
+            // error was injected and nothing observable happened; runs
+            // with zero injections are not classified at all.
+            ree_apps::Verdict::Correct
+                if r.injections > 0 && r.completed && r.induced.is_none() && r.restarts == 0 =>
+            {
+                self.no_effect += 1;
+            }
+            _ => {}
+        }
+    }
+
     /// Builds the aggregate from raw results.
     pub fn from_results(results: &[RunResult]) -> Aggregate {
         let mut agg = Aggregate::default();
         for r in results {
-            if r.injections > 0 {
-                agg.errors_injected += 1;
-            }
-            if let Some(class) = r.induced {
-                agg.failures += 1;
-                match class {
-                    FailureClass::SegFault => agg.seg_faults += 1,
-                    FailureClass::IllegalInstruction => agg.illegal_instrs += 1,
-                    FailureClass::Hang => agg.hangs += 1,
-                    FailureClass::Assertion => agg.assertions += 1,
-                    FailureClass::InjectedSignal | FailureClass::Other => {}
-                }
-            }
-            if r.injections > 0 && r.recovered() {
-                agg.successful_recoveries += 1;
-            }
-            if let Some(sf) = r.system_failure {
-                agg.system_failures.push(sf);
-            }
-            if let Some(p) = r.perceived {
-                if r.completed {
-                    agg.perceived.push(p);
-                }
-            }
-            if let Some(a) = r.actual {
-                if r.completed {
-                    agg.actual.push(a);
-                }
-            }
-            for rec in &r.recovery_times {
-                agg.recovery.push(*rec);
-            }
-            if r.correlated {
-                agg.correlated += 1;
-            }
-            match r.output {
-                ree_apps::Verdict::Incorrect => agg.incorrect_output += 1,
-                ree_apps::Verdict::Correct
-                    if r.completed && r.induced.is_none() && r.restarts == 0 =>
-                {
-                    agg.no_effect += 1;
-                }
-                _ => {}
-            }
+            agg.accept(r);
         }
         agg
     }

@@ -16,6 +16,9 @@ mod campaign;
 mod model;
 mod runner;
 
-pub use campaign::{run_campaign, Aggregate};
+pub use campaign::{
+    run_campaign, run_campaign_aggregate, run_campaign_fold, run_campaign_fold_with_threads,
+    run_campaign_with_threads, Aggregate,
+};
 pub use model::{ErrorModel, FailureClass, SystemFailure, Target};
 pub use runner::{execute, execute_full, verify_outputs, RunPlan, RunResult};

@@ -6,7 +6,7 @@
 use crate::model::{ErrorModel, FailureClass, SystemFailure, Target};
 use ree_apps::verify::{verify_otis, verify_texture, Verdict};
 use ree_apps::{Running, Scenario};
-use ree_os::{ExitStatus, HeapHit, Pid, Signal};
+use ree_os::{ExitStatus, HeapHit, Pid, Signal, TraceEvent};
 use ree_sim::{SimDuration, SimRng, SimTime};
 
 /// Everything one injection run needs.
@@ -24,7 +24,7 @@ pub struct RunPlan {
 }
 
 /// Everything one run produced.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// The seed used.
     pub seed: u64,
@@ -219,7 +219,7 @@ fn finish_run(
     let system_failure = if completed { None } else { Some(classify_system_failure(&running)) };
     let recovery_times =
         running.recovery_times().iter().map(|d| d.as_secs_f64()).collect::<Vec<_>>();
-    let assertion_fired = running.cluster.trace().contains("assertion fired");
+    let assertion_fired = running.cluster.trace().any(TraceEvent::AssertionFired);
     let correlated = plan.target.is_sift_process() && restarts > 0;
     (
         RunResult {
@@ -294,8 +294,8 @@ fn classify_target_state(running: &Running, pid: Pid, model: &ErrorModel) -> Opt
                 // SIGKILL has three sources: the daemon resolving a hang
                 // (a real induced failure), a restart sweep, and the
                 // normal uninstall at completion (not failures).
-                if cluster.trace().contains("fault-induced hang")
-                    || cluster.trace().contains("detect hang")
+                if cluster.trace().any(TraceEvent::FaultInducedHang)
+                    || cluster.trace().any(TraceEvent::HangDetected)
                 {
                     Some(FailureClass::Hang)
                 } else if matches!(model, ErrorModel::Sigstop) {
@@ -353,18 +353,20 @@ fn classify_system_failure(running: &Running) -> SystemFailure {
     let times = running.job_times(0);
     let submitted = times.as_ref().map(|t| t.submitted.is_some()).unwrap_or(false);
     let started = times.as_ref().map(|t| t.started.is_some()).unwrap_or(false);
-    if !submitted || !trace.contains("FTM accepted submission") {
+    if !submitted || !trace.any(TraceEvent::SubmissionAccepted) {
         return SystemFailure::UnableToRegisterDaemons;
     }
-    if trace.count("installed exec") == 0 {
+    if trace.count_of(TraceEvent::ExecArmorInstalled) == 0 {
         return SystemFailure::UnableToInstallExecArmors;
     }
     if !started {
         return SystemFailure::UnableToStartApplication;
     }
-    // Did the application actually finish its science?
+    // Did the application actually finish its science? Either the FTM
+    // recorded the end, or a rank announced clean termination that the
+    // environment then failed to act on.
     let ended = times.as_ref().map(|t| t.ended.is_some()).unwrap_or(false);
-    if ended || trace.count("app-terminated") > 0 {
+    if ended || trace.count_of(TraceEvent::AppTerminated) > 0 {
         return SystemFailure::UnableToRecognizeCompletion;
     }
     SystemFailure::AppDidNotComplete

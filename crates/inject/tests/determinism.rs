@@ -1,0 +1,79 @@
+//! Cross-thread campaign determinism: the work-stealing executor must
+//! return bit-identical results for any worker count, and the streaming
+//! fold must agree with the materialise-then-aggregate path.
+
+use ree_apps::Scenario;
+use ree_inject::{
+    run_campaign, run_campaign_aggregate, run_campaign_fold_with_threads,
+    run_campaign_with_threads, Aggregate, ErrorModel, RunPlan, Target,
+};
+use ree_sim::SimTime;
+
+fn plan() -> RunPlan {
+    RunPlan {
+        scenario: Scenario::single_texture(0),
+        target: Target::App,
+        model: ErrorModel::Sigint,
+        timeout: SimTime::from_secs(320),
+    }
+}
+
+const RUNS: u32 = 6;
+const SEED0: u64 = 4100;
+
+#[test]
+fn identical_results_for_1_2_and_8_threads() {
+    let p = plan();
+    let one = run_campaign_with_threads(&p, RUNS, SEED0, 1);
+    let two = run_campaign_with_threads(&p, RUNS, SEED0, 2);
+    let eight = run_campaign_with_threads(&p, RUNS, SEED0, 8);
+    assert_eq!(one.len(), RUNS as usize);
+    assert_eq!(one, two, "2-thread campaign diverged from single-threaded");
+    assert_eq!(one, eight, "8-thread campaign diverged from single-threaded");
+    // Seed order, not completion order.
+    for (i, r) in one.iter().enumerate() {
+        assert_eq!(r.seed, SEED0 + i as u64);
+    }
+}
+
+#[test]
+fn streaming_fold_matches_materialised_aggregate() {
+    let p = plan();
+    let results = run_campaign(&p, RUNS, SEED0);
+    let reference = Aggregate::from_results(&results);
+    let streamed = run_campaign_aggregate(&p, RUNS, SEED0);
+    assert_eq!(streamed, reference);
+    // And with a skew-inducing thread count relative to the run count.
+    let streamed3 =
+        run_campaign_fold_with_threads(&p, RUNS, SEED0, 3, Aggregate::default(), |a, r| {
+            a.accept(&r)
+        });
+    assert_eq!(streamed3, reference);
+}
+
+#[test]
+fn zero_runs_is_empty() {
+    let p = plan();
+    assert!(run_campaign(&p, 0, SEED0).is_empty());
+    assert_eq!(run_campaign_aggregate(&p, 0, SEED0), Aggregate::default());
+}
+
+#[test]
+fn no_effect_requires_an_injection() {
+    // A fault-free completed run (zero injections, correct output) must
+    // not be classified as "no effect": the paper's category only covers
+    // runs in which an error was actually injected.
+    let mut r = ree_inject::execute(&plan(), SEED0);
+    r.injections = 0;
+    r.induced = None;
+    r.restarts = 0;
+    let agg = Aggregate::from_results(std::slice::from_ref(&r));
+    assert_eq!(agg.no_effect, 0, "zero-injection run counted as no_effect");
+    assert_eq!(agg.errors_injected, 0);
+    if r.completed && r.output == ree_apps::Verdict::Correct {
+        let mut injected = r.clone();
+        injected.injections = 1;
+        let agg = Aggregate::from_results(std::slice::from_ref(&injected));
+        assert_eq!(agg.no_effect, 1, "injected uneventful run must count as no_effect");
+    }
+}

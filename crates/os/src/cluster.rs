@@ -10,7 +10,7 @@
 use crate::machine::{FaultConsequence, InjectionSite, MachineState};
 use crate::process::{ExitStatus, HeapHit, HeapTarget, Message, Pid, Process, Signal};
 use crate::storage::{RamDisk, RemoteFs};
-use crate::trace::{Trace, TraceKind};
+use crate::trace::{Trace, TraceEvent, TraceKind};
 use ree_net::{Network, NetworkConfig, NodeId, SendVerdict};
 use ree_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use std::any::Any;
@@ -608,10 +608,11 @@ impl Cluster {
             Some(FaultConsequence::Hang) => {
                 entry.stopped = true;
                 entry.stash.push(ev);
-                self.trace.push(
+                self.trace.push_event(
                     self.now,
                     Some(pid),
                     TraceKind::Lifecycle,
+                    TraceEvent::FaultInducedHang,
                     "fault-induced hang".into(),
                 );
                 None
@@ -722,10 +723,11 @@ impl Cluster {
             Some(FaultConsequence::Hang) => {
                 entry.stopped = true;
                 entry.stash.push(OsEvent::WorkChunk { pid, work_id });
-                self.trace.push(
+                self.trace.push_event(
                     self.now,
                     Some(pid),
                     TraceKind::Lifecycle,
+                    TraceEvent::FaultInducedHang,
                     "fault-induced hang".into(),
                 );
                 return;
@@ -986,12 +988,35 @@ impl ProcCtx<'_> {
         self.cluster.trace.push(self.cluster.now, Some(self.pid), TraceKind::App, detail.into());
     }
 
+    /// Appends an application-level trace record with a typed event, so
+    /// campaign classification can match it in O(1).
+    pub fn trace_event(&mut self, event: TraceEvent, detail: impl Into<String>) {
+        self.cluster.trace.push_event(
+            self.cluster.now,
+            Some(self.pid),
+            TraceKind::App,
+            event,
+            detail.into(),
+        );
+    }
+
     /// Appends a recovery-category trace record.
     pub fn trace_recovery(&mut self, detail: impl Into<String>) {
         self.cluster.trace.push(
             self.cluster.now,
             Some(self.pid),
             TraceKind::Recovery,
+            detail.into(),
+        );
+    }
+
+    /// Appends a recovery-category trace record with a typed event.
+    pub fn trace_recovery_event(&mut self, event: TraceEvent, detail: impl Into<String>) {
+        self.cluster.trace.push_event(
+            self.cluster.now,
+            Some(self.pid),
+            TraceKind::Recovery,
+            event,
             detail.into(),
         );
     }

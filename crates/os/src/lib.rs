@@ -38,7 +38,7 @@ pub use process::{
     ExitStatus, FieldKind, HeapHit, HeapModel, HeapTarget, Message, Pid, Process, Signal,
 };
 pub use storage::{DiskError, RamDisk, RemoteFs};
-pub use trace::{Trace, TraceKind, TraceRecord};
+pub use trace::{Trace, TraceEvent, TraceKind, TraceRecord};
 
 // Re-export the node identifier so most consumers only need ree-os.
 pub use ree_net::NodeId;

@@ -3,6 +3,12 @@
 //! Every OS-level occurrence (spawn, exit, signal, message, injection) is
 //! recorded with its virtual timestamp. Experiments and tests query the
 //! trace instead of scraping stdout.
+//!
+//! Records carry two payloads: an optional **typed event** — a
+//! [`TraceEvent`] that campaign classification matches on in O(1) via
+//! per-kind counters — and a human-readable **detail** string kept for
+//! debugging. Classification hot paths (`ree-inject`) use only the typed
+//! side; the string side is a lazily-rendered view ([`Trace::render`]).
 
 use crate::process::Pid;
 use ree_sim::SimTime;
@@ -24,6 +30,80 @@ pub enum TraceKind {
     Recovery,
 }
 
+/// Machine-readable identity of a notable occurrence: what the SIFT
+/// environment logged, as a value instead of a substring.
+///
+/// Campaign classification (the NFTAPE "collect" role, §4) matches on
+/// these instead of scanning rendered detail strings; the trace keeps a
+/// per-kind counter so [`Trace::any`] and [`Trace::count_of`] are O(1)
+/// regardless of run length.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TraceEvent {
+    /// A daemon ARMOR registered itself with the FTM.
+    DaemonRegistered = 0,
+    /// A daemon installed a non-exec ARMOR (FTM, Heartbeat ARMOR, …).
+    ArmorInstalled,
+    /// A daemon installed an Execution ARMOR.
+    ExecArmorInstalled,
+    /// A daemon uninstalled an ARMOR (normal takedown).
+    ArmorUninstalled,
+    /// The FTM accepted an application submission from the SCC.
+    SubmissionAccepted,
+    /// An application rank entered its run phase.
+    AppStarted,
+    /// An application rank announced clean termination to the SIFT
+    /// environment (§3.3 termination notice).
+    AppTerminated,
+    /// The OS hung a process as a fault consequence (threads suspended).
+    FaultInducedHang,
+    /// An ARMOR assertion/self-check fired (fail-fast abort).
+    AssertionFired,
+    /// A daemon's prober found a local ARMOR unresponsive.
+    HangDetected,
+    /// A daemon observed a local ARMOR crash (waitpid).
+    CrashDetected,
+    /// An Execution ARMOR detected its application rank hung.
+    AppHangDetected,
+    /// An Execution ARMOR detected its application rank crashed.
+    AppCrashDetected,
+    /// The Heartbeat ARMOR detected FTM failure (heartbeat timeout).
+    FtmFailureDetected,
+    /// The FTM declared a node failed (daemon silent).
+    NodeFailureDetected,
+    /// A recovery completed: restarted ARMOR restored / application
+    /// relaunched.
+    RecoveryCompleted,
+    /// Rank 0 aborted the application on an MPI init timeout (Figure 8).
+    MpiInitTimeout,
+    /// A rank gave up after blocking too long on the SIFT interface.
+    MpiRankGaveUp,
+}
+
+impl TraceEvent {
+    /// Number of event kinds (size of the counter table) — derived from
+    /// the last discriminant so adding a variant can never leave the
+    /// table undersized.
+    pub const COUNT: usize = TraceEvent::MpiRankGaveUp as usize + 1;
+
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    /// True for events that mark the *detection* of a failure — the
+    /// start of a recovery interval (§4.2 recovery-time measurement).
+    pub fn is_failure_detection(self) -> bool {
+        matches!(
+            self,
+            TraceEvent::HangDetected
+                | TraceEvent::CrashDetected
+                | TraceEvent::AppHangDetected
+                | TraceEvent::AppCrashDetected
+                | TraceEvent::FtmFailureDetected
+                | TraceEvent::NodeFailureDetected
+        )
+    }
+}
+
 /// One timestamped trace record.
 #[derive(Clone, Debug)]
 pub struct TraceRecord {
@@ -33,14 +113,18 @@ pub struct TraceRecord {
     pub pid: Option<Pid>,
     /// Record category.
     pub kind: TraceKind,
+    /// Typed identity, when the occurrence is one classification cares
+    /// about.
+    pub event: Option<TraceEvent>,
     /// Human-readable detail.
     pub detail: String,
 }
 
-/// An in-memory, bounded trace buffer.
+/// An in-memory, bounded trace buffer with O(1) typed-event queries.
 #[derive(Debug)]
 pub struct Trace {
     records: Vec<TraceRecord>,
+    counters: [u64; TraceEvent::COUNT],
     enabled: bool,
     cap: usize,
     dropped: u64,
@@ -55,7 +139,13 @@ impl Default for Trace {
 impl Trace {
     /// Creates an enabled trace with a generous default cap.
     pub fn new() -> Self {
-        Trace { records: Vec::new(), enabled: true, cap: 400_000, dropped: 0 }
+        Trace {
+            records: Vec::new(),
+            counters: [0; TraceEvent::COUNT],
+            enabled: true,
+            cap: 400_000,
+            dropped: 0,
+        }
     }
 
     /// Enables or disables recording (campaigns disable it for speed).
@@ -68,16 +158,44 @@ impl Trace {
         self.enabled
     }
 
-    /// Appends a record (no-op when disabled or at capacity).
+    /// Appends an untyped record (no-op when disabled or at capacity).
     pub fn push(&mut self, time: SimTime, pid: Option<Pid>, kind: TraceKind, detail: String) {
+        self.record(time, pid, kind, None, detail);
+    }
+
+    /// Appends a typed record. The per-kind counter is bumped even when
+    /// the record itself is dropped at capacity, so the O(1) queries stay
+    /// truthful on runs that overflow the buffer.
+    pub fn push_event(
+        &mut self,
+        time: SimTime,
+        pid: Option<Pid>,
+        kind: TraceKind,
+        event: TraceEvent,
+        detail: String,
+    ) {
+        self.record(time, pid, kind, Some(event), detail);
+    }
+
+    fn record(
+        &mut self,
+        time: SimTime,
+        pid: Option<Pid>,
+        kind: TraceKind,
+        event: Option<TraceEvent>,
+        detail: String,
+    ) {
         if !self.enabled {
             return;
+        }
+        if let Some(ev) = event {
+            self.counters[ev.index()] += 1;
         }
         if self.records.len() >= self.cap {
             self.dropped += 1;
             return;
         }
-        self.records.push(TraceRecord { time, pid, kind, detail });
+        self.records.push(TraceRecord { time, pid, kind, event, detail });
     }
 
     /// All records, in order.
@@ -90,7 +208,24 @@ impl Trace {
         self.records.iter().filter(move |r| r.kind == kind)
     }
 
-    /// True if any record's detail contains `needle`.
+    /// Records carrying one typed event, in order.
+    pub fn of_event(&self, event: TraceEvent) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.event == Some(event))
+    }
+
+    /// True if the event occurred at least once — O(1).
+    pub fn any(&self, event: TraceEvent) -> bool {
+        self.counters[event.index()] > 0
+    }
+
+    /// Number of occurrences of the event — O(1), and counted even for
+    /// occurrences whose records were dropped at capacity.
+    pub fn count_of(&self, event: TraceEvent) -> u64 {
+        self.counters[event.index()]
+    }
+
+    /// True if any record's detail contains `needle` (debugging; O(n) —
+    /// classification paths use [`Trace::any`] instead).
     pub fn contains(&self, needle: &str) -> bool {
         self.records.iter().any(|r| r.detail.contains(needle))
     }
@@ -100,9 +235,27 @@ impl Trace {
         self.records.iter().find(|r| r.detail.contains(needle))
     }
 
-    /// Count of records whose detail contains `needle`.
+    /// Count of records whose detail contains `needle` (debugging; O(n)
+    /// — classification paths use [`Trace::count_of`] instead).
     pub fn count(&self, needle: &str) -> usize {
         self.records.iter().filter(|r| r.detail.contains(needle)).count()
+    }
+
+    /// Renders the whole trace as text, one record per line — the
+    /// debugging string view, built only when asked for.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = match r.pid {
+                Some(pid) => writeln!(out, "{} {} {:?} {}", r.time, pid, r.kind, r.detail),
+                None => writeln!(out, "{} - {:?} {}", r.time, r.kind, r.detail),
+            };
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "({} records dropped at capacity)", self.dropped);
+        }
+        out
     }
 
     /// Number of records dropped after hitting the cap.
@@ -110,9 +263,10 @@ impl Trace {
         self.dropped
     }
 
-    /// Clears all records.
+    /// Clears all records and counters.
     pub fn clear(&mut self) {
         self.records.clear();
+        self.counters = [0; TraceEvent::COUNT];
         self.dropped = 0;
     }
 }
@@ -134,17 +288,73 @@ mod tests {
     }
 
     #[test]
+    fn typed_events_count_in_constant_time() {
+        let mut t = Trace::new();
+        assert!(!t.any(TraceEvent::AssertionFired));
+        for i in 0..3 {
+            t.push_event(
+                SimTime::from_secs(i),
+                Some(Pid(9)),
+                TraceKind::App,
+                TraceEvent::AssertionFired,
+                format!("armor assertion fired: #{i}"),
+            );
+        }
+        t.push_event(
+            SimTime::from_secs(9),
+            None,
+            TraceKind::Recovery,
+            TraceEvent::RecoveryCompleted,
+            "recovered ftm".into(),
+        );
+        assert!(t.any(TraceEvent::AssertionFired));
+        assert_eq!(t.count_of(TraceEvent::AssertionFired), 3);
+        assert_eq!(t.count_of(TraceEvent::RecoveryCompleted), 1);
+        assert_eq!(t.count_of(TraceEvent::MpiInitTimeout), 0);
+        assert_eq!(t.of_event(TraceEvent::AssertionFired).count(), 3);
+        assert_eq!(
+            t.of_event(TraceEvent::RecoveryCompleted).next().unwrap().time,
+            SimTime::from_secs(9)
+        );
+    }
+
+    #[test]
+    fn counters_survive_capacity_overflow() {
+        let mut t = Trace::new();
+        t.cap = 2;
+        for i in 0..5 {
+            t.push_event(
+                SimTime::ZERO,
+                None,
+                TraceKind::App,
+                TraceEvent::AppTerminated,
+                format!("{i}"),
+            );
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        // The typed counter sees every occurrence, not just stored ones.
+        assert_eq!(t.count_of(TraceEvent::AppTerminated), 5);
+        t.clear();
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.count_of(TraceEvent::AppTerminated), 0);
+    }
+
+    #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new();
         t.set_enabled(false);
         t.push(SimTime::ZERO, None, TraceKind::App, "x".into());
+        t.push_event(SimTime::ZERO, None, TraceKind::App, TraceEvent::AppStarted, "y".into());
         assert!(t.records().is_empty());
+        assert!(!t.any(TraceEvent::AppStarted));
         assert!(!t.is_enabled());
     }
 
     #[test]
     fn cap_drops_and_counts() {
-        let mut t = Trace { records: Vec::new(), enabled: true, cap: 2, dropped: 0 };
+        let mut t = Trace::new();
+        t.cap = 2;
         for i in 0..5 {
             t.push(SimTime::ZERO, None, TraceKind::App, format!("{i}"));
         }
@@ -152,5 +362,24 @@ mod tests {
         assert_eq!(t.dropped(), 3);
         t.clear();
         assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn render_is_line_per_record() {
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, Some(Pid(1)), TraceKind::Lifecycle, "spawn ftm".into());
+        t.push(SimTime::from_secs(2), None, TraceKind::Recovery, "recovered ftm".into());
+        let text = t.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("spawn ftm"));
+        assert!(text.contains("recovered ftm"));
+    }
+
+    #[test]
+    fn failure_detection_partition() {
+        assert!(TraceEvent::HangDetected.is_failure_detection());
+        assert!(TraceEvent::AppCrashDetected.is_failure_detection());
+        assert!(!TraceEvent::RecoveryCompleted.is_failure_detection());
+        assert!(!TraceEvent::AssertionFired.is_failure_detection());
     }
 }

@@ -108,6 +108,14 @@ impl<W: World> Engine<W> {
 
     /// Runs until the queue drains or the next event would fire after
     /// `horizon`. Returns the final virtual time.
+    ///
+    /// Clock-at-horizon semantics: if the world went **quiescent** (no
+    /// events left anywhere), virtual time stops at the last executed
+    /// event — there is nothing left that could ever advance it. If the
+    /// **horizon** was reached with events still pending beyond it, the
+    /// clock advances to `horizon`: that much virtual time observably
+    /// passed, and a subsequent `run_until` with a later horizon resumes
+    /// from there.
     pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
         while let Some(t) = self.sched.queue.peek_time() {
             if t > horizon {
@@ -118,12 +126,11 @@ impl<W: World> Engine<W> {
             self.steps += 1;
             self.world.handle(ev, &mut self.sched);
         }
-        if self.sched.now < horizon && self.sched.queue.is_empty() {
-            // Quiescent before the horizon: time effectively stops.
-            self.sched.now
-        } else {
-            self.sched.now
+        if !self.sched.queue.is_empty() && self.sched.now < horizon {
+            // Horizon reached with work still pending: time passed.
+            self.sched.now = horizon;
         }
+        self.sched.now
     }
 
     /// Executes a single event if one is pending; returns its time.
@@ -207,6 +214,23 @@ mod tests {
         assert_eq!(e.world().fired, vec![0, 1, 2]);
         // Remaining events still pending.
         assert_eq!(e.step(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn clock_at_horizon_semantics() {
+        // Horizon reached with events pending beyond it: the clock
+        // advances to the horizon even though no event fired there.
+        let mut e = Engine::new(Ping { fired: vec![] });
+        e.seed(SimTime::from_secs(30), 0);
+        assert_eq!(e.run_until(SimTime::from_secs(10)), SimTime::from_secs(10));
+        assert_eq!(e.now(), SimTime::from_secs(10));
+        assert_eq!(e.steps(), 0);
+        // Quiescence before the horizon: the clock stops at the last
+        // executed event, not the horizon.
+        let mut e = Engine::new(Ping { fired: vec![] });
+        e.seed(SimTime::ZERO, 4); // fires at 0, chains once more at 1 s
+        assert_eq!(e.run_until(SimTime::from_secs(100)), SimTime::from_secs(1));
+        assert_eq!(e.now(), SimTime::from_secs(1));
     }
 
     #[test]

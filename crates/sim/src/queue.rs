@@ -38,7 +38,11 @@ impl<E> Ord for Entry<E> {
 /// A deterministic future-event list.
 ///
 /// Events scheduled for the same instant fire in the order they were
-/// scheduled. Cancellation is lazy: cancelled entries are skipped on pop.
+/// scheduled. Cancellation is lazy: cancelled entries stay in the heap
+/// and are skipped on pop. The `pending` set holds exactly the seqs that
+/// are scheduled but have neither fired nor been cancelled, so
+/// [`EventQueue::cancel`] is truthful after the event has already fired
+/// and `len`/`is_empty` never drift.
 ///
 /// # Examples
 ///
@@ -51,9 +55,8 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: std::collections::HashSet<u64>,
+    pending: std::collections::HashSet<u64>,
     next_seq: u64,
-    live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -67,9 +70,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: std::collections::HashSet::new(),
+            pending: std::collections::HashSet::new(),
             next_seq: 0,
-            live: 0,
         }
     }
 
@@ -78,28 +80,24 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event: Some(event) });
-        self.live += 1;
+        self.pending.insert(seq);
         EventHandle(seq)
     }
 
-    /// Cancels a previously scheduled event. Returns `true` if the event
-    /// was still pending.
+    /// Cancels a previously scheduled event. Returns `true` only if the
+    /// event was still pending — cancelling an event that already fired
+    /// (or was already cancelled) is a no-op reporting `false`.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 < self.next_seq && self.cancelled.insert(handle.0) {
-            self.live = self.live.saturating_sub(1);
-            true
-        } else {
-            false
-        }
+        self.pending.remove(&handle.0)
     }
 
     /// Removes and returns the earliest live event as `(time, handle, event)`.
     pub fn pop(&mut self) -> Option<(SimTime, EventHandle, E)> {
         while let Some(mut entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            if !self.pending.remove(&entry.seq) {
+                // Cancelled tombstone: drop it.
                 continue;
             }
-            self.live = self.live.saturating_sub(1);
             let ev = entry.event.take().expect("event present for live entry");
             return Some((entry.time, EventHandle(entry.seq), ev));
         }
@@ -110,12 +108,11 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         loop {
             let skip = match self.heap.peek() {
-                Some(entry) => self.cancelled.contains(&entry.seq),
+                Some(entry) => !self.pending.contains(&entry.seq),
                 None => return None,
             };
             if skip {
-                let entry = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.seq);
+                self.heap.pop().expect("peeked entry exists");
             } else {
                 return self.heap.peek().map(|e| e.time);
             }
@@ -124,26 +121,25 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live
+        self.pending.len()
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.pending.is_empty()
     }
 
     /// Drops every pending event.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.cancelled.clear();
-        self.live = 0;
+        self.pending.clear();
     }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("live", &self.live)
+            .field("live", &self.pending.len())
             .field("next_seq", &self.next_seq)
             .finish()
     }
@@ -202,6 +198,27 @@ mod tests {
         q.schedule(SimTime::from_secs(2), ());
         q.clear();
         assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_reports_false_and_keeps_len_honest() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_secs(1), "a");
+        let h2 = q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap().2, "a");
+        // The event already fired: cancel must be a truthful no-op.
+        assert!(!q.cancel(h1), "cancel after fire must report false");
+        assert_eq!(q.len(), 1, "len must not be decremented by a stale cancel");
+        assert!(!q.is_empty());
+        assert_eq!(q.pop().unwrap().2, "b");
+        assert!(!q.cancel(h2), "cancel after fire must report false");
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        // Nothing leaks: a fresh schedule still behaves normally.
+        let h3 = q.schedule(SimTime::from_secs(3), "c");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(h3));
         assert!(q.pop().is_none());
     }
 

@@ -13,13 +13,22 @@ use crate::special::t_quantile;
 /// assert_eq!(s.mean(), 75.0);
 /// assert!(s.ci95() > 0.0);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Summary {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for Summary {
+    /// Same as [`Summary::new`]. (A derived default would zero the
+    /// min/max sentinels, silently clamping `min()` of any
+    /// default-constructed summary to ≤ 0.)
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Summary {
@@ -170,6 +179,16 @@ mod tests {
     #[test]
     fn bound_decreases_with_n() {
         assert!(no_failure_upper_bound(100) > no_failure_upper_bound(1000));
+    }
+
+    #[test]
+    fn default_tracks_min_like_new() {
+        let mut s = Summary::default();
+        s.push(74.0);
+        s.push(76.0);
+        assert_eq!(s.min(), 74.0, "default-constructed summary must not clamp min to 0");
+        assert_eq!(s.max(), 76.0);
+        assert_eq!(Summary::default(), Summary::new());
     }
 
     #[test]
