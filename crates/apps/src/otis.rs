@@ -134,12 +134,12 @@ impl OtisApp {
 
     fn heap_guard(&mut self, ctx: &mut ProcCtx<'_>) -> bool {
         if self.heap.ptr_fault() {
-            ctx.trace("otis: dereferenced corrupted status pointer".to_owned());
+            ctx.trace("otis: dereferenced corrupted status pointer");
             ctx.crash(Signal::Segv);
             return false;
         }
         if self.heap.dims_fault(self.params.frame_px as u64) {
-            ctx.trace("otis: corrupted frame dimensions".to_owned());
+            ctx.trace("otis: corrupted frame dimensions");
             ctx.crash(Signal::Segv);
             return false;
         }

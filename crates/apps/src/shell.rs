@@ -4,7 +4,7 @@
 //! and resume-point agreement after restarts.
 
 use ree_mpi::{MpiEndpoint, MpiPayload};
-use ree_os::{Message, NodeId, ProcCtx, SpawnSpec, TraceEvent};
+use ree_os::{Message, NodeId, ProcCtx, SpawnSpec, TraceDetail, TraceEvent};
 use ree_sift::{AppLaunch, ClientNote, SiftClient};
 use ree_sim::{SimDuration, SimTime};
 
@@ -149,11 +149,10 @@ impl AppShell {
                 // unavailable SIFT process.
                 ctx.trace_event(
                     TraceEvent::MpiRankGaveUp,
-                    format!(
-                        "rank {} gave up after blocking {} on the SIFT interface",
-                        self.launch.rank,
-                        self.client.blocked_for(ctx.now())
-                    ),
+                    TraceDetail::RankGaveUp {
+                        rank: self.launch.rank,
+                        blocked: self.client.blocked_for(ctx.now()),
+                    },
                 );
                 self.state = ShellState::Dead;
                 ctx.exit(1);
@@ -168,7 +167,7 @@ impl AppShell {
                 if self.launch.rank == 0 && ctx.now() > deadline && self.agreed.is_none() {
                     ctx.trace_event(
                         TraceEvent::MpiInitTimeout,
-                        "MPI init timeout: rank 0 aborts the application".to_owned(),
+                        "MPI init timeout: rank 0 aborts the application",
                     );
                     self.state = ShellState::Dead;
                     ctx.exit(1);
@@ -256,10 +255,11 @@ impl AppShell {
                     self.announced_run = true;
                     ctx.trace_event(
                         TraceEvent::AppStarted,
-                        format!(
-                            "{} rank {} running (resume '{}')",
-                            self.launch.app, self.launch.rank, token
-                        ),
+                        TraceDetail::AppRankRunning {
+                            app: self.launch.app.as_str().into(),
+                            rank: self.launch.rank,
+                            token: token.as_str().into(),
+                        },
                     );
                 }
                 ShellPoll::Run(token.clone())

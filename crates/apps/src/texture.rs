@@ -168,12 +168,12 @@ impl TextureApp {
     /// dimension field crashes the process (Table 10 crash mechanism).
     fn heap_guard(&mut self, ctx: &mut ProcCtx<'_>) -> bool {
         if self.heap.ptr_fault() {
-            ctx.trace("texture: dereferenced corrupted status pointer".to_owned());
+            ctx.trace("texture: dereferenced corrupted status pointer");
             ctx.crash(Signal::Segv);
             return false;
         }
         if self.heap.dims_fault(self.params.image_px as u64) {
-            ctx.trace("texture: corrupted image dimensions".to_owned());
+            ctx.trace("texture: corrupted image dimensions");
             ctx.crash(Signal::Segv);
             return false;
         }

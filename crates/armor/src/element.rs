@@ -39,7 +39,7 @@ pub trait Element {
     fn name(&self) -> &'static str;
 
     /// Event tags this element processes.
-    fn subscriptions(&self) -> Vec<&'static str>;
+    fn subscriptions(&self) -> &'static [&'static str];
 
     /// Processes one event, possibly mutating state and emitting actions
     /// through `ctx`.

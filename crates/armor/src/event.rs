@@ -93,7 +93,7 @@ impl ArmorMessage {
     /// Approximate wire size (for the network model).
     pub fn wire_size(&self) -> u64 {
         let payload: usize =
-            self.events.iter().map(|e| e.tag.len() + 16 + e.fields.leaf_paths().len() * 24).sum();
+            self.events.iter().map(|e| e.tag.len() + 16 + e.fields.leaf_count() * 24).sum();
         64 + payload as u64
     }
 }

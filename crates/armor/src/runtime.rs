@@ -13,9 +13,12 @@ use crate::element::{Element, ElementOutcome};
 use crate::event::{ArmorEvent, ArmorId, WirePacket};
 use crate::microcheckpoint::CheckpointBuffer;
 use crate::value::{Fields, Value};
-use ree_os::{FieldKind, HeapHit, HeapModel, HeapTarget, Message, Pid, ProcCtx, Process, Signal};
+use ree_os::{
+    FieldKind, HeapHit, HeapModel, HeapTarget, Message, Pid, ProcCtx, Process, Signal, TraceDetail,
+};
 use ree_sim::{SimDuration, SimRng};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Page alignment that "valid" structural pointers satisfy; a bit-flipped
 /// pointer is almost always misaligned and crashes on first dereference.
@@ -27,13 +30,10 @@ pub fn valid_ptr(slot: u64) -> Value {
 }
 
 fn fields_have_ptr_fault(fields: &Fields) -> bool {
-    fields.leaf_paths().iter().any(|(path, kind)| {
-        *kind == FieldKind::Pointer
-            && fields
-                .resolve(path)
-                .map(|v| matches!(v, Value::Ptr(p) if p % PTR_ALIGN != 0))
-                .unwrap_or(false)
-    })
+    // Runs on every inbound event (message payload + each subscribed
+    // element's state), so it must not allocate: walk the values
+    // directly instead of materialising leaf paths.
+    fields.has_misaligned_ptr(PTR_ALIGN)
 }
 
 /// When a recovered ARMOR restores its state from the checkpoint.
@@ -107,7 +107,7 @@ enum Processing {
 /// an element and the core can be borrowed simultaneously).
 pub struct ArmorCore {
     id: ArmorId,
-    name: String,
+    name: Arc<str>,
     comm: ReliableComm,
     ckpt: CheckpointBuffer,
     opts: ArmorOptions,
@@ -145,7 +145,7 @@ impl ArmorCore {
                         os.send(pid, "armor-wire", size, packet);
                     }
                     None => {
-                        os.trace(format!("route miss for {dst}; packet dropped"));
+                        os.trace(TraceDetail::RouteMiss { armor: dst.0 });
                     }
                 }
             }
@@ -192,7 +192,7 @@ impl ElementCtx<'_, '_> {
 
     /// This ARMOR's instance name.
     pub fn armor_name(&self) -> String {
-        self.core.name.clone()
+        self.core.name.to_string()
     }
 
     /// Current virtual time.
@@ -252,13 +252,13 @@ impl ElementCtx<'_, '_> {
     }
 
     /// Appends to the cluster trace.
-    pub fn trace(&mut self, detail: impl Into<String>) {
+    pub fn trace(&mut self, detail: impl Into<TraceDetail>) {
         self.os.trace(detail);
     }
 
     /// Appends to the cluster trace with a typed event for O(1)
     /// classification queries.
-    pub fn trace_event(&mut self, event: ree_os::TraceEvent, detail: impl Into<String>) {
+    pub fn trace_event(&mut self, event: ree_os::TraceEvent, detail: impl Into<TraceDetail>) {
         self.os.trace_event(event, detail);
     }
 }
@@ -286,7 +286,7 @@ impl ArmorProcess {
         gateway: Gateway,
         opts: ArmorOptions,
     ) -> Self {
-        let name = name.into();
+        let name: Arc<str> = name.into().into();
         let ckpt = CheckpointBuffer::new(elements.iter().map(|e| (e.name(), e.state())));
         ArmorProcess {
             core: ArmorCore {
@@ -343,13 +343,13 @@ impl ArmorProcess {
                     }
                 }
                 self.restored_from_checkpoint = true;
-                ctx.trace(format!("{} restored state from checkpoint", self.core.name));
+                ctx.trace(TraceDetail::CheckpointRestored { name: Arc::clone(&self.core.name) });
             }
             Err(e) => {
-                ctx.trace_recovery(format!(
-                    "{} checkpoint unusable ({e}); cold start",
-                    self.core.name
-                ));
+                ctx.trace_recovery(TraceDetail::CheckpointUnusable {
+                    name: Arc::clone(&self.core.name),
+                    error: e.to_string().into(),
+                });
             }
         }
     }
@@ -364,7 +364,7 @@ impl ArmorProcess {
                 if self.restored_from_checkpoint {
                     ctx.trace_recovery_event(
                         ree_os::TraceEvent::RecoveryCompleted,
-                        format!("recovered {}", self.core.name),
+                        TraceDetail::Recovered { name: Arc::clone(&self.core.name) },
                     );
                     // Let elements re-derive in-flight intentions (timers
                     // died with the previous incarnation).
@@ -436,18 +436,27 @@ impl ArmorProcess {
         match result {
             Processing::Completed => {}
             Processing::Crash(r) => {
-                ctx.trace(format!("{} crash: {r}", self.core.name));
+                ctx.trace(TraceDetail::ArmorCrash {
+                    name: Arc::clone(&self.core.name),
+                    reason: r.into(),
+                });
                 ctx.crash(Signal::Segv);
             }
             Processing::Assertion(e) => {
                 ctx.trace_event(
                     ree_os::TraceEvent::AssertionFired,
-                    format!("{} assertion fired: {e}", self.core.name),
+                    TraceDetail::ArmorAssertion {
+                        name: Arc::clone(&self.core.name),
+                        reason: e.clone().into(),
+                    },
                 );
                 ctx.abort(e);
             }
             Processing::AbortThread(r) => {
-                ctx.trace(format!("{} handling thread aborted: {r}", self.core.name));
+                ctx.trace(TraceDetail::ThreadAborted {
+                    name: Arc::clone(&self.core.name),
+                    reason: r.into(),
+                });
             }
         }
     }
@@ -459,7 +468,7 @@ impl ArmorProcess {
             if self.core.gateway == Gateway::SelfRouting {
                 self.core.transmit(packet, ctx);
             } else {
-                ctx.trace(format!("{}: misrouted packet dropped", self.core.name));
+                ctx.trace(TraceDetail::Misrouted { name: Arc::clone(&self.core.name) });
             }
             return;
         }
@@ -476,16 +485,25 @@ impl ArmorProcess {
                     Processing::AbortThread(r) => {
                         // Seen but unacked: the Figure 10 mechanism.
                         self.core.comm.mark_seen_unacked(&msg);
-                        ctx.trace(format!("{} thread abort: {r}", self.core.name));
+                        ctx.trace(TraceDetail::ThreadAbort {
+                            name: Arc::clone(&self.core.name),
+                            reason: r.into(),
+                        });
                     }
                     Processing::Crash(r) => {
-                        ctx.trace(format!("{} crash: {r}", self.core.name));
+                        ctx.trace(TraceDetail::ArmorCrash {
+                            name: Arc::clone(&self.core.name),
+                            reason: r.into(),
+                        });
                         ctx.crash(Signal::Segv);
                     }
                     Processing::Assertion(e) => {
                         ctx.trace_event(
                             ree_os::TraceEvent::AssertionFired,
-                            format!("{} assertion fired: {e}", self.core.name),
+                            TraceDetail::ArmorAssertion {
+                                name: Arc::clone(&self.core.name),
+                                reason: e.clone().into(),
+                            },
                         );
                         ctx.abort(e);
                     }
@@ -577,7 +595,10 @@ impl Process for ArmorProcess {
                 Err(_) => ctx.trace("malformed armor-control payload"),
             },
             other => {
-                ctx.trace(format!("{}: unknown message label {other}", self.core.name));
+                ctx.trace(TraceDetail::UnknownLabel {
+                    name: Arc::clone(&self.core.name),
+                    label: other,
+                });
             }
         }
     }
@@ -593,10 +614,9 @@ impl Process for ArmorProcess {
             }
             TIMER_RESTORE_FALLBACK => {
                 if self.awaiting_restore {
-                    ctx.trace(format!(
-                        "{}: no restore instruction; proceeding from checkpoint",
-                        self.core.name
-                    ));
+                    ctx.trace(TraceDetail::NoRestoreInstruction {
+                        name: Arc::clone(&self.core.name),
+                    });
                     self.try_restore(ctx);
                     self.awaiting_restore = false;
                     let result = self.process_events(vec![ArmorEvent::new("armor-restored")], ctx);
@@ -615,7 +635,7 @@ impl Process for ArmorProcess {
                 if self.restored_from_checkpoint {
                     ctx.trace_recovery_event(
                         ree_os::TraceEvent::RecoveryCompleted,
-                        format!("recovered {}", self.core.name),
+                        TraceDetail::Recovered { name: Arc::clone(&self.core.name) },
                     );
                     events.push(ArmorEvent::new("armor-restored"));
                 }

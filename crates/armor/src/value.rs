@@ -53,6 +53,26 @@ impl Value {
         }
     }
 
+    /// Number of leaf values inside this value (1 for scalars).
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Value::List(items) => items.iter().map(Value::leaf_count).sum(),
+            Value::Map(map) => map.values().map(Value::leaf_count).sum(),
+            _ => 1,
+        }
+    }
+
+    /// True if this value contains a pointer leaf misaligned w.r.t.
+    /// `align` (recursive, allocation-free).
+    pub fn has_misaligned_ptr(&self, align: u64) -> bool {
+        match self {
+            Value::Ptr(p) => p % align != 0,
+            Value::List(items) => items.iter().any(|v| v.has_misaligned_ptr(align)),
+            Value::Map(map) => map.values().any(|v| v.has_misaligned_ptr(align)),
+            _ => false,
+        }
+    }
+
     /// Flips one uniformly chosen bit of this leaf value. For containers
     /// this is a no-op (callers pick leaves via [`Fields::leaf_paths`]).
     pub fn flip_bit(&mut self, rng: &mut SimRng) {
@@ -205,12 +225,28 @@ impl Fields {
 
     /// Enumerates the paths of all leaf values with their field kinds.
     /// Paths use `/` separators (`table/hostA`, `list/3`).
+    ///
+    /// Allocates one `String` per leaf — injection/debugging use only;
+    /// per-event checks use the allocation-free walkers below.
     pub fn leaf_paths(&self) -> Vec<(String, FieldKind)> {
         let mut out = Vec::new();
         for (name, value) in &self.entries {
             collect_leaves(name, value, &mut out);
         }
         out
+    }
+
+    /// Number of leaf values — the allocation-free size used by the wire
+    /// model (previously built every path string just to count them).
+    pub fn leaf_count(&self) -> usize {
+        self.entries.values().map(Value::leaf_count).sum()
+    }
+
+    /// True if any pointer-class leaf is misaligned with respect to
+    /// `align` — the per-event structural-pointer fault check, walking
+    /// the state without building paths.
+    pub fn has_misaligned_ptr(&self, align: u64) -> bool {
+        self.entries.values().any(|v| v.has_misaligned_ptr(align))
     }
 
     /// Flips one bit in a leaf selected uniformly among leaves matching

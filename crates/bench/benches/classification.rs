@@ -18,7 +18,7 @@ fn synthetic_run_trace(records: u64) -> Trace {
         Some(Pid(3)),
         TraceKind::App,
         TraceEvent::SubmissionAccepted,
-        "FTM accepted submission of texture (slot 0)".into(),
+        "FTM accepted submission of texture (slot 0)",
     );
     for i in 0..4 {
         t.push_event(
@@ -42,7 +42,7 @@ fn synthetic_run_trace(records: u64) -> Trace {
         Some(Pid(11)),
         TraceKind::App,
         TraceEvent::AssertionFired,
-        "exec0_1 assertion fired: progress-indicator range".into(),
+        "exec0_1 assertion fired: progress-indicator range",
     );
     t
 }

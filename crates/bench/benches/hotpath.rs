@@ -1,0 +1,111 @@
+//! Micro-benchmarks for the simulation hot path introduced by the
+//! allocation-free kernel refactor: indexed-heap event-queue operations
+//! and typed trace appends.
+//!
+//! These pin the per-operation costs that the end-to-end
+//! `campaign_bench` binary measures in aggregate; a regression here
+//! shows up before it has drowned in whole-campaign noise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ree_os::{Pid, Trace, TraceDetail, TraceEvent, TraceKind};
+use ree_sim::{EventQueue, SimTime};
+use std::hint::black_box;
+
+fn hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+
+    group.bench_function("queue_schedule_pop_churn", |b| {
+        // Steady-state simulator shape: a standing population of pending
+        // events with interleaved schedule/pop.
+        let mut q = EventQueue::new();
+        for i in 0..256u64 {
+            q.schedule(SimTime::from_micros(i * 7), i);
+        }
+        let mut t = 256u64 * 7;
+        b.iter(|| {
+            let popped = q.pop().expect("standing population");
+            t += 13;
+            q.schedule(SimTime::from_micros(t), popped.2);
+            black_box(popped.0)
+        });
+    });
+
+    group.bench_function("queue_cancel_o_log_n", |b| {
+        // Schedule + cancel, the timer-heavy ARMOR pattern: cancellation
+        // must physically remove the entry (no tombstone rot).
+        let mut q = EventQueue::new();
+        for i in 0..256u64 {
+            q.schedule(SimTime::from_micros(i * 7), i);
+        }
+        let mut t = 256u64 * 7;
+        b.iter(|| {
+            t += 13;
+            let h = q.schedule(SimTime::from_micros(t), t);
+            black_box(q.cancel(h))
+        });
+    });
+
+    group.bench_function("queue_peek_time", |b| {
+        let mut q = EventQueue::new();
+        for i in 0..256u64 {
+            q.schedule(SimTime::from_micros(i * 7), i);
+        }
+        b.iter(|| black_box(q.peek_time()));
+    });
+
+    group.bench_function("trace_push_typed_detail", |b| {
+        // The per-delivery record: label + pid captured by value, no
+        // formatting.
+        let mut trace = Trace::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            if trace.records().len() >= 300_000 {
+                trace.clear();
+            }
+            trace.push(
+                SimTime::from_micros(i),
+                Some(Pid(3)),
+                TraceKind::Message,
+                TraceDetail::Deliver { label: "armor-wire", from: Pid(7) },
+            );
+        });
+    });
+
+    group.bench_function("trace_push_event_typed_detail", |b| {
+        let mut trace = Trace::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            if trace.records().len() >= 300_000 {
+                trace.clear();
+            }
+            trace.push_event(
+                SimTime::from_micros(i),
+                Some(Pid(3)),
+                TraceKind::Recovery,
+                TraceEvent::RecoveryCompleted,
+                TraceDetail::AppRecovered { slot: 0, attempt: 1 },
+            );
+        });
+    });
+
+    group.bench_function("trace_render_100", |b| {
+        // The deferred cost: rendering happens only on the debug path.
+        let mut trace = Trace::new();
+        for i in 0..100u64 {
+            trace.push(
+                SimTime::from_micros(i),
+                Some(Pid(3)),
+                TraceKind::Message,
+                TraceDetail::Deliver { label: "armor-wire", from: Pid(7) },
+            );
+        }
+        b.iter(|| black_box(trace.render().len()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, hotpath);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! End-to-end campaign throughput benchmark: the capacity ceiling for
+//! every experiment in the paper is runs/second, so this binary measures
+//! it directly and emits `BENCH_campaign.json` for CI artifacts and
+//! PR-over-PR comparison.
+//!
+//! Usage: `campaign_bench [--runs N] [--seed S] [--out PATH] [--quiet]`
+//!
+//! The workload is the paper's standard table campaign: the texture
+//! application on the 4-node testbed under the register error model
+//! (repeat-until-failure — the heaviest Table 2 protocol), plus a
+//! SIGINT sweep (the lightest), so the measurement brackets the real
+//! table workloads. Per-run wall times come from a single-threaded
+//! sweep; aggregate throughput is additionally measured with the
+//! work-stealing parallel campaign runner.
+
+use ree_inject::{run_campaign, ErrorModel, RunPlan, Target};
+use ree_sim::SimTime;
+use std::time::Instant;
+
+fn plan(model: ErrorModel, seed: u64) -> RunPlan {
+    RunPlan {
+        scenario: ree_apps::Scenario::single_texture(seed),
+        target: Target::App,
+        model,
+        timeout: SimTime::from_secs(220),
+    }
+}
+
+struct Sweep {
+    label: &'static str,
+    runs: u32,
+    total_secs: f64,
+    mean_ms: f64,
+    p95_ms: f64,
+}
+
+impl Sweep {
+    fn runs_per_sec(&self) -> f64 {
+        f64::from(self.runs) / self.total_secs
+    }
+}
+
+/// Times `runs` single-threaded executions of `plan`, recording each
+/// run's wall time.
+fn sweep(label: &'static str, plan: &RunPlan, runs: u32, seed0: u64) -> Sweep {
+    let mut per_run_ms: Vec<f64> = Vec::with_capacity(runs as usize);
+    let t0 = Instant::now();
+    for i in 0..u64::from(runs) {
+        let r0 = Instant::now();
+        let result = ree_inject::execute(plan, seed0 + i);
+        std::hint::black_box(&result);
+        per_run_ms.push(r0.elapsed().as_secs_f64() * 1e3);
+    }
+    let total_secs = t0.elapsed().as_secs_f64();
+    per_run_ms.sort_by(|a, b| a.total_cmp(b));
+    let mean_ms = per_run_ms.iter().sum::<f64>() / per_run_ms.len().max(1) as f64;
+    // Nearest-rank p95 (index ceil(0.95 n) - 1).
+    let idx = ((per_run_ms.len() as f64 * 0.95).ceil() as usize).saturating_sub(1);
+    let p95_ms = per_run_ms.get(idx).copied().unwrap_or(0.0);
+    Sweep { label, runs, total_secs, mean_ms, p95_ms }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_sweep(s: &Sweep) -> String {
+    format!(
+        "{{\"label\": \"{}\", \"runs\": {}, \"total_secs\": {:.3}, \
+         \"runs_per_sec\": {:.2}, \"mean_ms\": {:.3}, \"p95_ms\": {:.3}}}",
+        s.label,
+        s.runs,
+        s.total_secs,
+        s.runs_per_sec(),
+        s.mean_ms,
+        s.p95_ms
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
+    let runs: u32 = get("--runs").and_then(|s| s.parse().ok()).unwrap_or(96);
+    let seed: u64 = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(20020401);
+    let out = get("--out").unwrap_or_else(|| "BENCH_campaign.json".to_owned());
+    let note = get("--note").unwrap_or_default();
+    let quiet = args.iter().any(|a| a == "--quiet");
+
+    let register = sweep("register", &plan(ErrorModel::Register, seed), runs, seed);
+    let sigint = sweep("sigint", &plan(ErrorModel::Sigint, seed), runs, seed);
+
+    // Parallel aggregate throughput with the work-stealing runner.
+    let pplan = plan(ErrorModel::Register, seed);
+    let t0 = Instant::now();
+    let results = run_campaign(&pplan, runs, seed);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&results);
+    let parallel_rps = f64::from(runs) / parallel_secs;
+
+    let json = format!(
+        "{{\n  \"workload\": \"single_texture 4-node testbed, Target::App\",\n  \
+         \"note\": \"{}\",\n  \
+         \"runs_per_sweep\": {runs},\n  \"seed\": {seed},\n  \
+         \"single_thread\": [\n    {},\n    {}\n  ],\n  \
+         \"parallel_register\": {{\"runs\": {runs}, \"total_secs\": {parallel_secs:.3}, \
+         \"runs_per_sec\": {parallel_rps:.2}}}\n}}\n",
+        json_escape(&note),
+        json_sweep(&register),
+        json_sweep(&sigint),
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    if !quiet {
+        print!("{json}");
+        eprintln!("wrote {out}");
+    }
+}

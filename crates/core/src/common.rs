@@ -26,8 +26,8 @@ impl Element for ProbeResponder {
         "probe_responder"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![tags::ARE_YOU_ALIVE]
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[tags::ARE_YOU_ALIVE]
     }
 
     fn handle(&mut self, ev: &ArmorEvent, ctx: &mut ElementCtx<'_, '_>) -> ElementOutcome {
@@ -74,8 +74,8 @@ impl Element for Configurator {
         "configurator"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec!["sift-configure"]
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &["sift-configure"]
     }
 
     fn handle(&mut self, ev: &ArmorEvent, _ctx: &mut ElementCtx<'_, '_>) -> ElementOutcome {

@@ -8,7 +8,7 @@ use crate::util::{rec_str, rec_u64, table_get, table_remove, table_set};
 use ree_armor::{
     ArmorEvent, ArmorId, ControlOp, Element, ElementCtx, ElementOutcome, Fields, Value,
 };
-use ree_os::{NodeId, Pid, Signal, SpawnSpec, TextSource, TraceEvent};
+use ree_os::{NodeId, Pid, Signal, SpawnSpec, TextSource, TraceDetail, TraceEvent};
 use ree_sim::SimDuration;
 use std::rc::Rc;
 
@@ -40,8 +40,8 @@ impl Element for DaemonGateway {
         "gateway"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![tags::DAEMON_HB_PING, "register-with-ftm", tags::ROUTE_UPDATE, "sift-configure"]
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[tags::DAEMON_HB_PING, "register-with-ftm", tags::ROUTE_UPDATE, "sift-configure"]
     }
 
     fn handle(&mut self, ev: &ArmorEvent, ctx: &mut ElementCtx<'_, '_>) -> ElementOutcome {
@@ -61,7 +61,7 @@ impl Element for DaemonGateway {
                 let node = self.state.u64("node").unwrap_or(0);
                 ctx.trace_event(
                     TraceEvent::DaemonRegistered,
-                    format!("daemon on node{node} registering with FTM"),
+                    TraceDetail::DaemonRegistering { node },
                 );
                 ctx.send(
                     ids::FTM,
@@ -227,7 +227,10 @@ impl DaemonInstaller {
         } else {
             TraceEvent::ArmorInstalled
         };
-        ctx.trace_event(event, format!("installed {kind} as {armor} ({pid}) on {node}"));
+        ctx.trace_event(
+            event,
+            TraceDetail::ArmorInstall { kind: kind.into(), armor: armor.0, pid, node },
+        );
         pid
     }
 }
@@ -237,8 +240,8 @@ impl Element for DaemonInstaller {
         "installer"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[
             tags::INSTALL_ARMOR,
             tags::REINSTALL_ARMOR,
             tags::UNINSTALL_ARMOR,
@@ -332,9 +335,7 @@ impl Element for DaemonInstaller {
                 let restarts = self.state.bump(&restarts_key).unwrap_or(1);
                 let pristine = restarts >= IMAGE_RELOAD_THRESHOLD;
                 if pristine {
-                    ctx.trace(format!(
-                        "{armor} failed {restarts} times; reloading image from disk"
-                    ));
+                    ctx.trace(TraceDetail::ArmorImageReload { armor: armor.0, restarts });
                 }
                 let mut extra = Vec::new();
                 if let Some(fd) = ev.u64("ftm_daemon") {
@@ -371,7 +372,7 @@ impl Element for DaemonInstaller {
                     );
                     ctx.trace_event(
                         TraceEvent::ArmorUninstalled,
-                        format!("uninstalled armor{armor}"),
+                        TraceDetail::ArmorUninstall { armor },
                     );
                 }
             }
@@ -383,7 +384,7 @@ impl Element for DaemonInstaller {
                     if let Some(pid) = rec_u64(rec, "pid") {
                         ctx.os.trace_recovery_event(
                             TraceEvent::HangDetected,
-                            format!("detect hang armor{armor}"),
+                            TraceDetail::DetectHang { armor },
                         );
                         ctx.os.kill(Pid(pid), Signal::Kill);
                     }
@@ -406,11 +407,11 @@ impl Element for DaemonInstaller {
                 if ArmorId(armor as u32) == ids::FTM {
                     // FTM recovery is the Heartbeat ARMOR's job (§3.1);
                     // the daemon only observes.
-                    ctx.trace("local FTM died; awaiting Heartbeat ARMOR recovery".to_owned());
+                    ctx.trace("local FTM died; awaiting Heartbeat ARMOR recovery");
                 } else {
                     ctx.os.trace_recovery_event(
                         TraceEvent::CrashDetected,
-                        format!("detect crash armor{armor}"),
+                        TraceDetail::DetectCrash { armor },
                     );
                     ctx.send(
                         ids::FTM,
@@ -466,8 +467,8 @@ impl Element for LocalProber {
         "prober"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[
             tags::ARMOR_START,
             "armor-restored",
             "probe-cycle",

@@ -5,7 +5,7 @@
 use crate::blueprint::{AppLaunch, Blueprint};
 use crate::config::{ids, tags};
 use ree_armor::{valid_ptr, ArmorEvent, Element, ElementCtx, ElementOutcome, Fields, Value};
-use ree_os::{Pid, Signal, SpawnSpec, TraceEvent};
+use ree_os::{Pid, Signal, SpawnSpec, TraceDetail, TraceEvent};
 use ree_sim::SimDuration;
 use std::rc::Rc;
 
@@ -52,14 +52,14 @@ impl AppMonitor {
         self.state.set("app_status", Value::Str(s.to_owned()));
     }
 
-    fn report_failure(&mut self, ctx: &mut ElementCtx<'_, '_>, reason: &str) {
+    fn report_failure(&mut self, ctx: &mut ElementCtx<'_, '_>, reason: &'static str) {
         if self.status() == "failed" {
             return;
         }
         self.set_status("failed");
         let slot = self.state.u64("slot").unwrap_or(0);
         let rank = self.state.u64("rank").unwrap_or(0);
-        ctx.trace(format!("exec armor reports app failure: slot{slot} rank{rank} ({reason})"));
+        ctx.trace(TraceDetail::AppFailureReport { slot, rank, reason });
         ctx.send(
             ids::FTM,
             vec![ArmorEvent::new(tags::APP_FAILED)
@@ -75,8 +75,8 @@ impl Element for AppMonitor {
         "app_monitor"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[
             "sift-configure",
             tags::ARMOR_START,
             tags::LAUNCH_APP,
@@ -165,7 +165,7 @@ impl Element for AppMonitor {
                 if attempt > 0 {
                     ctx.os.trace_recovery_event(
                         TraceEvent::RecoveryCompleted,
-                        format!("recovered application slot{slot} (attempt {attempt})"),
+                        TraceDetail::AppRecovered { slot, attempt },
                     );
                 }
                 self.state.set("app", Value::Str(app));
@@ -233,7 +233,7 @@ impl Element for AppMonitor {
                 let at_us = ctx.now().as_micros();
                 ctx.os.trace_event(
                     TraceEvent::AppTerminated,
-                    format!("app-terminated slot{slot} rank{rank}"),
+                    TraceDetail::AppTerminatedNotice { slot, rank },
                 );
                 ctx.send(
                     ids::FTM,
@@ -266,7 +266,9 @@ impl Element for AppMonitor {
                     if !clean {
                         ctx.os.trace_recovery_event(
                             TraceEvent::AppCrashDetected,
-                            format!("detect app crash rank{}", self.state.u64("rank").unwrap_or(0)),
+                            TraceDetail::DetectAppCrash {
+                                rank: self.state.u64("rank").unwrap_or(0),
+                            },
                         );
                         self.report_failure(ctx, "crash");
                     }
@@ -282,10 +284,9 @@ impl Element for AppMonitor {
                         if !ctx.os.process_alive(pid) && !clean {
                             ctx.os.trace_recovery_event(
                                 TraceEvent::AppCrashDetected,
-                                format!(
-                                    "detect app crash rank{}",
-                                    self.state.u64("rank").unwrap_or(0)
-                                ),
+                                TraceDetail::DetectAppCrash {
+                                    rank: self.state.u64("rank").unwrap_or(0),
+                                },
                             );
                             self.report_failure(ctx, "crash");
                         }
@@ -296,7 +297,7 @@ impl Element for AppMonitor {
             "pi-hang-detected" if self.status() == "running" => {
                 ctx.os.trace_recovery_event(
                     TraceEvent::AppHangDetected,
-                    format!("detect app hang rank{}", self.state.u64("rank").unwrap_or(0)),
+                    TraceDetail::DetectAppHang { rank: self.state.u64("rank").unwrap_or(0) },
                 );
                 if let Some(pid) = self.app_pid() {
                     if ctx.os.process_alive(pid) {
@@ -372,8 +373,8 @@ impl Element for ProgressWatch {
         "progress_watch"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![tags::PI_CREATE, tags::PI_UPDATE, "pi-check", "pi-deadline", "pi-reset"]
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[tags::PI_CREATE, tags::PI_UPDATE, "pi-check", "pi-deadline", "pi-reset"]
     }
 
     fn handle(&mut self, ev: &ArmorEvent, ctx: &mut ElementCtx<'_, '_>) -> ElementOutcome {

@@ -14,6 +14,7 @@ use crate::util::{rec_str, rec_u64, record, table_get, table_keys, table_remove,
 use ree_armor::{
     valid_ptr, ArmorEvent, ArmorId, Element, ElementCtx, ElementOutcome, Fields, Value,
 };
+use ree_os::TraceDetail;
 use ree_os::{Pid, TraceEvent};
 use ree_sim::SimDuration;
 
@@ -42,8 +43,8 @@ impl Element for FtmHbResponder {
         "hb_responder"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![tags::FTM_HB_PING]
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[tags::FTM_HB_PING]
     }
 
     fn handle(&mut self, ev: &ArmorEvent, ctx: &mut ElementCtx<'_, '_>) -> ElementOutcome {
@@ -95,8 +96,8 @@ impl Element for SccIface {
         "scc_iface"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[
             "armor-restored",
             tags::SUBMIT_APP,
             "app-started-info",
@@ -145,7 +146,7 @@ impl Element for SccIface {
                 );
                 ctx.trace_event(
                     TraceEvent::SubmissionAccepted,
-                    format!("FTM accepted submission of {app} (slot {slot})"),
+                    TraceDetail::FtmAcceptedSubmission { app: app.into(), slot },
                 );
                 // Fan the submission out to the bookkeeping elements.
                 let mut accepted = ArmorEvent::new("app-submit-accepted");
@@ -199,7 +200,7 @@ impl Element for SccIface {
             "report-complete" => {
                 let slot = ev.u64("slot").unwrap_or(0);
                 table_remove(&mut self.state, "jobs", &slot.to_string());
-                ctx.trace(format!("FTM reports slot {slot} complete to SCC"));
+                ctx.trace(TraceDetail::FtmSlotComplete { slot });
                 if let Some(scc) = self.scc() {
                     ctx.os.send(scc, "scc-report", 64, SccReport::Completed { slot });
                 }
@@ -212,7 +213,7 @@ impl Element for SccIface {
                 if !started {
                     // §9 lessons: the connect timeout catches errors in
                     // the critical setup phase quickly.
-                    ctx.trace(format!("connect timeout for slot {slot}; retrying setup"));
+                    ctx.trace(TraceDetail::FtmConnectTimeout { slot });
                     if let Some(scc) = self.scc() {
                         ctx.os.send(scc, "scc-report", 64, SccReport::ConnectTimeout { slot });
                     }
@@ -292,8 +293,8 @@ impl Element for MgrArmorInfo {
         "mgr_armor_info"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[
             "app-submit-accepted",
             tags::INSTALL_ACK,
             tags::REINSTALL_ACK,
@@ -460,9 +461,11 @@ impl Element for MgrArmorInfo {
                         "node",
                         Value::U64(new_node),
                     );
-                    ctx.os.trace_recovery(format!(
-                        "migrating armor{armor} ({kind}) to node{new_node}"
-                    ));
+                    ctx.os.trace_recovery(TraceDetail::MigratingArmor {
+                        armor,
+                        kind: kind.as_str().into(),
+                        node: new_node,
+                    });
                     ctx.raise(
                         ArmorEvent::new("need-reinstall")
                             .with("armor", Value::U64(armor))
@@ -574,8 +577,8 @@ impl Element for ExecArmorInfo {
         "exec_armor_info"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[
             "app-submit-accepted",
             "exec-installed",
             tags::APP_STARTED,
@@ -678,8 +681,8 @@ impl Element for AppParam {
         "app_param"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[
             "armor-restored",
             "app-submit-accepted",
             "slot-ready",
@@ -798,7 +801,7 @@ impl Element for AppParam {
                     "pending_relaunch",
                     Value::Bool(true),
                 );
-                ctx.trace(format!("FTM restarting app slot {slot} (restart #{restart})"));
+                ctx.trace(TraceDetail::FtmRestartApp { slot, restart });
                 // Stop every rank, then relaunch after a short settle.
                 for rank in 0..ranks {
                     ctx.send(
@@ -869,8 +872,8 @@ impl Element for MgrAppDetect {
         "mgr_app_detect"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[
             "app-submit-accepted",
             tags::APP_TERMINATED,
             tags::APP_FAILED,
@@ -1061,8 +1064,8 @@ impl Element for NodeMgmt {
         "node_mgmt"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[
             "sift-configure",
             tags::DAEMON_REGISTER,
             "need-install",
@@ -1205,8 +1208,8 @@ impl Element for DaemonHb {
         "daemon_hb"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[
             tags::ARMOR_START,
             "armor-restored",
             "daemon-hb-cycle",
@@ -1270,7 +1273,7 @@ impl Element for DaemonHb {
                         table_remove(&mut self.state, "watch", &key);
                         ctx.os.trace_recovery_event(
                             TraceEvent::NodeFailureDetected,
-                            format!("detect node{node} failure (daemon silent)"),
+                            TraceDetail::DetectNodeFailure { node },
                         );
                         // Collect alive nodes for migration targets.
                         let alive: Vec<Value> = self

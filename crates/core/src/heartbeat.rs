@@ -38,7 +38,7 @@ impl HbWatch {
         self.state.bump("recoveries");
         ctx.os.trace_recovery_event(
             TraceEvent::FtmFailureDetected,
-            "detect ftm failure (heartbeat timeout)".to_owned(),
+            "detect ftm failure (heartbeat timeout)",
         );
         // Step one of the two-step recovery (§6.1): reinstall via the
         // FTM's daemon. Step two (state restore) happens only after the
@@ -59,8 +59,8 @@ impl Element for HbWatch {
         "hb_watch"
     }
 
-    fn subscriptions(&self) -> Vec<&'static str> {
-        vec![
+    fn subscriptions(&self) -> &'static [&'static str] {
+        &[
             tags::ARMOR_START,
             "armor-restored",
             "hb-cycle",
@@ -130,7 +130,7 @@ impl Element for HbWatch {
                 // Step two: instruct the recovered FTM to restore its
                 // state from the checkpoint.
                 ctx.send(ids::FTM, vec![ArmorEvent::new("__restore-state")]);
-                ctx.os.trace_recovery("ftm reinstalled; restore instructed".to_owned());
+                ctx.os.trace_recovery("ftm reinstalled; restore instructed");
             }
             _ => {}
         }

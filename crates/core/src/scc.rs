@@ -11,7 +11,7 @@ use crate::blueprint::Blueprint;
 use crate::config::{ids, tags};
 use crate::report::{ArmorInstalled, JobTimes, SccReport};
 use ree_armor::{ArmorEvent, ControlOp, Value};
-use ree_os::{Message, NodeId, Pid, ProcCtx, Process, SpawnSpec};
+use ree_os::{Message, NodeId, Pid, ProcCtx, Process, SpawnSpec, TraceDetail};
 use ree_sim::SimDuration;
 use std::rc::Rc;
 
@@ -156,7 +156,7 @@ impl Process for Scc {
                 if !started
                     && self.submit_attempts.get(slot).copied().unwrap_or(0) < MAX_SUBMIT_ATTEMPTS
                 {
-                    ctx.trace(format!("SCC resubmitting slot {slot} (no start report)"));
+                    ctx.trace(TraceDetail::SccResubmit { slot: slot as u64 });
                     ctx.set_timer(SimDuration::from_micros(1), TIMER_SUBMIT_BASE + slot as u64);
                 }
             }
@@ -168,7 +168,10 @@ impl Process for Scc {
                     ctx.set_timer(SimDuration::from_secs(1), submit);
                     return;
                 };
-                ctx.trace(format!("SCC submits {} (slot {slot})", job.app));
+                ctx.trace(TraceDetail::SccSubmit {
+                    app: job.app.as_str().into(),
+                    slot: slot as u64,
+                });
                 if self.job_times[slot].submitted.is_none() {
                     self.job_times[slot].submitted = Some(ctx.now());
                 }
@@ -242,7 +245,7 @@ impl Process for Scc {
                         }
                         SccReport::ConnectTimeout { .. } => times.connect_timeouts += 1,
                     }
-                    ctx.trace(format!("SCC received {report:?}"));
+                    ctx.trace(report.trace_detail());
                     self.persist(slot, ctx);
                 }
             }

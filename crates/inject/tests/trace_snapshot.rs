@@ -1,0 +1,82 @@
+//! Pins the rendered trace of seeded testbed runs byte-for-byte.
+//!
+//! The fixtures under `tests/snapshots/` were generated from the
+//! pre-`TraceDetail` trace implementation (eager `String` details); the
+//! lazily-rendered typed details must reproduce them exactly, so every
+//! `Display` impl in the migration is checked against the original
+//! `format!` strings on real end-to-end runs — one fault-free, one with
+//! repeated register injections (covering injection, signal, recovery,
+//! and lifecycle records).
+//!
+//! Regenerate with `REGEN_TRACE_SNAPSHOT=1 cargo test -p ree-inject
+//! --test trace_snapshot` after an *intentional* trace format change.
+
+use ree_inject::{execute_full, ErrorModel, RunPlan, Target};
+use ree_sim::SimTime;
+use std::path::PathBuf;
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots").join(name)
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = snapshot_path(name);
+    if std::env::var_os("REGEN_TRACE_SNAPSHOT").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", path.display()));
+    if expected != rendered {
+        // Locate the first divergent line for a useful failure message.
+        for (line, (a, b)) in (1..).zip(expected.lines().zip(rendered.lines())) {
+            if a != b {
+                panic!(
+                    "trace render diverges from {} at line {line}:\n  expected: {a}\n  \
+                     rendered: {b}",
+                    path.display()
+                );
+            }
+        }
+        panic!(
+            "trace render diverges from {} in length: expected {} lines, rendered {}",
+            path.display(),
+            expected.lines().count(),
+            rendered.lines().count()
+        );
+    }
+}
+
+#[test]
+fn fault_free_testbed_render_is_byte_identical() {
+    let mut running = ree_apps::Scenario::single_texture(7).start();
+    running.run_until_done(SimTime::from_secs(200));
+    check("trace_fault_free_seed7.txt", &running.cluster.trace().render());
+}
+
+#[test]
+fn register_injection_render_is_byte_identical() {
+    let plan = RunPlan {
+        scenario: ree_apps::Scenario::single_texture(7),
+        target: Target::App,
+        model: ErrorModel::Register,
+        timeout: SimTime::from_secs(220),
+    };
+    let (_result, running) = execute_full(&plan, 42);
+    check("trace_register_seed42.txt", &running.cluster.trace().render());
+}
+
+#[test]
+fn sigstop_injection_render_is_byte_identical() {
+    // SIGSTOP exercises the hang-detection path: stop/continue signals,
+    // probe timeouts, ARMOR kills and recoveries.
+    let plan = RunPlan {
+        scenario: ree_apps::Scenario::single_texture(7),
+        target: Target::Ftm,
+        model: ErrorModel::Sigstop,
+        timeout: SimTime::from_secs(220),
+    };
+    let (_result, running) = execute_full(&plan, 11);
+    check("trace_sigstop_ftm_seed11.txt", &running.cluster.trace().render());
+}

@@ -138,7 +138,7 @@ impl MpiEndpoint {
     /// the SIFT hang detection owns).
     pub fn send(&mut self, os: &mut ProcCtx<'_>, to_rank: u32, tag: u32, payload: MpiPayload) {
         let Some(pid) = self.peer(to_rank) else {
-            os.trace(format!("mpi: rank {} send to unknown rank {to_rank}", self.rank));
+            os.trace(ree_os::TraceDetail::MpiUnknownRank { rank: self.rank, to_rank });
             return;
         };
         self.sends += 1;

@@ -9,12 +9,13 @@
 
 use crate::machine::{FaultConsequence, InjectionSite, MachineState};
 use crate::process::{ExitStatus, HeapHit, HeapTarget, Message, Pid, Process, Signal};
+use crate::ptable::ProcTable;
 use crate::storage::{RamDisk, RemoteFs};
-use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::trace::{Trace, TraceDetail, TraceEvent, TraceKind};
 use ree_net::{Network, NetworkConfig, NodeId, SendVerdict};
 use ree_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Identifies a pending timer (for cancellation).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -150,8 +151,6 @@ struct WorkState {
 }
 
 struct ProcEntry {
-    node: NodeId,
-    name: String,
     kind: &'static str,
     parent: Option<Pid>,
     behavior: Option<Box<dyn Process>>,
@@ -159,8 +158,12 @@ struct ProcEntry {
     stopped: bool,
     deaf: bool,
     stash: Vec<OsEvent>,
-    live_timers: HashSet<u64>,
-    works: HashMap<u64, WorkState>,
+    /// Armed one-shot timer ids. A process holds a handful at a time, so
+    /// a linear vector beats hashing on the per-event path.
+    live_timers: Vec<u64>,
+    /// In-progress CPU work units, keyed by work id (same small-n
+    /// argument as `live_timers`).
+    works: Vec<(u64, WorkState)>,
     spawned_at: SimTime,
 }
 
@@ -196,13 +199,14 @@ pub struct Cluster {
     queue: EventQueue<OsEvent>,
     net: Network,
     nodes: Vec<NodeState>,
-    procs: HashMap<Pid, ProcEntry>,
-    graveyard: HashMap<Pid, (SimTime, ExitStatus)>,
+    procs: ProcTable<ProcEntry>,
+    /// Exit records, indexed by pid serial (dense: one slot per pid ever
+    /// issued).
+    graveyard: Vec<Option<(SimTime, ExitStatus)>>,
     remote_fs: RemoteFs,
     rng: SimRng,
     machine_rng: SimRng,
     trace: Trace,
-    next_pid: u64,
     next_timer: u64,
     next_work: u64,
     pending_self_exit: Option<ExitStatus>,
@@ -226,21 +230,20 @@ impl Cluster {
         trace.set_enabled(config.trace_enabled);
         Cluster {
             net: Network::new(config.net.clone(), net_rng),
-            config,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             nodes,
-            procs: HashMap::new(),
-            graveyard: HashMap::new(),
+            procs: ProcTable::new(config.nodes),
+            graveyard: Vec::new(),
             remote_fs: RemoteFs::new(),
             rng,
             machine_rng,
             trace,
-            next_pid: 1,
             next_timer: 1,
             next_work: 1,
             pending_self_exit: None,
             current_pid: None,
+            config,
         }
     }
 
@@ -299,21 +302,18 @@ impl Cluster {
     /// Panics if the target node does not exist.
     pub fn spawn(&mut self, spec: SpawnSpec) -> Pid {
         assert!((spec.node.0 as usize) < self.nodes.len(), "spawn on unknown node");
-        let pid = Pid(self.next_pid);
-        self.next_pid += 1;
         let kind = spec.behavior.kind();
         let profile = spec.behavior.machine_profile();
         let text = match spec.text {
             TextSource::Pristine => MachineState::generic_text_image(kind),
             TextSource::CopyFrom(src) => self
                 .procs
-                .get(&src)
+                .get(src)
                 .map(|e| e.machine.copy_text_image())
                 .unwrap_or_else(|| MachineState::generic_text_image(kind)),
         };
+        let name: Arc<str> = spec.name.into();
         let entry = ProcEntry {
-            node: spec.node,
-            name: spec.name.clone(),
             kind,
             parent: spec.parent,
             behavior: Some(spec.behavior),
@@ -321,75 +321,73 @@ impl Cluster {
             stopped: false,
             deaf: false,
             stash: Vec::new(),
-            live_timers: HashSet::new(),
-            works: HashMap::new(),
+            live_timers: Vec::new(),
+            works: Vec::new(),
             spawned_at: self.now,
         };
-        self.procs.insert(pid, entry);
+        let pid = self.procs.insert(spec.node, Arc::clone(&name), entry);
         let latency = spec.latency.unwrap_or(self.config.spawn_latency);
         self.queue.schedule(self.now + latency, OsEvent::Start { pid });
         self.trace.push(
             self.now,
             Some(pid),
             TraceKind::Lifecycle,
-            format!("spawn {} ({kind}) on {}", spec.name, spec.node),
+            TraceDetail::Spawn { name, kind, node: spec.node },
         );
         pid
     }
 
     /// True if the process is in the process table.
     pub fn is_alive(&self, pid: Pid) -> bool {
-        self.procs.contains_key(&pid)
+        self.procs.contains(pid)
     }
 
     /// True if the process is alive but stopped (hung).
     pub fn is_stopped(&self, pid: Pid) -> bool {
-        self.procs.get(&pid).map(|e| e.stopped).unwrap_or(false)
+        self.procs.get(pid).map(|e| e.stopped).unwrap_or(false)
     }
 
     /// True if the process suffers receive omissions (messages dropped).
     pub fn is_deaf(&self, pid: Pid) -> bool {
-        self.procs.get(&pid).map(|e| e.deaf).unwrap_or(false)
+        self.procs.get(pid).map(|e| e.deaf).unwrap_or(false)
     }
 
     /// Exit record of a dead process.
     pub fn exit_status(&self, pid: Pid) -> Option<&(SimTime, ExitStatus)> {
-        self.graveyard.get(&pid)
+        self.graveyard.get(pid.0 as usize).and_then(Option::as_ref)
     }
 
     /// Node a live process runs on.
     pub fn node_of(&self, pid: Pid) -> Option<NodeId> {
-        self.procs.get(&pid).map(|e| e.node)
+        self.procs.node_of(pid)
     }
 
     /// Instance name of a live process.
     pub fn name_of(&self, pid: Pid) -> Option<&str> {
-        self.procs.get(&pid).map(|e| e.name.as_str())
+        self.procs.name_of(pid).map(|n| &**n)
     }
 
     /// Behaviour kind of a live process (e.g. `armor`, `mpi-app`).
     pub fn kind_of(&self, pid: Pid) -> Option<&'static str> {
-        self.procs.get(&pid).map(|e| e.kind)
+        self.procs.get(pid).map(|e| e.kind)
     }
 
-    /// Finds a live process by instance name.
+    /// Finds a live process by instance name. Duplicate names resolve
+    /// to the **lowest** live pid (deterministic; previously this
+    /// depended on `HashMap` iteration order).
     pub fn find_by_name(&self, name: &str) -> Option<Pid> {
-        self.procs.iter().find(|(_, e)| e.name == name).map(|(p, _)| *p)
+        self.procs.find_by_name(name)
     }
 
-    /// All live processes on a node.
-    pub fn procs_on_node(&self, node: NodeId) -> Vec<Pid> {
-        let mut v: Vec<Pid> =
-            self.procs.iter().filter(|(_, e)| e.node == node).map(|(p, _)| *p).collect();
-        v.sort_unstable();
-        v
+    /// All live processes on a node, ascending — a maintained index
+    /// (no allocation or sorting per call).
+    pub fn procs_on_node(&self, node: NodeId) -> &[Pid] {
+        self.procs.procs_on_node(node)
     }
 
-    /// All live processes.
+    /// All live processes, ascending.
     pub fn all_procs(&self) -> Vec<Pid> {
-        let mut v: Vec<Pid> = self.procs.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.procs.all_pids()
     }
 
     // ------------------------------------------------------------------
@@ -398,46 +396,61 @@ impl Cluster {
 
     /// Delivers a signal to a process (the SIGINT/SIGSTOP error models).
     pub fn send_signal(&mut self, pid: Pid, sig: Signal) {
-        self.trace.push(self.now, Some(pid), TraceKind::Injection, format!("signal {sig}"));
+        self.trace.push(
+            self.now,
+            Some(pid),
+            TraceKind::Injection,
+            TraceDetail::SignalInjected(sig),
+        );
         self.queue.schedule(self.now, OsEvent::SignalEv { pid, sig });
     }
 
     /// Flips a bit in the target's register file.
     pub fn inject_register(&mut self, pid: Pid) -> Option<InjectionSite> {
-        let entry = self.procs.get_mut(&pid)?;
+        let entry = self.procs.get_mut(pid)?;
         let site = entry.machine.inject_register_bit(&mut self.machine_rng);
         self.trace.push(
             self.now,
             Some(pid),
             TraceKind::Injection,
-            format!("register flip {site:?}"),
+            TraceDetail::RegisterFlip(site.clone()),
         );
         Some(site)
     }
 
     /// Flips a bit in the target's text segment.
     pub fn inject_text(&mut self, pid: Pid) -> Option<InjectionSite> {
-        let entry = self.procs.get_mut(&pid)?;
+        let entry = self.procs.get_mut(pid)?;
         let site = entry.machine.inject_text_bit(&mut self.machine_rng);
-        self.trace.push(self.now, Some(pid), TraceKind::Injection, format!("text flip {site:?}"));
+        self.trace.push(
+            self.now,
+            Some(pid),
+            TraceKind::Injection,
+            TraceDetail::TextFlip(site.clone()),
+        );
         Some(site)
     }
 
     /// Flips a bit in the target's heap model.
     pub fn inject_heap(&mut self, pid: Pid, target: &HeapTarget) -> Option<HeapHit> {
         // Split borrows: heap lives in behaviour, RNG in the cluster.
-        let entry = self.procs.get_mut(&pid)?;
+        let entry = self.procs.get_mut(pid)?;
         let behavior = entry.behavior.as_mut()?;
         let hit = behavior.heap()?.flip_bit(&mut self.machine_rng, target)?;
-        self.trace.push(self.now, Some(pid), TraceKind::Injection, format!("heap flip {hit:?}"));
+        self.trace.push(
+            self.now,
+            Some(pid),
+            TraceKind::Injection,
+            TraceDetail::HeapFlip(hit.clone()),
+        );
         Some(hit)
     }
 
     /// Crashes an entire node: all processes killed, link down, RAM disk
     /// optionally wiped.
     pub fn fail_node(&mut self, node: NodeId) {
-        self.trace.push(self.now, None, TraceKind::Injection, format!("{node} failed"));
-        let victims = self.procs_on_node(node);
+        self.trace.push(self.now, None, TraceKind::Injection, TraceDetail::NodeFailed(node));
+        let victims: Vec<Pid> = self.procs_on_node(node).to_vec();
         for pid in victims {
             self.terminate(pid, ExitStatus::Killed(Signal::Kill), false);
         }
@@ -452,7 +465,7 @@ impl Cluster {
     pub fn restore_node(&mut self, node: NodeId) {
         self.nodes[node.0 as usize].alive = true;
         self.net.set_node_down(node, false);
-        self.trace.push(self.now, None, TraceKind::Recovery, format!("{node} restored"));
+        self.trace.push(self.now, None, TraceKind::Recovery, TraceDetail::NodeRestored(node));
     }
 
     /// True if the node is up.
@@ -535,8 +548,14 @@ impl Cluster {
             OsEvent::Timer { pid, timer_id, .. } => {
                 // One-shot semantics: a cancelled timer never fires. Fired
                 // timers stashed during a stop re-arm their id on resume.
-                let live = match self.procs.get_mut(&pid) {
-                    Some(e) => e.live_timers.remove(&timer_id),
+                let live = match self.procs.get_mut(pid) {
+                    Some(e) => match e.live_timers.iter().position(|t| *t == timer_id) {
+                        Some(i) => {
+                            e.live_timers.swap_remove(i);
+                            true
+                        }
+                        None => false,
+                    },
                     None => false,
                 };
                 if !live {
@@ -560,7 +579,7 @@ impl Cluster {
                     self.now,
                     Some(pid),
                     TraceKind::Message,
-                    format!("deliver {label} from {from}"),
+                    TraceDetail::Deliver { label, from },
                 );
                 self.with_behavior(pid, |b, ctx| {
                     b.on_message(Message { from, label, payload }, ctx)
@@ -579,7 +598,7 @@ impl Cluster {
     /// to the behaviour, `None` if it was consumed (process dead, event
     /// stashed, or fault-induced crash).
     fn pre_execute(&mut self, pid: Pid, ev: OsEvent) -> Option<OsEvent> {
-        let entry = self.procs.get_mut(&pid)?;
+        let entry = self.procs.get_mut(pid)?;
         if entry.stopped {
             entry.stash.push(ev);
             return None;
@@ -590,7 +609,7 @@ impl Cluster {
                     self.now,
                     Some(pid),
                     TraceKind::Message,
-                    format!("receive omission drops {label}"),
+                    TraceDetail::OmissionDrop { label },
                 );
                 return None;
             }
@@ -613,7 +632,7 @@ impl Cluster {
                     Some(pid),
                     TraceKind::Lifecycle,
                     TraceEvent::FaultInducedHang,
-                    "fault-induced hang".into(),
+                    "fault-induced hang",
                 );
                 None
             }
@@ -621,12 +640,7 @@ impl Cluster {
                 if let Some(b) = entry.behavior.as_mut() {
                     b.silent_corruption(&mut self.machine_rng);
                 }
-                self.trace.push(
-                    self.now,
-                    Some(pid),
-                    TraceKind::Injection,
-                    "silent corruption".into(),
-                );
+                self.trace.push(self.now, Some(pid), TraceKind::Injection, "silent corruption");
                 Some(ev)
             }
             Some(FaultConsequence::ReceiveOmission) => {
@@ -635,7 +649,7 @@ impl Cluster {
                     self.now,
                     Some(pid),
                     TraceKind::Lifecycle,
-                    "fault-induced receive omission".into(),
+                    "fault-induced receive omission",
                 );
                 Some(ev)
             }
@@ -648,7 +662,7 @@ impl Cluster {
     where
         F: FnOnce(&mut Box<dyn Process>, &mut ProcCtx<'_>),
     {
-        let Some(entry) = self.procs.get_mut(&pid) else { return };
+        let Some(entry) = self.procs.get_mut(pid) else { return };
         let Some(mut behavior) = entry.behavior.take() else { return };
         self.current_pid = Some(pid);
         {
@@ -660,7 +674,7 @@ impl Cluster {
             // Behaviour requested exit; drop it and terminate.
             drop(behavior);
             self.terminate(pid, status, true);
-        } else if let Some(entry) = self.procs.get_mut(&pid) {
+        } else if let Some(entry) = self.procs.get_mut(pid) {
             entry.behavior = Some(behavior);
         }
         // If the entry vanished (killed during its own handler via a
@@ -669,7 +683,7 @@ impl Cluster {
     }
 
     fn handle_signal(&mut self, pid: Pid, sig: Signal) {
-        let Some(entry) = self.procs.get_mut(&pid) else { return };
+        let Some(entry) = self.procs.get_mut(pid) else { return };
         match sig {
             Signal::Int | Signal::Kill => {
                 self.terminate(pid, ExitStatus::Killed(sig), true);
@@ -679,18 +693,18 @@ impl Cluster {
             }
             Signal::Stop => {
                 entry.stopped = true;
-                self.trace.push(self.now, Some(pid), TraceKind::Signal, "stopped".into());
+                self.trace.push(self.now, Some(pid), TraceKind::Signal, "stopped");
             }
             Signal::Cont => {
                 if entry.stopped {
                     entry.stopped = false;
                     let stash = std::mem::take(&mut entry.stash);
-                    self.trace.push(self.now, Some(pid), TraceKind::Signal, "continued".into());
+                    self.trace.push(self.now, Some(pid), TraceKind::Signal, "continued");
                     for ev in stash {
                         if let OsEvent::Timer { timer_id, .. } = &ev {
                             // The id was consumed when the timer fired
                             // into the stash; re-arm it for redelivery.
-                            entry.live_timers.insert(*timer_id);
+                            entry.live_timers.push(*timer_id);
                         }
                         self.queue.schedule(self.now, ev);
                     }
@@ -701,8 +715,8 @@ impl Cluster {
 
     fn handle_work_chunk(&mut self, pid: Pid, work_id: u64) {
         let chunk = self.config.work_chunk;
-        let Some(entry) = self.procs.get_mut(&pid) else { return };
-        if !entry.works.contains_key(&work_id) {
+        let Some(entry) = self.procs.get_mut(pid) else { return };
+        if !entry.works.iter().any(|(id, _)| *id == work_id) {
             return;
         }
         if entry.stopped {
@@ -728,7 +742,7 @@ impl Cluster {
                     Some(pid),
                     TraceKind::Lifecycle,
                     TraceEvent::FaultInducedHang,
-                    "fault-induced hang".into(),
+                    "fault-induced hang",
                 );
                 return;
             }
@@ -736,12 +750,7 @@ impl Cluster {
                 if let Some(b) = entry.behavior.as_mut() {
                     b.silent_corruption(&mut self.machine_rng);
                 }
-                self.trace.push(
-                    self.now,
-                    Some(pid),
-                    TraceKind::Injection,
-                    "silent corruption".into(),
-                );
+                self.trace.push(self.now, Some(pid), TraceKind::Injection, "silent corruption");
             }
             Some(FaultConsequence::ReceiveOmission) => {
                 entry.deaf = true;
@@ -749,34 +758,39 @@ impl Cluster {
                     self.now,
                     Some(pid),
                     TraceKind::Lifecycle,
-                    "fault-induced receive omission".into(),
+                    "fault-induced receive omission",
                 );
             }
         }
-        let Some(entry) = self.procs.get_mut(&pid) else { return };
-        let Some(work) = entry.works.get_mut(&work_id) else { return };
+        let Some(entry) = self.procs.get_mut(pid) else { return };
+        let Some(i) = entry.works.iter().position(|(id, _)| *id == work_id) else { return };
+        let work = &mut entry.works[i].1;
         if work.remaining > chunk {
             work.remaining -= chunk;
             self.queue.schedule(self.now + chunk, OsEvent::WorkChunk { pid, work_id });
         } else {
             let tag = work.tag;
-            entry.works.remove(&work_id);
+            entry.works.swap_remove(i);
             self.with_behavior(pid, |b, ctx| b.on_work_done(tag, ctx));
         }
     }
 
     fn terminate(&mut self, pid: Pid, status: ExitStatus, notify_parent: bool) {
-        let Some(entry) = self.procs.remove(&pid) else { return };
+        let Some((_, name, entry)) = self.procs.remove_full(pid) else { return };
         self.trace.push(
             self.now,
             Some(pid),
             TraceKind::Lifecycle,
-            format!("{} exits: {status}", entry.name),
+            TraceDetail::ProcExit { name, status: status.clone() },
         );
-        self.graveyard.insert(pid, (self.now, status.clone()));
+        let serial = pid.0 as usize;
+        if self.graveyard.len() <= serial {
+            self.graveyard.resize(serial + 1, None);
+        }
+        self.graveyard[serial] = Some((self.now, status.clone()));
         if notify_parent {
             if let Some(parent) = entry.parent {
-                if self.procs.contains_key(&parent) {
+                if self.procs.contains(parent) {
                     // waitpid wakes the parent essentially immediately.
                     self.queue.schedule(
                         self.now + SimDuration::from_micros(500),
@@ -807,7 +821,7 @@ impl ProcCtx<'_> {
 
     /// The node this process runs on.
     pub fn node(&self) -> NodeId {
-        self.cluster.procs[&self.pid].node
+        self.cluster.procs.node_of(self.pid).expect("self entry")
     }
 
     /// Deterministic random stream (shared cluster stream).
@@ -826,8 +840,8 @@ impl ProcCtx<'_> {
     /// Type-erased variant of [`ProcCtx::send`].
     pub fn send_boxed(&mut self, to: Pid, label: &'static str, size: u64, payload: Box<dyn Any>) {
         let from_node = self.node();
-        let to_node = match self.cluster.procs.get(&to) {
-            Some(e) => e.node,
+        let to_node = match self.cluster.procs.node_of(to) {
+            Some(n) => n,
             None => {
                 // Destination already dead: packet goes nowhere. Still
                 // consumes send-side bandwidth.
@@ -835,7 +849,7 @@ impl ProcCtx<'_> {
                     self.cluster.now,
                     Some(self.pid),
                     TraceKind::Message,
-                    format!("send {label} to dead {to}"),
+                    TraceDetail::SendToDead { label, to },
                 );
                 return;
             }
@@ -850,7 +864,7 @@ impl ProcCtx<'_> {
                     self.cluster.now,
                     Some(self.pid),
                     TraceKind::Message,
-                    format!("dropped {label} to {to}"),
+                    TraceDetail::MsgDropped { label, to },
                 );
             }
             SendVerdict::Partitioned => {
@@ -858,7 +872,7 @@ impl ProcCtx<'_> {
                     self.cluster.now,
                     Some(self.pid),
                     TraceKind::Message,
-                    format!("partitioned {label} to {to}"),
+                    TraceDetail::MsgPartitioned { label, to },
                 );
             }
         }
@@ -869,8 +883,8 @@ impl ProcCtx<'_> {
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
         let id = self.cluster.next_timer;
         self.cluster.next_timer += 1;
-        let entry = self.cluster.procs.get_mut(&self.pid).expect("self entry");
-        entry.live_timers.insert(id);
+        let entry = self.cluster.procs.get_mut(self.pid).expect("self entry");
+        entry.live_timers.push(id);
         self.cluster.queue.schedule(
             self.cluster.now + delay,
             OsEvent::Timer { pid: self.pid, timer_id: id, tag },
@@ -880,8 +894,10 @@ impl ProcCtx<'_> {
 
     /// Cancels a timer if it has not fired.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        if let Some(entry) = self.cluster.procs.get_mut(&self.pid) {
-            entry.live_timers.remove(&id.0);
+        if let Some(entry) = self.cluster.procs.get_mut(self.pid) {
+            if let Some(i) = entry.live_timers.iter().position(|t| *t == id.0) {
+                entry.live_timers.swap_remove(i);
+            }
         }
     }
 
@@ -892,8 +908,8 @@ impl ProcCtx<'_> {
     pub fn start_work(&mut self, total: SimDuration, tag: u64) -> WorkId {
         let id = self.cluster.next_work;
         self.cluster.next_work += 1;
-        let entry = self.cluster.procs.get_mut(&self.pid).expect("self entry");
-        entry.works.insert(id, WorkState { tag, remaining: total });
+        let entry = self.cluster.procs.get_mut(self.pid).expect("self entry");
+        entry.works.push((id, WorkState { tag, remaining: total }));
         let first = self.cluster.config.work_chunk.min(total);
         let first = if first.is_zero() { SimDuration::from_micros(1) } else { first };
         self.cluster
@@ -904,8 +920,10 @@ impl ProcCtx<'_> {
 
     /// Cancels an in-progress work unit.
     pub fn abort_work(&mut self, id: WorkId) {
-        if let Some(entry) = self.cluster.procs.get_mut(&self.pid) {
-            entry.works.remove(&id.0);
+        if let Some(entry) = self.cluster.procs.get_mut(self.pid) {
+            if let Some(i) = entry.works.iter().position(|(w, _)| *w == id.0) {
+                entry.works.swap_remove(i);
+            }
         }
     }
 
@@ -946,7 +964,7 @@ impl ProcCtx<'_> {
 
     /// Exit status of a dead process, if known.
     pub fn exit_status_of(&self, pid: Pid) -> Option<ExitStatus> {
-        self.cluster.graveyard.get(&pid).map(|(_, s)| s.clone())
+        self.cluster.graveyard.get(pid.0 as usize).and_then(Option::as_ref).map(|(_, s)| s.clone())
     }
 
     /// The local node's RAM disk (stable storage for checkpoints).
@@ -973,24 +991,24 @@ impl ProcCtx<'_> {
 
     /// Count of corrupted sites in this process's own text image.
     pub fn own_text_corruption(&self) -> usize {
-        self.cluster.procs[&self.pid].machine.corrupted_text_sites()
+        self.cluster.procs.get(self.pid).expect("self entry").machine.corrupted_text_sites()
     }
 
     /// Reloads this process's text image from disk (clears corruption).
     pub fn reload_own_text(&mut self) {
-        if let Some(e) = self.cluster.procs.get_mut(&self.pid) {
+        if let Some(e) = self.cluster.procs.get_mut(self.pid) {
             e.machine.reload_text_from_disk();
         }
     }
 
     /// Appends an application-level trace record.
-    pub fn trace(&mut self, detail: impl Into<String>) {
+    pub fn trace(&mut self, detail: impl Into<TraceDetail>) {
         self.cluster.trace.push(self.cluster.now, Some(self.pid), TraceKind::App, detail.into());
     }
 
     /// Appends an application-level trace record with a typed event, so
     /// campaign classification can match it in O(1).
-    pub fn trace_event(&mut self, event: TraceEvent, detail: impl Into<String>) {
+    pub fn trace_event(&mut self, event: TraceEvent, detail: impl Into<TraceDetail>) {
         self.cluster.trace.push_event(
             self.cluster.now,
             Some(self.pid),
@@ -1001,7 +1019,7 @@ impl ProcCtx<'_> {
     }
 
     /// Appends a recovery-category trace record.
-    pub fn trace_recovery(&mut self, detail: impl Into<String>) {
+    pub fn trace_recovery(&mut self, detail: impl Into<TraceDetail>) {
         self.cluster.trace.push(
             self.cluster.now,
             Some(self.pid),
@@ -1011,7 +1029,7 @@ impl ProcCtx<'_> {
     }
 
     /// Appends a recovery-category trace record with a typed event.
-    pub fn trace_recovery_event(&mut self, event: TraceEvent, detail: impl Into<String>) {
+    pub fn trace_recovery_event(&mut self, event: TraceEvent, detail: impl Into<TraceDetail>) {
         self.cluster.trace.push_event(
             self.cluster.now,
             Some(self.pid),
@@ -1023,7 +1041,7 @@ impl ProcCtx<'_> {
 
     /// Seconds since this process was (re)spawned.
     pub fn uptime(&self) -> SimDuration {
-        self.cluster.now.since(self.cluster.procs[&self.pid].spawned_at)
+        self.cluster.now.since(self.cluster.procs.get(self.pid).expect("self entry").spawned_at)
     }
 }
 

@@ -27,6 +27,7 @@
 mod cluster;
 mod machine;
 mod process;
+mod ptable;
 mod storage;
 mod trace;
 
@@ -38,7 +39,7 @@ pub use process::{
     ExitStatus, FieldKind, HeapHit, HeapModel, HeapTarget, Message, Pid, Process, Signal,
 };
 pub use storage::{DiskError, RamDisk, RemoteFs};
-pub use trace::{Trace, TraceEvent, TraceKind, TraceRecord};
+pub use trace::{Trace, TraceDetail, TraceEvent, TraceKind, TraceRecord};
 
 // Re-export the node identifier so most consumers only need ree-os.
 pub use ree_net::NodeId;

@@ -6,12 +6,18 @@
 //!
 //! Records carry two payloads: an optional **typed event** — a
 //! [`TraceEvent`] that campaign classification matches on in O(1) via
-//! per-kind counters — and a human-readable **detail** string kept for
-//! debugging. Classification hot paths (`ree-inject`) use only the typed
-//! side; the string side is a lazily-rendered view ([`Trace::render`]).
+//! per-kind counters — and a typed **detail** ([`TraceDetail`]) that
+//! captures the arguments of the occurrence (pids, labels, nodes,
+//! injection sites, small ints) by value. Nothing is formatted while the
+//! simulation runs; the human-readable string view is rendered lazily by
+//! [`Trace::render`] (or any `Display` use) on the rare debugging path,
+//! so the hot path of a run performs no allocation per record.
 
-use crate::process::Pid;
-use ree_sim::SimTime;
+use crate::machine::InjectionSite;
+use crate::process::{ExitStatus, HeapHit, Pid, Signal};
+use ree_net::NodeId;
+use ree_sim::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// Category of a trace record.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -104,6 +110,440 @@ impl TraceEvent {
     }
 }
 
+/// The arguments of a trace record, captured as values instead of a
+/// pre-formatted string.
+///
+/// The hot-path variants are plain copies — pids, `&'static str`
+/// protocol labels, nodes, small ints — so appending a record costs a
+/// `memcpy`, not a `format!`. Process and ARMOR instance names are
+/// interned `Arc<str>`s shared with their owning table entry (one
+/// allocation per spawn, refcount bumps per record). Rare free-form
+/// notes use the [`TraceDetail::Custom`] escape hatch.
+///
+/// `Display` renders exactly the strings the pre-typed implementation
+/// produced, so [`Trace::render`] output is byte-identical (pinned by
+/// the `trace_snapshot` fixtures in `ree-inject`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceDetail {
+    /// A fixed message with no arguments.
+    Static(&'static str),
+    /// Free-form escape hatch for rare, genuinely dynamic notes.
+    Custom(Box<str>),
+
+    // --- OS kernel (cluster) ---
+    /// Process created: "spawn {name} ({kind}) on {node}".
+    Spawn {
+        /// Instance name.
+        name: Arc<str>,
+        /// Behaviour kind.
+        kind: &'static str,
+        /// Target node.
+        node: NodeId,
+    },
+    /// Process left the table: "{name} exits: {status}".
+    ProcExit {
+        /// Instance name.
+        name: Arc<str>,
+        /// How it ended.
+        status: ExitStatus,
+    },
+    /// Signal injected: "signal {sig}".
+    SignalInjected(Signal),
+    /// Register bit flip: "register flip {site:?}".
+    RegisterFlip(InjectionSite),
+    /// Text-segment bit flip: "text flip {site:?}".
+    TextFlip(InjectionSite),
+    /// Heap bit flip: "heap flip {hit:?}".
+    HeapFlip(HeapHit),
+    /// Whole-node failure: "{node} failed".
+    NodeFailed(NodeId),
+    /// Node restoration: "{node} restored".
+    NodeRestored(NodeId),
+    /// Message delivery: "deliver {label} from {from}".
+    Deliver {
+        /// Protocol label.
+        label: &'static str,
+        /// Sending process.
+        from: Pid,
+    },
+    /// Receive-omission drop: "receive omission drops {label}".
+    OmissionDrop {
+        /// Protocol label.
+        label: &'static str,
+    },
+    /// Send to a dead process: "send {label} to dead {to}".
+    SendToDead {
+        /// Protocol label.
+        label: &'static str,
+        /// Intended destination.
+        to: Pid,
+    },
+    /// Lossy-network drop: "dropped {label} to {to}".
+    MsgDropped {
+        /// Protocol label.
+        label: &'static str,
+        /// Intended destination.
+        to: Pid,
+    },
+    /// Partitioned send: "partitioned {label} to {to}".
+    MsgPartitioned {
+        /// Protocol label.
+        label: &'static str,
+        /// Intended destination.
+        to: Pid,
+    },
+
+    // --- SIFT environment (daemons, FTM, SCC, Execution ARMORs) ---
+    /// "daemon on node{node} registering with FTM".
+    DaemonRegistering {
+        /// Daemon's node.
+        node: u64,
+    },
+    /// "installed {kind} as armor{armor} ({pid}) on {node}".
+    ArmorInstall {
+        /// ARMOR kind ("ftm", "exec", …).
+        kind: Box<str>,
+        /// Installed ARMOR id.
+        armor: u32,
+        /// Host process.
+        pid: Pid,
+        /// Install node.
+        node: NodeId,
+    },
+    /// "armor{armor} failed {restarts} times; reloading image from disk".
+    ArmorImageReload {
+        /// Failing ARMOR id.
+        armor: u32,
+        /// Consecutive failures observed.
+        restarts: u64,
+    },
+    /// "uninstalled armor{armor}".
+    ArmorUninstall {
+        /// Removed ARMOR id.
+        armor: u64,
+    },
+    /// "detect hang armor{armor}".
+    DetectHang {
+        /// Hung ARMOR id.
+        armor: u64,
+    },
+    /// "detect crash armor{armor}".
+    DetectCrash {
+        /// Crashed ARMOR id.
+        armor: u64,
+    },
+    /// "detect node{node} failure (daemon silent)".
+    DetectNodeFailure {
+        /// Silent node.
+        node: u64,
+    },
+    /// "FTM accepted submission of {app} (slot {slot})".
+    FtmAcceptedSubmission {
+        /// Application name.
+        app: Box<str>,
+        /// Assigned slot.
+        slot: u64,
+    },
+    /// "FTM reports slot {slot} complete to SCC".
+    FtmSlotComplete {
+        /// Completed slot.
+        slot: u64,
+    },
+    /// "connect timeout for slot {slot}; retrying setup".
+    FtmConnectTimeout {
+        /// Slot whose setup stalled.
+        slot: u64,
+    },
+    /// "FTM restarting app slot {slot} (restart #{restart})".
+    FtmRestartApp {
+        /// Restarting slot.
+        slot: u64,
+        /// Restart ordinal.
+        restart: u64,
+    },
+    /// "migrating armor{armor} ({kind}) to node{node}".
+    MigratingArmor {
+        /// Migrating ARMOR id.
+        armor: u64,
+        /// ARMOR kind.
+        kind: Box<str>,
+        /// New host node.
+        node: u64,
+    },
+    /// "SCC resubmitting slot {slot} (no start report)".
+    SccResubmit {
+        /// Resubmitted slot.
+        slot: u64,
+    },
+    /// "SCC submits {app} (slot {slot})".
+    SccSubmit {
+        /// Application name.
+        app: Box<str>,
+        /// Target slot.
+        slot: u64,
+    },
+    /// "SCC received {variant} { f1.0: f1.1[, f2.0: f2.1] }" — mirrors
+    /// the derived `Debug` of the SCC report enum without formatting it
+    /// eagerly.
+    SccReceivedReport {
+        /// Report variant name.
+        variant: &'static str,
+        /// First field (name, value).
+        f1: (&'static str, u64),
+        /// Optional second field.
+        f2: Option<(&'static str, u64)>,
+    },
+    /// "exec armor reports app failure: slot{slot} rank{rank} ({reason})".
+    AppFailureReport {
+        /// Application slot.
+        slot: u64,
+        /// Failing rank.
+        rank: u64,
+        /// "crash" or "hang".
+        reason: &'static str,
+    },
+    /// "recovered application slot{slot} (attempt {attempt})".
+    AppRecovered {
+        /// Recovered slot.
+        slot: u64,
+        /// Launch attempt.
+        attempt: u64,
+    },
+    /// "app-terminated slot{slot} rank{rank}".
+    AppTerminatedNotice {
+        /// Application slot.
+        slot: u64,
+        /// Terminating rank.
+        rank: u64,
+    },
+    /// "detect app crash rank{rank}".
+    DetectAppCrash {
+        /// Crashed rank.
+        rank: u64,
+    },
+    /// "detect app hang rank{rank}".
+    DetectAppHang {
+        /// Hung rank.
+        rank: u64,
+    },
+
+    // --- ARMOR runtime ---
+    /// "route miss for armor{armor}; packet dropped".
+    RouteMiss {
+        /// Unroutable destination.
+        armor: u32,
+    },
+    /// "{name} restored state from checkpoint".
+    CheckpointRestored {
+        /// ARMOR instance name.
+        name: Arc<str>,
+    },
+    /// "{name} checkpoint unusable ({error}); cold start".
+    CheckpointUnusable {
+        /// ARMOR instance name.
+        name: Arc<str>,
+        /// Decode error.
+        error: Box<str>,
+    },
+    /// "recovered {name}".
+    Recovered {
+        /// ARMOR instance name.
+        name: Arc<str>,
+    },
+    /// "{name} crash: {reason}".
+    ArmorCrash {
+        /// ARMOR instance name.
+        name: Arc<str>,
+        /// Crash reason.
+        reason: Box<str>,
+    },
+    /// "{name} assertion fired: {reason}".
+    ArmorAssertion {
+        /// ARMOR instance name.
+        name: Arc<str>,
+        /// Failed check.
+        reason: Box<str>,
+    },
+    /// "{name} handling thread aborted: {reason}".
+    ThreadAborted {
+        /// ARMOR instance name.
+        name: Arc<str>,
+        /// Abort reason.
+        reason: Box<str>,
+    },
+    /// "{name} thread abort: {reason}".
+    ThreadAbort {
+        /// ARMOR instance name.
+        name: Arc<str>,
+        /// Abort reason.
+        reason: Box<str>,
+    },
+    /// "{name}: misrouted packet dropped".
+    Misrouted {
+        /// ARMOR instance name.
+        name: Arc<str>,
+    },
+    /// "{name}: unknown message label {label}".
+    UnknownLabel {
+        /// ARMOR instance name.
+        name: Arc<str>,
+        /// The unrecognised label.
+        label: &'static str,
+    },
+    /// "{name}: no restore instruction; proceeding from checkpoint".
+    NoRestoreInstruction {
+        /// ARMOR instance name.
+        name: Arc<str>,
+    },
+
+    // --- MPI + applications ---
+    /// "mpi: rank {rank} send to unknown rank {to_rank}".
+    MpiUnknownRank {
+        /// Sending rank.
+        rank: u32,
+        /// Unknown destination rank.
+        to_rank: u32,
+    },
+    /// "rank {rank} gave up after blocking {blocked} on the SIFT
+    /// interface".
+    RankGaveUp {
+        /// Blocked rank.
+        rank: u32,
+        /// How long it was blocked.
+        blocked: SimDuration,
+    },
+    /// "{app} rank {rank} running (resume '{token}')".
+    AppRankRunning {
+        /// Application name.
+        app: Box<str>,
+        /// Rank entering its run phase.
+        rank: u32,
+        /// Resume token.
+        token: Box<str>,
+    },
+}
+
+impl From<&'static str> for TraceDetail {
+    fn from(s: &'static str) -> Self {
+        TraceDetail::Static(s)
+    }
+}
+
+impl From<String> for TraceDetail {
+    fn from(s: String) -> Self {
+        TraceDetail::Custom(s.into_boxed_str())
+    }
+}
+
+impl std::fmt::Display for TraceDetail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use TraceDetail as D;
+        match self {
+            D::Static(s) => f.write_str(s),
+            D::Custom(s) => f.write_str(s),
+            D::Spawn { name, kind, node } => write!(f, "spawn {name} ({kind}) on {node}"),
+            D::ProcExit { name, status } => write!(f, "{name} exits: {status}"),
+            D::SignalInjected(sig) => write!(f, "signal {sig}"),
+            D::RegisterFlip(site) => write!(f, "register flip {site:?}"),
+            D::TextFlip(site) => write!(f, "text flip {site:?}"),
+            D::HeapFlip(hit) => write!(f, "heap flip {hit:?}"),
+            D::NodeFailed(node) => write!(f, "{node} failed"),
+            D::NodeRestored(node) => write!(f, "{node} restored"),
+            D::Deliver { label, from } => write!(f, "deliver {label} from {from}"),
+            D::OmissionDrop { label } => write!(f, "receive omission drops {label}"),
+            D::SendToDead { label, to } => write!(f, "send {label} to dead {to}"),
+            D::MsgDropped { label, to } => write!(f, "dropped {label} to {to}"),
+            D::MsgPartitioned { label, to } => write!(f, "partitioned {label} to {to}"),
+            D::DaemonRegistering { node } => {
+                write!(f, "daemon on node{node} registering with FTM")
+            }
+            D::ArmorInstall { kind, armor, pid, node } => {
+                write!(f, "installed {kind} as armor{armor} ({pid}) on {node}")
+            }
+            D::ArmorImageReload { armor, restarts } => {
+                write!(f, "armor{armor} failed {restarts} times; reloading image from disk")
+            }
+            D::ArmorUninstall { armor } => write!(f, "uninstalled armor{armor}"),
+            D::DetectHang { armor } => write!(f, "detect hang armor{armor}"),
+            D::DetectCrash { armor } => write!(f, "detect crash armor{armor}"),
+            D::DetectNodeFailure { node } => {
+                write!(f, "detect node{node} failure (daemon silent)")
+            }
+            D::FtmAcceptedSubmission { app, slot } => {
+                write!(f, "FTM accepted submission of {app} (slot {slot})")
+            }
+            D::FtmSlotComplete { slot } => write!(f, "FTM reports slot {slot} complete to SCC"),
+            D::FtmConnectTimeout { slot } => {
+                write!(f, "connect timeout for slot {slot}; retrying setup")
+            }
+            D::FtmRestartApp { slot, restart } => {
+                write!(f, "FTM restarting app slot {slot} (restart #{restart})")
+            }
+            D::MigratingArmor { armor, kind, node } => {
+                write!(f, "migrating armor{armor} ({kind}) to node{node}")
+            }
+            D::SccResubmit { slot } => write!(f, "SCC resubmitting slot {slot} (no start report)"),
+            D::SccSubmit { app, slot } => write!(f, "SCC submits {app} (slot {slot})"),
+            D::SccReceivedReport { variant, f1, f2 } => {
+                write!(f, "SCC received {variant} {{ {}: {}", f1.0, f1.1)?;
+                if let Some((name, value)) = f2 {
+                    write!(f, ", {name}: {value}")?;
+                }
+                write!(f, " }}")
+            }
+            D::AppFailureReport { slot, rank, reason } => {
+                write!(f, "exec armor reports app failure: slot{slot} rank{rank} ({reason})")
+            }
+            D::AppRecovered { slot, attempt } => {
+                write!(f, "recovered application slot{slot} (attempt {attempt})")
+            }
+            D::AppTerminatedNotice { slot, rank } => {
+                write!(f, "app-terminated slot{slot} rank{rank}")
+            }
+            D::DetectAppCrash { rank } => write!(f, "detect app crash rank{rank}"),
+            D::DetectAppHang { rank } => write!(f, "detect app hang rank{rank}"),
+            D::RouteMiss { armor } => write!(f, "route miss for armor{armor}; packet dropped"),
+            D::CheckpointRestored { name } => write!(f, "{name} restored state from checkpoint"),
+            D::CheckpointUnusable { name, error } => {
+                write!(f, "{name} checkpoint unusable ({error}); cold start")
+            }
+            D::Recovered { name } => write!(f, "recovered {name}"),
+            D::ArmorCrash { name, reason } => write!(f, "{name} crash: {reason}"),
+            D::ArmorAssertion { name, reason } => write!(f, "{name} assertion fired: {reason}"),
+            D::ThreadAborted { name, reason } => {
+                write!(f, "{name} handling thread aborted: {reason}")
+            }
+            D::ThreadAbort { name, reason } => write!(f, "{name} thread abort: {reason}"),
+            D::Misrouted { name } => write!(f, "{name}: misrouted packet dropped"),
+            D::UnknownLabel { name, label } => {
+                write!(f, "{name}: unknown message label {label}")
+            }
+            D::NoRestoreInstruction { name } => {
+                write!(f, "{name}: no restore instruction; proceeding from checkpoint")
+            }
+            D::MpiUnknownRank { rank, to_rank } => {
+                write!(f, "mpi: rank {rank} send to unknown rank {to_rank}")
+            }
+            D::RankGaveUp { rank, blocked } => {
+                write!(f, "rank {rank} gave up after blocking {blocked} on the SIFT interface")
+            }
+            D::AppRankRunning { app, rank, token } => {
+                write!(f, "{app} rank {rank} running (resume '{token}')")
+            }
+        }
+    }
+}
+
+/// Substring test against the rendered form, skipping the render for the
+/// variants that already hold their full text.
+fn detail_contains(detail: &TraceDetail, needle: &str) -> bool {
+    match detail {
+        TraceDetail::Static(s) => s.contains(needle),
+        TraceDetail::Custom(s) => s.contains(needle),
+        other => other.to_string().contains(needle),
+    }
+}
+
 /// One timestamped trace record.
 #[derive(Clone, Debug)]
 pub struct TraceRecord {
@@ -116,8 +556,9 @@ pub struct TraceRecord {
     /// Typed identity, when the occurrence is one classification cares
     /// about.
     pub event: Option<TraceEvent>,
-    /// Human-readable detail.
-    pub detail: String,
+    /// Typed arguments of the occurrence; `Display` renders the
+    /// human-readable line.
+    pub detail: TraceDetail,
 }
 
 /// An in-memory, bounded trace buffer with O(1) typed-event queries.
@@ -159,8 +600,14 @@ impl Trace {
     }
 
     /// Appends an untyped record (no-op when disabled or at capacity).
-    pub fn push(&mut self, time: SimTime, pid: Option<Pid>, kind: TraceKind, detail: String) {
-        self.record(time, pid, kind, None, detail);
+    pub fn push(
+        &mut self,
+        time: SimTime,
+        pid: Option<Pid>,
+        kind: TraceKind,
+        detail: impl Into<TraceDetail>,
+    ) {
+        self.record(time, pid, kind, None, detail.into());
     }
 
     /// Appends a typed record. The per-kind counter is bumped even when
@@ -172,9 +619,9 @@ impl Trace {
         pid: Option<Pid>,
         kind: TraceKind,
         event: TraceEvent,
-        detail: String,
+        detail: impl Into<TraceDetail>,
     ) {
-        self.record(time, pid, kind, Some(event), detail);
+        self.record(time, pid, kind, Some(event), detail.into());
     }
 
     fn record(
@@ -183,7 +630,7 @@ impl Trace {
         pid: Option<Pid>,
         kind: TraceKind,
         event: Option<TraceEvent>,
-        detail: String,
+        detail: TraceDetail,
     ) {
         if !self.enabled {
             return;
@@ -224,21 +671,23 @@ impl Trace {
         self.counters[event.index()]
     }
 
-    /// True if any record's detail contains `needle` (debugging; O(n) —
-    /// classification paths use [`Trace::any`] instead).
+    /// True if any record's rendered detail contains `needle` (debugging;
+    /// O(n) and renders each record — classification paths use
+    /// [`Trace::any`] instead).
     pub fn contains(&self, needle: &str) -> bool {
-        self.records.iter().any(|r| r.detail.contains(needle))
+        self.records.iter().any(|r| detail_contains(&r.detail, needle))
     }
 
-    /// First record whose detail contains `needle`.
+    /// First record whose rendered detail contains `needle`.
     pub fn find(&self, needle: &str) -> Option<&TraceRecord> {
-        self.records.iter().find(|r| r.detail.contains(needle))
+        self.records.iter().find(|r| detail_contains(&r.detail, needle))
     }
 
-    /// Count of records whose detail contains `needle` (debugging; O(n)
-    /// — classification paths use [`Trace::count_of`] instead).
+    /// Count of records whose rendered detail contains `needle`
+    /// (debugging; O(n) — classification paths use [`Trace::count_of`]
+    /// instead).
     pub fn count(&self, needle: &str) -> usize {
-        self.records.iter().filter(|r| r.detail.contains(needle)).count()
+        self.records.iter().filter(|r| detail_contains(&r.detail, needle)).count()
     }
 
     /// Renders the whole trace as text, one record per line — the
@@ -278,8 +727,8 @@ mod tests {
     #[test]
     fn records_and_queries() {
         let mut t = Trace::new();
-        t.push(SimTime::ZERO, Some(Pid(1)), TraceKind::Lifecycle, "spawn ftm".into());
-        t.push(SimTime::from_secs(1), None, TraceKind::Injection, "SIGINT into ftm".into());
+        t.push(SimTime::ZERO, Some(Pid(1)), TraceKind::Lifecycle, "spawn ftm");
+        t.push(SimTime::from_secs(1), None, TraceKind::Injection, "SIGINT into ftm");
         assert_eq!(t.records().len(), 2);
         assert!(t.contains("SIGINT"));
         assert_eq!(t.count("ftm"), 2);
@@ -305,7 +754,7 @@ mod tests {
             None,
             TraceKind::Recovery,
             TraceEvent::RecoveryCompleted,
-            "recovered ftm".into(),
+            "recovered ftm",
         );
         assert!(t.any(TraceEvent::AssertionFired));
         assert_eq!(t.count_of(TraceEvent::AssertionFired), 3);
@@ -344,8 +793,8 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new();
         t.set_enabled(false);
-        t.push(SimTime::ZERO, None, TraceKind::App, "x".into());
-        t.push_event(SimTime::ZERO, None, TraceKind::App, TraceEvent::AppStarted, "y".into());
+        t.push(SimTime::ZERO, None, TraceKind::App, "x");
+        t.push_event(SimTime::ZERO, None, TraceKind::App, TraceEvent::AppStarted, "y");
         assert!(t.records().is_empty());
         assert!(!t.any(TraceEvent::AppStarted));
         assert!(!t.is_enabled());
@@ -367,8 +816,8 @@ mod tests {
     #[test]
     fn render_is_line_per_record() {
         let mut t = Trace::new();
-        t.push(SimTime::ZERO, Some(Pid(1)), TraceKind::Lifecycle, "spawn ftm".into());
-        t.push(SimTime::from_secs(2), None, TraceKind::Recovery, "recovered ftm".into());
+        t.push(SimTime::ZERO, Some(Pid(1)), TraceKind::Lifecycle, "spawn ftm");
+        t.push(SimTime::from_secs(2), None, TraceKind::Recovery, "recovered ftm");
         let text = t.render();
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("spawn ftm"));

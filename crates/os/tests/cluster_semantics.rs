@@ -225,6 +225,34 @@ fn process_table_queries() {
 }
 
 #[test]
+fn find_by_name_pins_lowest_pid_under_duplicate_names() {
+    // Regression: the HashMap-backed table resolved duplicate instance
+    // names in hash-iteration order — whichever entry happened to hash
+    // first. The name index must deterministically pick the lowest live
+    // pid, and fall through to survivors as earlier holders die.
+    let mut c = cluster();
+    let first = c.spawn(SpawnSpec::new("ftm", NodeId(0), Box::new(Probe { reply_to_ping: false })));
+    let second =
+        c.spawn(SpawnSpec::new("ftm", NodeId(1), Box::new(Probe { reply_to_ping: false })));
+    let third = c.spawn(SpawnSpec::new("ftm", NodeId(2), Box::new(Probe { reply_to_ping: false })));
+    c.run_until(SimTime::from_secs(1));
+    assert!(first < second && second < third);
+    assert_eq!(c.find_by_name("ftm"), Some(first), "lowest pid wins");
+    c.send_signal(first, Signal::Kill);
+    c.run_until(SimTime::from_secs(2));
+    assert_eq!(c.find_by_name("ftm"), Some(second), "next-lowest survivor after a death");
+    // A respawn under the same name ranks after the remaining survivors.
+    let fourth =
+        c.spawn(SpawnSpec::new("ftm", NodeId(0), Box::new(Probe { reply_to_ping: false })));
+    assert!(fourth > third);
+    assert_eq!(c.find_by_name("ftm"), Some(second), "respawn must not shadow older survivors");
+    c.send_signal(second, Signal::Kill);
+    c.send_signal(third, Signal::Kill);
+    c.run_until(SimTime::from_secs(3));
+    assert_eq!(c.find_by_name("ftm"), Some(fourth));
+}
+
+#[test]
 fn register_injection_eventually_crashes_or_masks_an_active_process() {
     // A busy process (steady work) with repeated register injections must
     // eventually fail — this is the Table 2 "periodically flipped until a

@@ -1,48 +1,60 @@
 //! The pending-event set: a time-ordered queue with deterministic
 //! tie-breaking and O(log n) cancellation.
+//!
+//! Implemented as an **indexed binary heap**: entries live in a slab
+//! (`slots`, recycled through a free list) and the heap itself is an
+//! array of slot indices ordered by `(time, seq)`. Every slot records
+//! its current heap position, so cancellation removes the entry from
+//! the heap in O(log n) — no tombstones accumulate, nothing is hashed
+//! on the hot path, and [`EventQueue::peek_time`] is a true `&self`
+//! O(1) read. Slots carry a generation that is bumped on every free, so
+//! a stale [`EventHandle`] (fired, cancelled, or cleared) can never
+//! cancel the slot's next occupant.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Packs the slab slot index and the slot's generation; a handle whose
+/// event already fired (or was cancelled) no longer matches the slot's
+/// generation and is rejected.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventHandle(u64);
 
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: Option<E>,
+impl EventHandle {
+    fn new(index: u32, gen: u32) -> Self {
+        EventHandle(u64::from(gen) << 32 | u64::from(index))
+    }
+
+    fn index(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. The seq tie-break makes simultaneous events fire in
-        // scheduling order, which keeps runs bit-for-bit reproducible.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
-    }
+/// Sentinel heap position for a slot that is not scheduled.
+const FREE: u32 = u32::MAX;
+
+struct Slot<E> {
+    /// Bumped every time the slot is vacated; half of handle validity.
+    gen: u32,
+    /// Current index into `EventQueue::heap`, or [`FREE`].
+    pos: u32,
+    time: SimTime,
+    /// Scheduling order; ties on `time` fire in `seq` order, which keeps
+    /// runs bit-for-bit reproducible.
+    seq: u64,
+    event: Option<E>,
 }
 
 /// A deterministic future-event list.
 ///
 /// Events scheduled for the same instant fire in the order they were
-/// scheduled. Cancellation is lazy: cancelled entries stay in the heap
-/// and are skipped on pop. The `pending` set holds exactly the seqs that
-/// are scheduled but have neither fired nor been cancelled, so
-/// [`EventQueue::cancel`] is truthful after the event has already fired
-/// and `len`/`is_empty` never drift.
+/// scheduled. Cancellation physically removes the entry, so `len` and
+/// `is_empty` are exact and no cancelled entry is ever touched again.
 ///
 /// # Examples
 ///
@@ -54,8 +66,10 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop().unwrap().2, "sooner");
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    pending: std::collections::HashSet<u64>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    /// Min-heap of slot indices, ordered by `(time, seq)`.
+    heap: Vec<u32>,
     next_seq: u64,
 }
 
@@ -68,78 +82,161 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            pending: std::collections::HashSet::new(),
-            next_seq: 0,
+        EventQueue { slots: Vec::new(), free: Vec::new(), heap: Vec::new(), next_seq: 0 }
+    }
+
+    #[inline]
+    fn key(&self, slot: u32) -> (SimTime, u64) {
+        let s = &self.slots[slot as usize];
+        (s.time, s.seq)
+    }
+
+    /// Writes `slot` into heap position `pos` and records the position.
+    #[inline]
+    fn place(&mut self, pos: usize, slot: u32) {
+        self.heap[pos] = slot;
+        self.slots[slot as usize].pos = pos as u32;
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        let slot = self.heap[pos];
+        let key = self.key(slot);
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.key(self.heap[parent]) <= key {
+                break;
+            }
+            self.place(pos, self.heap[parent]);
+            pos = parent;
         }
+        self.place(pos, slot);
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let slot = self.heap[pos];
+        let key = self.key(slot);
+        loop {
+            let mut child = 2 * pos + 1;
+            if child >= self.heap.len() {
+                break;
+            }
+            let right = child + 1;
+            if right < self.heap.len() && self.key(self.heap[right]) < self.key(self.heap[child]) {
+                child = right;
+            }
+            if key <= self.key(self.heap[child]) {
+                break;
+            }
+            self.place(pos, self.heap[child]);
+            pos = child;
+        }
+        self.place(pos, slot);
+    }
+
+    /// Removes the heap entry at `pos`, restoring the heap property.
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.pop().expect("remove_at on non-empty heap");
+        if pos < self.heap.len() {
+            self.place(pos, last);
+            // The swapped-in entry may violate the property in either
+            // direction relative to its new neighbourhood.
+            self.sift_down(pos);
+            self.sift_up(pos);
+        }
+    }
+
+    /// Vacates `slot`, invalidating all outstanding handles to it.
+    fn release(&mut self, slot: u32) -> E {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.pos = FREE;
+        let ev = s.event.take().expect("released slot holds an event");
+        self.free.push(slot);
+        ev
     }
 
     /// Schedules `event` to fire at `time`; returns a cancellation handle.
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event: Some(event) });
-        self.pending.insert(seq);
-        EventHandle(seq)
+        let slot = match self.free.pop() {
+            Some(i) => {
+                let s = &mut self.slots[i as usize];
+                s.time = time;
+                s.seq = seq;
+                s.event = Some(event);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("event queue slot overflow");
+                self.slots.push(Slot { gen: 0, pos: FREE, time, seq, event: Some(event) });
+                i
+            }
+        };
+        let pos = self.heap.len();
+        self.heap.push(slot);
+        self.slots[slot as usize].pos = pos as u32;
+        self.sift_up(pos);
+        EventHandle::new(slot, self.slots[slot as usize].gen)
     }
 
-    /// Cancels a previously scheduled event. Returns `true` only if the
-    /// event was still pending — cancelling an event that already fired
-    /// (or was already cancelled) is a no-op reporting `false`.
+    /// Cancels a previously scheduled event in O(log n). Returns `true`
+    /// only if the event was still pending — cancelling an event that
+    /// already fired (or was already cancelled) is a no-op reporting
+    /// `false`.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        self.pending.remove(&handle.0)
+        let idx = handle.index();
+        let Some(slot) = self.slots.get(idx as usize) else { return false };
+        if slot.gen != handle.gen() || slot.pos == FREE {
+            return false;
+        }
+        let pos = slot.pos as usize;
+        self.remove_at(pos);
+        self.release(idx);
+        true
     }
 
     /// Removes and returns the earliest live event as `(time, handle, event)`.
     pub fn pop(&mut self) -> Option<(SimTime, EventHandle, E)> {
-        while let Some(mut entry) = self.heap.pop() {
-            if !self.pending.remove(&entry.seq) {
-                // Cancelled tombstone: drop it.
-                continue;
-            }
-            let ev = entry.event.take().expect("event present for live entry");
-            return Some((entry.time, EventHandle(entry.seq), ev));
-        }
-        None
+        let slot = *self.heap.first()?;
+        let (time, gen) = {
+            let s = &self.slots[slot as usize];
+            (s.time, s.gen)
+        };
+        self.remove_at(0);
+        let ev = self.release(slot);
+        Some((time, EventHandle::new(slot, gen), ev))
     }
 
-    /// Time of the earliest live event without removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        loop {
-            let skip = match self.heap.peek() {
-                Some(entry) => !self.pending.contains(&entry.seq),
-                None => return None,
-            };
-            if skip {
-                self.heap.pop().expect("peeked entry exists");
-            } else {
-                return self.heap.peek().map(|e| e.time);
-            }
-        }
+    /// Time of the earliest live event without removing it — O(1), and
+    /// borrows the queue immutably.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|&slot| self.slots[slot as usize].time)
     }
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.heap.len()
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.heap.is_empty()
     }
 
-    /// Drops every pending event.
+    /// Drops every pending event (handles to them become stale).
     pub fn clear(&mut self) {
-        self.heap.clear();
-        self.pending.clear();
+        while let Some(slot) = self.heap.pop() {
+            self.release(slot);
+        }
     }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("live", &self.pending.len())
+            .field("live", &self.heap.len())
+            .field("slots", &self.slots.len())
             .field("next_seq", &self.next_seq)
             .finish()
     }
@@ -171,6 +268,23 @@ mod tests {
     }
 
     #[test]
+    fn ties_survive_slot_reuse() {
+        // Slot indices get recycled out of order; the (time, seq) key —
+        // not the slot index — must decide simultaneous events.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        let h0 = q.schedule(t, 100);
+        let h1 = q.schedule(t, 101);
+        assert!(q.cancel(h1));
+        assert!(q.cancel(h0));
+        for i in 0..6 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn cancel_removes_event() {
         let mut q = EventQueue::new();
         let h1 = q.schedule(SimTime::from_secs(1), "a");
@@ -183,22 +297,79 @@ mod tests {
     }
 
     #[test]
-    fn peek_time_skips_cancelled() {
+    fn peek_time_is_immutable_and_exact() {
         let mut q = EventQueue::new();
         let h = q.schedule(SimTime::from_secs(1), "a");
         q.schedule(SimTime::from_secs(5), "b");
         q.cancel(h);
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        let q_ref: &EventQueue<&str> = &q;
+        assert_eq!(q_ref.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn interleaved_cancel_peek_pop_never_sees_cancelled() {
+        // Deterministic pseudo-random interleaving of all four ops; the
+        // popped stream must never contain a cancelled payload and peek
+        // must always agree with the next pop.
+        let mut q = EventQueue::new();
+        let mut live: Vec<(EventHandle, u64)> = Vec::new();
+        let mut cancelled: Vec<u64> = Vec::new();
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next_id: u64 = 0;
+        for step in 0..4000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match x % 4 {
+                0 | 1 => {
+                    let h = q.schedule(SimTime::from_micros(x % 1000), next_id);
+                    live.push((h, next_id));
+                    next_id += 1;
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let (h, id) = live.swap_remove((x / 7) as usize % live.len());
+                        assert!(q.cancel(h), "live handle must cancel (step {step})");
+                        assert!(!q.cancel(h), "second cancel must fail");
+                        cancelled.push(id);
+                    }
+                }
+                _ => {
+                    let peeked = q.peek_time();
+                    match q.pop() {
+                        Some((t, h, id)) => {
+                            assert_eq!(peeked, Some(t), "peek/pop disagree (step {step})");
+                            assert!(
+                                !cancelled.contains(&id),
+                                "cancelled event {id} surfaced (step {step})"
+                            );
+                            assert!(!q.cancel(h), "cancel after fire must fail");
+                            live.retain(|(_, l)| *l != id);
+                        }
+                        None => {
+                            assert_eq!(peeked, None);
+                            assert!(live.is_empty());
+                        }
+                    }
+                }
+            }
+            assert_eq!(q.len(), live.len(), "len drift at step {step}");
+        }
     }
 
     #[test]
     fn clear_empties_queue() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(1), ());
+        let h = q.schedule(SimTime::from_secs(1), ());
         q.schedule(SimTime::from_secs(2), ());
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+        assert!(!q.cancel(h), "handles go stale on clear");
+        // The queue remains fully usable after clear.
+        q.schedule(SimTime::from_secs(3), ());
+        assert_eq!(q.len(), 1);
+        assert!(q.pop().is_some());
     }
 
     #[test]
@@ -220,6 +391,18 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert!(q.cancel(h3));
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_slot_reuser() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_secs(1), "a");
+        assert_eq!(q.pop().unwrap().2, "a");
+        // "b" reuses the freed slot; the stale handle must not kill it.
+        q.schedule(SimTime::from_secs(2), "b");
+        assert!(!q.cancel(h1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().2, "b");
     }
 
     #[test]

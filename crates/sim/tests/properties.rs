@@ -1,7 +1,7 @@
 //! Property-based tests for the simulation kernel's core invariants.
 
 use proptest::prelude::*;
-use ree_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use ree_sim::{EventHandle, EventQueue, SimDuration, SimRng, SimTime};
 
 proptest! {
     /// Popping the queue always yields non-decreasing times, regardless of
@@ -47,6 +47,79 @@ proptest! {
             prop_assert!(seen.insert(id), "event {} delivered twice", id);
         }
         prop_assert_eq!(seen, expected);
+    }
+
+    /// Model-based check of the indexed-heap queue: a random
+    /// schedule/cancel/pop/clear interleaving behaves exactly like a
+    /// sorted-vec reference model — identical pop order (including
+    /// `(time, seq)` tie-breaks), identical `len`, identical `cancel`
+    /// return values, and `peek_time` always equal to the model's head.
+    #[test]
+    fn queue_matches_sorted_vec_model(
+        ops in proptest::collection::vec((0u8..10, 0u64..500, any::<u64>()), 1..300),
+    ) {
+        // Reference model: Vec of (time, seq, id) kept sorted; seq is the
+        // global scheduling order.
+        let mut q = EventQueue::new();
+        let mut model: Vec<(u64, u64, u64)> = Vec::new();
+        let mut handles: Vec<(EventHandle, u64)> = Vec::new(); // (handle, seq)
+        let mut next_seq: u64 = 0;
+        let mut next_id: u64 = 0;
+        for (op, time, pick) in ops {
+            match op {
+                // Weight scheduling highest so interleavings stay deep.
+                0..=4 => {
+                    let h = q.schedule(SimTime::from_micros(time), next_id);
+                    model.push((time, next_seq, next_id));
+                    model.sort_unstable();
+                    handles.push((h, next_seq));
+                    next_seq += 1;
+                    next_id += 1;
+                }
+                5 | 6 => {
+                    // Cancel a handle (possibly already fired/cancelled).
+                    if !handles.is_empty() {
+                        let i = (pick as usize) % handles.len();
+                        let (h, seq) = handles[i];
+                        let in_model = model.iter().any(|(_, s, _)| *s == seq);
+                        prop_assert_eq!(q.cancel(h), in_model, "cancel truthfulness");
+                        model.retain(|(_, s, _)| *s != seq);
+                    }
+                }
+                7 | 8 => {
+                    let popped = q.pop();
+                    match (popped, model.is_empty()) {
+                        (Some((t, _, id)), false) => {
+                            let (mt, _, mid) = model.remove(0);
+                            prop_assert_eq!(t, SimTime::from_micros(mt), "pop time");
+                            prop_assert_eq!(id, mid, "pop order");
+                        }
+                        (None, true) => {}
+                        (got, _) => prop_assert!(false, "pop mismatch: {:?} vs model {:?}", got, model.first()),
+                    }
+                }
+                _ => {
+                    if pick % 11 == 0 {
+                        // Clear rarely: it resets the whole interleaving.
+                        q.clear();
+                        model.clear();
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len(), "len agrees with model");
+            prop_assert_eq!(
+                q.peek_time(),
+                model.first().map(|(t, _, _)| SimTime::from_micros(*t)),
+                "peek agrees with model head"
+            );
+        }
+        // Drain: the tail must come out in exact model order.
+        while let Some((t, _, id)) = q.pop() {
+            let (mt, _, mid) = model.remove(0);
+            prop_assert_eq!(t, SimTime::from_micros(mt));
+            prop_assert_eq!(id, mid);
+        }
+        prop_assert!(model.is_empty());
     }
 
     /// Identical seeds produce identical streams across all helper

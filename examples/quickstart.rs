@@ -14,7 +14,7 @@ fn main() {
 
     println!("== Table 1 lifecycle trace ==");
     for record in run.cluster.trace().records() {
-        let d = &record.detail;
+        let d = record.detail.to_string();
         if d.contains("SCC")
             || d.contains("registering")
             || d.contains("installed")

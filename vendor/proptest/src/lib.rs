@@ -102,6 +102,20 @@ pub mod strategy {
         }
     }
 
+    macro_rules! tuple_strategy {
+        ($($s:ident : $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
     /// A type-erased, cheaply-cloneable strategy.
     pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
 
