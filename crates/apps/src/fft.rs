@@ -3,6 +3,48 @@
 //! texture features that drive segmentation are produced by these
 //! transforms, so heap bit-flips in the image propagate through genuine
 //! arithmetic to the application's output (Table 10).
+//!
+//! # Plans
+//!
+//! Profiling after PR 3 put the science kernels at ~55% of campaign CPU,
+//! with the per-stage `cos`/`sin` calls and the per-butterfly
+//! `w = w * wlen` recurrence of the naive transform high on the list
+//! (see `docs/PERFORMANCE.md`). An [`FftPlan`] precomputes, once per
+//! transform size:
+//!
+//! * the **bit-reversal permutation** (a table lookup instead of
+//!   `reverse_bits` + shift per element), and
+//! * the **twiddle factors** of every butterfly stage, forward and
+//!   inverse, each evaluated directly as `exp(±2πik/len)` — slightly
+//!   *more* accurate than the recurrence, which accumulates rounding
+//!   with every multiplication.
+//!
+//! Plans are cached in a per-thread registry ([`FftPlan::for_size`]), so
+//! the campaign's millions of 8×8 tile transforms share one 8-point
+//! plan; [`fft`] fetches from the registry transparently and existing
+//! callers keep their signature.
+//!
+//! ```
+//! use ree_apps::fft::{fft, fft_unplanned, FftPlan};
+//!
+//! let signal: Vec<(f64, f64)> = (0..16).map(|i| (i as f64, 0.0)).collect();
+//! let mut planned = signal.clone();
+//! let mut naive = signal.clone();
+//! fft(&mut planned, false); // plan fetched from the registry
+//! fft_unplanned(&mut naive, false); // reference recurrence kernel
+//! for (p, n) in planned.iter().zip(&naive) {
+//!     assert!((p.0 - n.0).abs() < 1e-9 && (p.1 - n.1).abs() < 1e-9);
+//! }
+//! // The same plan instance can also be held and driven directly:
+//! let plan = FftPlan::for_size(16);
+//! let mut data = signal.clone();
+//! plan.process(&mut data, false);
+//! plan.process(&mut data, true); // round-trips back to the signal
+//! assert!((data[3].0 - 3.0).abs() < 1e-9);
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// A complex number as a `(re, im)` pair.
 pub type Complex = (f64, f64);
@@ -19,7 +61,131 @@ fn csub(a: Complex, b: Complex) -> Complex {
     (a.0 - b.0, a.1 - b.1)
 }
 
-/// In-place iterative radix-2 Cooley–Tukey FFT.
+/// A precomputed radix-2 FFT plan for one transform size.
+///
+/// Holds the bit-reversal permutation and per-stage twiddle factors
+/// (forward and inverse), so [`FftPlan::process`] performs no
+/// trigonometry and no twiddle recurrence. Build directly with
+/// [`FftPlan::new`] or fetch a cached instance with
+/// [`FftPlan::for_size`].
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// `bitrev[i]` is the bit-reversed index of `i` (swap when `i < bitrev[i]`).
+    bitrev: Vec<u32>,
+    /// Forward twiddles, all stages flattened: the stage with butterfly
+    /// span `len` (half `h = len/2`) occupies `fwd[h - 1 .. 2 * h - 1]`,
+    /// entry `k` holding `exp(-2πik/len)`.
+    fwd: Vec<Complex>,
+    /// Inverse twiddles, same layout, `exp(+2πik/len)`.
+    inv: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Precomputes a plan for `n`-point transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> FftPlan {
+        assert!(n.is_power_of_two(), "fft length {n} is not a power of two");
+        let bits = n.trailing_zeros();
+        let bitrev: Vec<u32> = (0..n)
+            .map(|i| if n <= 1 { 0 } else { (i as u32).reverse_bits() >> (32 - bits) })
+            .collect();
+        // One twiddle per butterfly across all stages: 1 + 2 + … + n/2 = n - 1.
+        let mut fwd = Vec::with_capacity(n.saturating_sub(1));
+        let mut inv = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            for k in 0..half {
+                let ang = 2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                fwd.push((ang.cos(), -ang.sin()));
+                inv.push((ang.cos(), ang.sin()));
+            }
+            len <<= 1;
+        }
+        FftPlan { n, bitrev, fwd, inv }
+    }
+
+    /// The transform size this plan serves.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Fetches (building on first use) the cached plan for `n`-point
+    /// transforms from the per-thread registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn for_size(n: usize) -> Rc<FftPlan> {
+        thread_local! {
+            /// Sorted `(size, plan)` registry; a campaign touches only a
+            /// couple of sizes, so a small sorted vec beats hashing.
+            static REGISTRY: RefCell<Vec<(usize, Rc<FftPlan>)>> = const { RefCell::new(Vec::new()) };
+        }
+        REGISTRY.with(|cell| {
+            let mut reg = cell.borrow_mut();
+            match reg.binary_search_by_key(&n, |(size, _)| *size) {
+                Ok(i) => Rc::clone(&reg[i].1),
+                Err(i) => {
+                    let plan = Rc::new(FftPlan::new(n));
+                    reg.insert(i, (n, Rc::clone(&plan)));
+                    plan
+                }
+            }
+        })
+    }
+
+    /// In-place transform of `data` with this plan.
+    ///
+    /// `inverse` selects the inverse transform (scaled by `1/n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.size()`.
+    pub fn process(&self, data: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "plan is for {n}-point transforms");
+        if n <= 1 {
+            return;
+        }
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let twiddles = if inverse { &self.inv } else { &self.fwd };
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stage = &twiddles[half - 1..2 * half - 1];
+            for chunk in data.chunks_exact_mut(len) {
+                let (lo, hi) = chunk.split_at_mut(half);
+                for i in 0..half {
+                    let u = lo[i];
+                    let v = cmul(hi[i], stage[i]);
+                    lo[i] = cadd(u, v);
+                    hi[i] = csub(u, v);
+                }
+            }
+            len <<= 1;
+        }
+        if inverse {
+            let scale = 1.0 / n as f64;
+            for x in data.iter_mut() {
+                x.0 *= scale;
+                x.1 *= scale;
+            }
+        }
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT, using the cached
+/// [`FftPlan`] for `data.len()`.
 ///
 /// `inverse` selects the inverse transform (scaled by `1/n`).
 ///
@@ -27,6 +193,18 @@ fn csub(a: Complex, b: Complex) -> Complex {
 ///
 /// Panics if `data.len()` is not a power of two.
 pub fn fft(data: &mut [Complex], inverse: bool) {
+    FftPlan::for_size(data.len()).process(data, inverse);
+}
+
+/// The original plan-free FFT: per-stage `cos`/`sin` plus the
+/// per-butterfly `w = w * wlen` recurrence. Kept as the independent
+/// reference implementation the [`FftPlan`] equivalence tests compare
+/// against (`crates/apps/tests/fft_plan.rs`).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_unplanned(data: &mut [Complex], inverse: bool) {
     let n = data.len();
     assert!(n.is_power_of_two(), "fft length {n} is not a power of two");
     if n <= 1 {
@@ -83,18 +261,32 @@ pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
 ///
 /// Panics if `size` is not a power of two or `data.len() != size*size`.
 pub fn fft2d(data: &mut [Complex], size: usize, inverse: bool) {
+    let plan = FftPlan::for_size(size);
+    let mut col = vec![(0.0, 0.0); size];
+    fft2d_with(&plan, data, inverse, &mut col);
+}
+
+/// [`fft2d`] driven by a caller-held plan and column scratch buffer —
+/// the allocation-free form the tiled filter pipeline uses (one scratch
+/// per [`crate::filters::FilterScratch`], reused across every tile).
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.size()²` or `col.len() != plan.size()`.
+pub fn fft2d_with(plan: &FftPlan, data: &mut [Complex], inverse: bool, col: &mut [Complex]) {
+    let size = plan.size();
     assert_eq!(data.len(), size * size, "image must be size*size");
+    assert_eq!(col.len(), size, "column scratch must be one side long");
     // Rows.
     for row in data.chunks_mut(size) {
-        fft(row, inverse);
+        plan.process(row, inverse);
     }
     // Columns (gather, transform, scatter).
-    let mut col = vec![(0.0, 0.0); size];
     for c in 0..size {
         for r in 0..size {
             col[r] = data[r * size + c];
         }
-        fft(&mut col, inverse);
+        plan.process(col, inverse);
         for r in 0..size {
             data[r * size + c] = col[r];
         }
@@ -182,5 +374,27 @@ mod tests {
     fn non_power_of_two_panics() {
         let mut d = vec![(0.0, 0.0); 12];
         fft(&mut d, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn unplanned_non_power_of_two_panics() {
+        let mut d = vec![(0.0, 0.0); 12];
+        fft_unplanned(&mut d, false);
+    }
+
+    #[test]
+    fn registry_returns_the_same_plan_instance() {
+        let a = FftPlan::for_size(32);
+        let b = FftPlan::for_size(32);
+        assert!(Rc::ptr_eq(&a, &b), "plans must be cached per size");
+        assert_eq!(a.size(), 32);
+    }
+
+    #[test]
+    fn trivial_sizes_are_identity() {
+        let mut one = vec![(3.5, -1.0)];
+        fft(&mut one, false);
+        assert_eq!(one, vec![(3.5, -1.0)]);
     }
 }

@@ -5,12 +5,188 @@
 //! orientation band (horizontal, vertical, diagonal) of the tile's 2-D
 //! FFT. The per-tile energies across the three filters form the feature
 //! vectors that k-means segments.
+//!
+//! # Fast path
+//!
+//! The per-tile work used to be: allocate a tile buffer, allocate a
+//! column scratch inside `fft2d`, and — per spectrum bin — a `sqrt` plus
+//! a libm `atan2` to decide band membership. Band membership depends
+//! only on `(tile size, filter)`, so it is now precomputed once into a
+//! boolean **band mask** and cached (see [`FilterScratch`]); the tile
+//! and column buffers live in a scratch pool reused across every tile of
+//! a call (and across calls, for callers that hold a scratch). The mask
+//! itself is built with a polynomial `atan2` approximation
+//! ([`fast_atan2`], max error < 2e-5 rad); compile with the `exact-trig`
+//! feature to build masks with libm `atan2` instead. The two agree on
+//! every bin of every supported tile size (2–[`MAX_TILE_PX`]) — no such
+//! frequency bin lies within 1e-4 rad of a band boundary (all boundaries
+//! are odd multiples of π/8, whose tangents are irrational) — so the
+//! default is byte-identical to the exact mode and the determinism
+//! fixtures are **preserved, not re-baselined** (decision recorded in
+//! `docs/PERFORMANCE.md`). The size cap is load-bearing: at larger sizes
+//! rational frequency pairs approach tan(π/8) closely enough to fall
+//! inside the approximation's error envelope, so [`FilterScratch::new`]
+//! rejects them rather than risk a silent fast/exact divergence.
 
-use crate::fft::{fft2d, power, Complex};
+use crate::fft::{fft2d_with, power, Complex, FftPlan};
 use crate::synth::Image;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Number of directional filters (the image's "three axes").
 pub const NUM_FILTERS: usize = 3;
+
+/// Largest supported tile side. The fast/exact band-mask identity is
+/// proven exhaustively for every power-of-two size up to this bound
+/// (`band_masks_identical_for_fast_and_exact_trig`); beyond it,
+/// rational frequency pairs (continued-fraction convergents of
+/// tan(π/8)) get close enough to a band boundary to fall inside
+/// [`fast_atan2`]'s error envelope, which would let the default and
+/// `exact-trig` builds diverge.
+pub const MAX_TILE_PX: usize = 256;
+
+/// Polynomial `atan2` approximation (Abramowitz & Stegun 4.4.49 on the
+/// octant-reduced argument), maximum absolute error < 2e-5 rad. Used to
+/// build orientation band masks; the `exact-trig` feature swaps in libm
+/// `atan2`.
+///
+/// One carve-out: `fast_atan2(0.0, 0.0)` returns `0.0` for *both* zero
+/// signs, where libm distinguishes `±0.0`/`±π` by sign bit.
+///
+/// ```
+/// let a = ree_apps::filters::fast_atan2(3.0, -4.0);
+/// assert!((a - 3.0f64.atan2(-4.0)).abs() < 2e-5);
+/// ```
+pub fn fast_atan2(y: f64, x: f64) -> f64 {
+    if y == 0.0 && x == 0.0 {
+        return 0.0;
+    }
+    let ay = y.abs();
+    let ax = x.abs();
+    // Octant reduction: evaluate atan on [0, 1].
+    let swap = ay > ax;
+    let z = if swap { ax / ay } else { ay / ax };
+    // A&S 4.4.49: atan(z) = z(a1 + z²(a3 + z²(a5 + z²(a7 + z²·a9)))).
+    let z2 = z * z;
+    let mut a = z
+        * (0.999_866_0
+            + z2 * (-0.330_299_5 + z2 * (0.180_141_0 + z2 * (-0.085_133_0 + z2 * 0.020_835_1))));
+    if swap {
+        a = std::f64::consts::FRAC_PI_2 - a;
+    }
+    if x < 0.0 {
+        a = std::f64::consts::PI - a;
+    }
+    // Sign-bit test, not `< 0.0`: atan2(-0.0, -1.0) must be -π like libm.
+    if y.is_sign_negative() {
+        -a
+    } else {
+        a
+    }
+}
+
+/// True if spectrum bin `(fu, fv)` (signed frequencies) belongs to
+/// `filter`'s orientation band. `exact` selects libm `atan2` over
+/// [`fast_atan2`]; both classify every bin identically (proved by
+/// `band_masks_identical_for_fast_and_exact_trig`).
+fn bin_in_band(fu: f64, fv: f64, filter: usize, exact: bool) -> bool {
+    let mag = (fu * fu + fv * fv).sqrt();
+    if mag < 1e-9 {
+        return false;
+    }
+    // Orientation of this frequency component, folded to 0..pi.
+    let ang = if exact { fv.atan2(fu).abs() } else { fast_atan2(fv, fu).abs() };
+    match filter {
+        0 => !(std::f64::consts::FRAC_PI_8..=std::f64::consts::PI - std::f64::consts::FRAC_PI_8)
+            .contains(&ang),
+        1 => (ang - std::f64::consts::FRAC_PI_2).abs() < std::f64::consts::FRAC_PI_8,
+        _ => {
+            (ang - std::f64::consts::FRAC_PI_4).abs() < std::f64::consts::FRAC_PI_8
+                || (ang - 3.0 * std::f64::consts::FRAC_PI_4).abs() < std::f64::consts::FRAC_PI_8
+        }
+    }
+}
+
+/// Builds the band-membership mask for one `(size, filter)` pair: entry
+/// `v * size + u` is true when that spectrum bin contributes to the
+/// filter's oriented energy. The DC term is always excluded (it carries
+/// brightness, not texture).
+fn build_band_mask(size: usize, filter: usize, exact: bool) -> Vec<bool> {
+    let half = size / 2;
+    let mut mask = vec![false; size * size];
+    for v in 0..size {
+        for u in 0..size {
+            if u == 0 && v == 0 {
+                continue;
+            }
+            // Signed frequencies in [-half, half).
+            let fu = if u <= half { u as f64 } else { u as f64 - size as f64 };
+            let fv = if v <= half { v as f64 } else { v as f64 - size as f64 };
+            mask[v * size + u] = bin_in_band(fu, fv, filter, exact);
+        }
+    }
+    mask
+}
+
+/// Sorted `((size, filter), mask)` registry entries.
+type MaskRegistry = Vec<((usize, usize), Rc<[bool]>)>;
+
+/// Fetches (building on first use) the cached orientation mask for one
+/// `(size, filter)` pair.
+fn band_mask(size: usize, filter: usize) -> Rc<[bool]> {
+    debug_assert!(size <= MAX_TILE_PX, "mask size {size} beyond the proven fast/exact bound");
+    thread_local! {
+        /// Sorted mask registry — at most a handful of entries per
+        /// campaign.
+        static MASKS: RefCell<MaskRegistry> = const { RefCell::new(Vec::new()) };
+    }
+    MASKS.with(|cell| {
+        let mut reg = cell.borrow_mut();
+        match reg.binary_search_by_key(&(size, filter), |(key, _)| *key) {
+            Ok(i) => Rc::clone(&reg[i].1),
+            Err(i) => {
+                let exact = cfg!(feature = "exact-trig");
+                let mask: Rc<[bool]> = build_band_mask(size, filter, exact).into();
+                reg.insert(i, ((size, filter), Rc::clone(&mask)));
+                mask
+            }
+        }
+    })
+}
+
+/// Reusable per-tile working state: the FFT plan for the tile size, the
+/// tile spectrum buffer, and the column scratch — everything
+/// `filter_tiles` needs, allocated once and reused for every tile.
+#[derive(Debug)]
+pub struct FilterScratch {
+    plan: Rc<FftPlan>,
+    buf: Vec<Complex>,
+    col: Vec<Complex>,
+}
+
+impl FilterScratch {
+    /// Builds scratch state for `tile_px`×`tile_px` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_px` is not a power of two or exceeds
+    /// [`MAX_TILE_PX`] (the bound up to which the fast/exact band-mask
+    /// identity is proven).
+    pub fn new(tile_px: usize) -> FilterScratch {
+        assert!(tile_px.is_power_of_two(), "tile size must be a power of two");
+        assert!(tile_px <= MAX_TILE_PX, "tile size {tile_px} exceeds MAX_TILE_PX {MAX_TILE_PX}");
+        FilterScratch {
+            plan: FftPlan::for_size(tile_px),
+            buf: vec![(0.0, 0.0); tile_px * tile_px],
+            col: vec![(0.0, 0.0); tile_px],
+        }
+    }
+
+    /// Tile side length this scratch serves.
+    pub fn tile_px(&self) -> usize {
+        self.plan.size()
+    }
+}
 
 /// Computes filter `filter`'s feature value for every tile whose index is
 /// in `tiles` (tiles are numbered row-major over the `tiles_per_side`²
@@ -26,11 +202,30 @@ pub fn filter_tiles(
     tiles: std::ops::Range<usize>,
     tile_px: usize,
 ) -> Vec<(usize, f64)> {
+    let mut scratch = FilterScratch::new(tile_px);
+    filter_tiles_px(image.size, &image.pixels, filter, tiles, &mut scratch)
+}
+
+/// [`filter_tiles`] over raw row-major pixels with caller-held scratch —
+/// the form the texture application drives directly against its science
+/// heap (no image clone, no per-call allocations).
+///
+/// # Panics
+///
+/// Panics if `filter >= NUM_FILTERS` or `pixels.len() != size * size`.
+pub fn filter_tiles_px(
+    size: usize,
+    pixels: &[f64],
+    filter: usize,
+    tiles: std::ops::Range<usize>,
+    scratch: &mut FilterScratch,
+) -> Vec<(usize, f64)> {
     assert!(filter < NUM_FILTERS, "unknown filter {filter}");
-    assert!(tile_px.is_power_of_two(), "tile size must be a power of two");
-    let per_side = image.size / tile_px;
+    assert_eq!(pixels.len(), size * size, "image must be size*size");
+    let tile_px = scratch.tile_px();
+    let mask = band_mask(tile_px, filter);
+    let per_side = size / tile_px;
     let mut out = Vec::with_capacity(tiles.len());
-    let mut buf: Vec<Complex> = vec![(0.0, 0.0); tile_px * tile_px];
     for tile in tiles {
         if tile >= per_side * per_side {
             break;
@@ -38,49 +233,24 @@ pub fn filter_tiles(
         let tr = (tile / per_side) * tile_px;
         let tc = (tile % per_side) * tile_px;
         for r in 0..tile_px {
-            for c in 0..tile_px {
-                buf[r * tile_px + c] = (image.at(tr + r, tc + c), 0.0);
+            let row = &pixels[(tr + r) * size + tc..(tr + r) * size + tc + tile_px];
+            for (dst, &px) in scratch.buf[r * tile_px..(r + 1) * tile_px].iter_mut().zip(row) {
+                *dst = (px, 0.0);
             }
         }
-        fft2d(&mut buf, tile_px, false);
-        out.push((tile, oriented_energy(&buf, tile_px, filter)));
+        fft2d_with(&scratch.plan, &mut scratch.buf, false, &mut scratch.col);
+        out.push((tile, oriented_energy(&scratch.buf, &mask)));
     }
     out
 }
 
-/// Sums spectral power in the orientation band of one filter, excluding
-/// the DC term, and compresses with `ln(1+x)`.
-fn oriented_energy(spectrum: &[Complex], size: usize, filter: usize) -> f64 {
+/// Sums spectral power over the filter's precomputed orientation band
+/// (the DC term is excluded by the mask) and compresses with `ln(1+x)`.
+fn oriented_energy(spectrum: &[Complex], mask: &[bool]) -> f64 {
     let mut total = 0.0;
-    let half = size / 2;
-    for v in 0..size {
-        for u in 0..size {
-            if u == 0 && v == 0 {
-                continue; // DC carries brightness, not texture
-            }
-            // Signed frequencies in [-half, half).
-            let fu = if u <= half { u as f64 } else { u as f64 - size as f64 };
-            let fv = if v <= half { v as f64 } else { v as f64 - size as f64 };
-            let mag = (fu * fu + fv * fv).sqrt();
-            if mag < 1e-9 {
-                continue;
-            }
-            // Orientation of this frequency component.
-            let ang = fv.atan2(fu).abs(); // 0..pi
-            let in_band = match filter {
-                0 => !(std::f64::consts::FRAC_PI_8
-                    ..=std::f64::consts::PI - std::f64::consts::FRAC_PI_8)
-                    .contains(&ang),
-                1 => (ang - std::f64::consts::FRAC_PI_2).abs() < std::f64::consts::FRAC_PI_8,
-                _ => {
-                    (ang - std::f64::consts::FRAC_PI_4).abs() < std::f64::consts::FRAC_PI_8
-                        || (ang - 3.0 * std::f64::consts::FRAC_PI_4).abs()
-                            < std::f64::consts::FRAC_PI_8
-                }
-            };
-            if in_band {
-                total += power(spectrum[v * size + u]);
-            }
+    for (c, &in_band) in spectrum.iter().zip(mask) {
+        if in_band {
+            total += power(*c);
         }
     }
     (1.0 + total).ln()
@@ -139,11 +309,75 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let img = mars_surface(64, 9);
+        let mut scratch = FilterScratch::new(8);
+        for filter in 0..NUM_FILTERS {
+            let pooled = filter_tiles_px(img.size, &img.pixels, filter, 0..64, &mut scratch);
+            let fresh = filter_tiles(&img, filter, 0..64, 8);
+            assert_eq!(pooled, fresh, "filter {filter}");
+        }
+    }
+
+    #[test]
     fn assemble_orders_features_by_tile_then_filter() {
         let per_filter =
             vec![vec![(0, 1.0), (1, 2.0)], vec![(0, 3.0), (1, 4.0)], vec![(0, 5.0), (1, 6.0)]];
         let f = assemble_features(&per_filter, 2);
         assert_eq!(f, vec![1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn fast_atan2_is_within_tolerance_everywhere() {
+        // Dense sweep over all four quadrants plus the axes.
+        let mut worst: f64 = 0.0;
+        for iy in -50..=50 {
+            for ix in -50..=50 {
+                let (y, x) = (iy as f64 * 0.37, ix as f64 * 0.53);
+                if y == 0.0 && x == 0.0 {
+                    continue;
+                }
+                worst = worst.max((fast_atan2(y, x) - y.atan2(x)).abs());
+            }
+        }
+        assert!(worst < 2e-5, "worst error {worst}");
+        assert_eq!(fast_atan2(0.0, 0.0), 0.0);
+        // Negative-zero y must keep libm's sign convention (-π, not +π).
+        assert_eq!(fast_atan2(-0.0, -1.0), -std::f64::consts::PI);
+        assert_eq!(fast_atan2(0.0, -1.0), std::f64::consts::PI);
+    }
+
+    #[test]
+    fn band_masks_identical_for_fast_and_exact_trig() {
+        // The load-bearing determinism argument: the polynomial atan2
+        // classifies every bin exactly like libm atan2 for **every**
+        // supported tile size (2..=MAX_TILE_PX — FilterScratch::new
+        // rejects anything larger), so the default build's features are
+        // byte-identical to the exact-trig build's.
+        let sizes = (1..).map(|e| 1usize << e).take_while(|&s| s <= MAX_TILE_PX);
+        for size in sizes {
+            for filter in 0..NUM_FILTERS {
+                assert_eq!(
+                    build_band_mask(size, filter, false),
+                    build_band_mask(size, filter, true),
+                    "size {size} filter {filter}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masks_partition_most_bins_between_filters() {
+        // Every non-DC bin belongs to at least one of the three bands
+        // except bins sitting in the dead zones between band edges; the
+        // three bands must not overlap.
+        let size = 16;
+        let m: Vec<Vec<bool>> = (0..NUM_FILTERS).map(|f| build_band_mask(size, f, true)).collect();
+        for i in 0..size * size {
+            let members = m.iter().filter(|mask| mask[i]).count();
+            assert!(members <= 1, "bin {i} in {members} bands");
+        }
+        assert!(!m[0][0] && !m[1][0] && !m[2][0], "DC excluded everywhere");
     }
 
     #[test]

@@ -10,6 +10,39 @@
 //! data: injected bit flips propagate through genuine FFT / clustering /
 //! retrieval arithmetic to the science products, which an external
 //! verification program checks against tolerance limits (Table 10).
+//!
+//! # Kernel ↔ paper mapping
+//!
+//! | module | paper element |
+//! |--------|---------------|
+//! | [`synth`] | the Mars-surface image and OTIS thermal frames the instruments would deliver (§2); generated deterministically, shared campaign-wide |
+//! | [`fft`] | the 2-D FFT behind the texture filters — "approximately 20 seconds … in the FFT routine" (§3.3); planned kernels, see below |
+//! | [`filters`] | the three directional texture filters whose per-tile energies feed segmentation (§2, Table 10) |
+//! | [`kmeans`] | the k-means clustering that segments the feature vectors (§2) |
+//! | [`otis`], [`compress`] | OTIS split-window retrieval, emissivity extraction, lossless compression (§2) |
+//! | [`texture`], [`shell`] | the MPI application processes: phases, status files, progress indicators (§3.3) |
+//! | [`heap`] | the science heap that heap-model bit flips corrupt (§7) |
+//! | [`verify`] | the external verification program deciding correct/incorrect/missing output (§4.2, Table 10) |
+//! | [`testbed`] | scenario assembly: the 4- and 6-node testbed configurations (§2, §8) |
+//!
+//! # Performance
+//!
+//! These kernels are ~55% of campaign CPU, so they carry the fast-path
+//! machinery documented in `docs/PERFORMANCE.md`: precomputed
+//! [`fft::FftPlan`]s, precomputed orientation band masks with a pooled
+//! [`filters::FilterScratch`], and campaign-shared `Arc`'d inputs
+//! ([`synth::mars_surface_shared`]) with copy-on-write at the
+//! fault-injection boundary:
+//!
+//! ```
+//! use ree_apps::synth::mars_surface_shared;
+//! use ree_apps::filters::{filter_tiles_px, FilterScratch};
+//!
+//! let image = mars_surface_shared(64, 9); // cached: campaign-shared Arc
+//! let mut scratch = FilterScratch::new(8); // FFT plan + tile buffers, reused
+//! let energies = filter_tiles_px(image.size, &image.pixels, 0, 0..64, &mut scratch);
+//! assert_eq!(energies.len(), 64); // one oriented-energy feature per tile
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

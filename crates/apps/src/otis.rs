@@ -14,7 +14,7 @@
 use crate::compress::{compress, quantize};
 use crate::heap::SciHeap;
 use crate::shell::{AppShell, ShellPoll};
-use crate::synth::thermal_frame;
+use crate::synth::thermal_frame_shared;
 use ree_mpi::MpiPayload;
 use ree_os::{HeapHit, HeapModel, HeapTarget, Message, ProcCtx, Process, Signal};
 use ree_sift::AppLaunch;
@@ -160,14 +160,17 @@ impl OtisApp {
             self.enter_sync(pair, ctx);
             return;
         }
-        // Load the frame's bands into the working heap.
-        let f = thermal_frame(
+        // Load the frame's bands into the working heap. The frame comes
+        // from the campaign-shared input cache; cloning the bands out is
+        // the copy-on-write boundary — injected heap flips land in this
+        // rank's private copy, never in the shared frame.
+        let f = thermal_frame_shared(
             self.params.frame_px,
             otis_frame_seed(&self.shell.launch.app, self.shell.launch.slot),
             frame,
         );
-        self.heap.image = f.band11;
-        self.heap.features = f.band12;
+        self.heap.image = f.band11.clone();
+        self.heap.features = f.band12.clone();
         self.phase = Phase::Atm { pair, working: true };
         ctx.start_work(self.params.atm_time, WORK_PHASE);
     }
@@ -342,6 +345,7 @@ impl std::fmt::Debug for OtisApp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::synth::thermal_frame;
 
     #[test]
     fn split_window_recovers_truth_exactly() {

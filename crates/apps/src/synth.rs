@@ -7,8 +7,69 @@
 //! frequency per region, so directional texture filters genuinely
 //! separate them), and thermal frames have smooth temperature fields with
 //! atmospheric attenuation applied per split-window band.
+//!
+//! # Campaign-shared inputs
+//!
+//! Input generation is a pure function of its parameters, and a campaign
+//! re-runs the same scenario thousands of times — so the synthetic
+//! inputs are identical across every run of a campaign (the per-run seed
+//! perturbs fault injection and timing, **not** the instrument data).
+//! [`mars_surface_shared`] and [`thermal_frame_shared`] memoize the
+//! generated data process-wide behind `Arc`s keyed by the generation
+//! parameters; runs receive shared read-only data and copy-on-write into
+//! their own science heap before fault injection can mutate anything
+//! (see `SciHeap` — heap bit flips land in the run's private copy).
+//! `Scenario::warm_inputs` pre-populates the cache before a campaign
+//! fans out across worker threads.
 
 use ree_sim::SimRng;
+use std::sync::{Arc, Mutex};
+
+/// Bound on each shared-input cache (entries, not bytes). Campaigns use
+/// a handful of inputs; the bound only matters for long-lived processes
+/// sweeping many configurations.
+const SHARED_CACHE_CAP: usize = 64;
+
+/// A process-wide memo table: a mutex-guarded sorted small-vec from key
+/// to `Arc`'d value. Lookup is a binary search; the lock is held only
+/// for the lookup/insert (generation happens outside it, so two threads
+/// may race to generate the same entry once — both get identical data).
+/// Also backs the memoized verification reference in [`crate::verify`].
+pub(crate) struct SharedCache<K, V: ?Sized> {
+    entries: Mutex<Vec<(K, Arc<V>)>>,
+}
+
+impl<K: Ord + Copy, V: ?Sized> SharedCache<K, V> {
+    pub(crate) const fn new() -> Self {
+        SharedCache { entries: Mutex::new(Vec::new()) }
+    }
+
+    pub(crate) fn get_or_insert_with(&self, key: K, generate: impl FnOnce() -> Arc<V>) -> Arc<V> {
+        {
+            let entries = self.entries.lock().expect("shared-input cache poisoned");
+            if let Ok(i) = entries.binary_search_by_key(&key, |(k, _)| *k) {
+                return Arc::clone(&entries[i].1);
+            }
+        }
+        let value = generate();
+        let mut entries = self.entries.lock().expect("shared-input cache poisoned");
+        match entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => Arc::clone(&entries[i].1), // lost the race; share the winner
+            Err(_) => {
+                if entries.len() >= SHARED_CACHE_CAP {
+                    // Evict the smallest key — campaigns revisit a tiny
+                    // working set, so any eviction policy is fine.
+                    entries.remove(0);
+                }
+                let i = entries
+                    .binary_search_by_key(&key, |(k, _)| *k)
+                    .expect_err("key absent after miss");
+                entries.insert(i, (key, Arc::clone(&value)));
+                value
+            }
+        }
+    }
+}
 
 /// A row-major square grayscale image.
 #[derive(Clone, Debug, PartialEq)]
@@ -93,6 +154,23 @@ pub fn mars_surface(size: usize, seed: u64) -> Image {
     Image { size, pixels }
 }
 
+/// [`mars_surface`] through the campaign-shared input cache: the image
+/// for a given `(size, seed)` is generated once per process and every
+/// caller receives the same `Arc`. Mutating consumers (the science
+/// heap) clone the pixels out — copy-on-write at the injection boundary.
+///
+/// ```
+/// use ree_apps::synth::{mars_surface, mars_surface_shared};
+/// let a = mars_surface_shared(32, 7);
+/// let b = mars_surface_shared(32, 7);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!(*a, mars_surface(32, 7));
+/// ```
+pub fn mars_surface_shared(size: usize, seed: u64) -> std::sync::Arc<Image> {
+    static CACHE: SharedCache<(usize, u64), Image> = SharedCache::new();
+    CACHE.get_or_insert_with((size, seed), || Arc::new(mars_surface(size, seed)))
+}
+
 /// One OTIS thermal frame: two split-window band radiances plus the
 /// ground-truth surface temperature field used by verification.
 #[derive(Clone, Debug)]
@@ -134,6 +212,17 @@ pub fn thermal_frame(size: usize, seed: u64, frame_index: u32) -> ThermalFrame {
         }
     }
     ThermalFrame { size, band11, band12, truth }
+}
+
+/// [`thermal_frame`] through the campaign-shared input cache (see
+/// [`mars_surface_shared`]). The OTIS ranks clone band vectors out of
+/// the shared frame into their mutable science heap; the verifier reads
+/// the shared frame directly.
+pub fn thermal_frame_shared(size: usize, seed: u64, frame_index: u32) -> Arc<ThermalFrame> {
+    static CACHE: SharedCache<(usize, u64, u32), ThermalFrame> = SharedCache::new();
+    CACHE.get_or_insert_with((size, seed, frame_index), || {
+        Arc::new(thermal_frame(size, seed, frame_index))
+    })
 }
 
 #[cfg(test)]
@@ -205,5 +294,27 @@ mod tests {
         let a = thermal_frame(32, 9, 0);
         let b = thermal_frame(32, 9, 1);
         assert_ne!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn shared_thermal_frame_matches_direct_generation() {
+        let shared = thermal_frame_shared(16, 21, 2);
+        let direct = thermal_frame(16, 21, 2);
+        assert_eq!(shared.truth, direct.truth);
+        assert_eq!(shared.band11, direct.band11);
+        assert!(Arc::ptr_eq(&shared, &thermal_frame_shared(16, 21, 2)));
+    }
+
+    #[test]
+    fn shared_cache_is_bounded_and_still_correct_after_eviction() {
+        // Push well past the cap with distinct seeds, then confirm an
+        // evicted entry regenerates identically.
+        let first = mars_surface_shared(8, 1_000_000);
+        let first_copy = Image { size: first.size, pixels: first.pixels.clone() };
+        for seed in 1_000_001..1_000_200u64 {
+            let _ = mars_surface_shared(8, seed);
+        }
+        let again = mars_surface_shared(8, 1_000_000);
+        assert_eq!(*again, first_copy);
     }
 }

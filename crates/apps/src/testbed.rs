@@ -95,6 +95,40 @@ impl Scenario {
         Running { cluster, scc_pid, jobs: self.jobs.len() }
     }
 
+    /// Pre-generates every campaign-shared synthetic input this
+    /// scenario's jobs will read ([`crate::synth::mars_surface_shared`],
+    /// [`crate::synth::thermal_frame_shared`]), so a campaign's worker
+    /// threads find the cache warm instead of racing to synthesise the
+    /// same image. Runs hit the cache either way — warming is purely a
+    /// throughput optimisation, never a correctness requirement.
+    ///
+    /// ```
+    /// let scenario = ree_apps::Scenario::single_texture(7);
+    /// scenario.warm_inputs(); // idempotent; called by `run_campaign`
+    /// ```
+    pub fn warm_inputs(&self) {
+        for (slot, job) in self.jobs.iter().enumerate() {
+            let slot = slot as u32;
+            match job.app.as_str() {
+                "texture" => {
+                    for image in 0..self.texture.images {
+                        let _ = crate::synth::mars_surface_shared(
+                            self.texture.image_px,
+                            crate::texture::texture_image_seed(&job.app, slot, image),
+                        );
+                    }
+                }
+                "otis" => {
+                    let seed = crate::otis::otis_frame_seed(&job.app, slot);
+                    for frame in 0..self.otis.frames {
+                        let _ = crate::synth::thermal_frame_shared(self.otis.frame_px, seed, frame);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// Runs the scenario without any injection until all jobs complete
     /// or `horizon` passes; returns the run.
     pub fn run_fault_free(&self, horizon: SimTime) -> Running {

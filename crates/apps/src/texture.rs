@@ -17,15 +17,16 @@
 //! all-to-all, and updates the status file. Rank 0 then runs k-means and
 //! writes the segmented output.
 
-use crate::filters::{assemble_features, filter_tiles, NUM_FILTERS};
+use crate::filters::{assemble_features, filter_tiles_px, FilterScratch, NUM_FILTERS};
 use crate::heap::SciHeap;
 use crate::kmeans::kmeans;
 use crate::shell::{AppShell, ShellPoll};
-use crate::synth::{mars_surface, Image};
+use crate::synth::{mars_surface_shared, Image};
 use ree_mpi::MpiPayload;
 use ree_os::{HeapHit, HeapModel, HeapTarget, Message, ProcCtx, Process, Signal};
 use ree_sift::AppLaunch;
 use ree_sim::{SimDuration, SimRng};
+use std::sync::Arc;
 
 /// Tunable workload parameters for the texture program.
 #[derive(Clone, Debug)]
@@ -100,11 +101,12 @@ pub struct TextureApp {
     image_idx: u32,
     phase: Phase,
     resume_filter: u32,
-    image: Option<Image>,
     /// Per-filter tile energies gathered so far (all ranks' shares).
     per_filter: Vec<Vec<(usize, f64)>>,
     /// Which ranks' shares we already merged for the in-flight exchange.
     got_share: Vec<bool>,
+    /// Reusable tile/column/plan scratch for the filter kernels.
+    scratch: Option<FilterScratch>,
 }
 
 impl TextureApp {
@@ -118,9 +120,9 @@ impl TextureApp {
             image_idx: 0,
             phase: Phase::Init,
             resume_filter: 0,
-            image: None,
             per_filter: vec![Vec::new(); NUM_FILTERS],
             got_share: Vec::new(),
+            scratch: None,
         }
     }
 
@@ -187,15 +189,17 @@ impl TextureApp {
 
     fn finish_load(&mut self, ctx: &mut ProcCtx<'_>) {
         // The camera stored the image on stable storage; generate it
-        // deterministically on first access.
+        // deterministically on first access. Generation goes through the
+        // campaign-shared cache, so the thousands of runs of a campaign
+        // synthesise each input exactly once per worker process.
         let path = format!(
             "images/{}-s{}-{}.img",
             self.shell.launch.app, self.shell.launch.slot, self.image_idx
         );
         let image = match ctx.remote_fs().read(&path).and_then(Image::from_bytes) {
-            Some(img) if img.size == self.params.image_px => img,
+            Some(img) if img.size == self.params.image_px => Arc::new(img),
             _ => {
-                let img = mars_surface(
+                let img = mars_surface_shared(
                     self.params.image_px,
                     texture_image_seed(
                         &self.shell.launch.app,
@@ -207,9 +211,10 @@ impl TextureApp {
                 img
             }
         };
+        // Copy-on-write boundary: the heap owns the copy fault injection
+        // may flip; the shared image stays pristine.
         self.heap.image = image.pixels.clone();
         self.heap.features = vec![0.0; self.n_tiles() * NUM_FILTERS];
-        self.image = Some(image);
         self.per_filter = vec![Vec::new(); NUM_FILTERS];
         // Reload features of filters completed before a restart.
         for f in 0..self.resume_filter {
@@ -231,11 +236,20 @@ impl TextureApp {
     }
 
     fn finish_filter(&mut self, f: u32, ctx: &mut ProcCtx<'_>) {
-        // The real FFT computation for this rank's tiles. The image may
-        // carry injected bit flips — they propagate through this
-        // arithmetic into the features and the final segmentation.
-        let image = Image { size: self.params.image_px, pixels: self.heap.image.clone() };
-        let mine = filter_tiles(&image, f as usize, self.my_tiles(), self.params.tile_px);
+        // The real FFT computation for this rank's tiles, straight over
+        // the (possibly bit-flipped) science heap — injected flips
+        // propagate through this arithmetic into the features and the
+        // final segmentation. The scratch pool persists across filters.
+        let mut scratch =
+            self.scratch.take().unwrap_or_else(|| FilterScratch::new(self.params.tile_px));
+        let mine = filter_tiles_px(
+            self.params.image_px,
+            &self.heap.image,
+            f as usize,
+            self.my_tiles(),
+            &mut scratch,
+        );
+        self.scratch = Some(scratch);
         // Share with every peer, collect everyone's share.
         let flat: Vec<f64> = mine.iter().flat_map(|(t, e)| vec![*t as f64, *e]).collect();
         for rank in 0..self.shell.launch.size {

@@ -17,7 +17,7 @@ use ree_os::{
     FieldKind, HeapHit, HeapModel, HeapTarget, Message, Pid, ProcCtx, Process, Signal, TraceDetail,
 };
 use ree_sim::{SimDuration, SimRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Page alignment that "valid" structural pointers satisfy; a bit-flipped
@@ -112,10 +112,15 @@ pub struct ArmorCore {
     ckpt: CheckpointBuffer,
     opts: ArmorOptions,
     gateway: Gateway,
-    route_table: HashMap<ArmorId, Pid>,
+    /// ARMOR-id → pid routes, sorted by id. A self-routing process knows
+    /// a handful of peers, so a sorted small vec (binary search) beats a
+    /// `HashMap` — transmit is on the per-message hot path.
+    route_table: Vec<(ArmorId, Pid)>,
     raised: Vec<ArmorEvent>,
     poison_next_send: bool,
-    timer_events: HashMap<u64, ArmorEvent>,
+    /// Pending timer-raised events, sorted by tag (tags are allocated
+    /// monotonically, so insertion is a push).
+    timer_events: Vec<(u64, ArmorEvent)>,
     next_timer_tag: u64,
     ckpt_key: String,
 }
@@ -139,9 +144,8 @@ impl ArmorCore {
             }
             Gateway::SelfRouting => {
                 let dst = packet.destination();
-                match self.route_table.get(&dst) {
+                match self.route(dst) {
                     Some(pid) => {
-                        let pid = *pid;
                         os.send(pid, "armor-wire", size, packet);
                     }
                     None => {
@@ -172,6 +176,19 @@ impl ArmorCore {
         let key = self.ckpt_key.clone();
         if os.ramdisk().write(&key, image).is_err() {
             os.trace("checkpoint commit failed: ram disk full");
+        }
+    }
+
+    /// Looks up the pid routed for `id` (binary search, no hashing).
+    fn route(&self, id: ArmorId) -> Option<Pid> {
+        self.route_table.binary_search_by_key(&id, |(a, _)| *a).ok().map(|i| self.route_table[i].1)
+    }
+
+    /// Installs (or replaces) a route.
+    fn install_route(&mut self, id: ArmorId, pid: Pid) {
+        match self.route_table.binary_search_by_key(&id, |(a, _)| *a) {
+            Ok(i) => self.route_table[i].1 = pid,
+            Err(i) => self.route_table.insert(i, (id, pid)),
         }
     }
 }
@@ -229,26 +246,27 @@ impl ElementCtx<'_, '_> {
     pub fn set_timer_event(&mut self, delay: SimDuration, ev: ArmorEvent) {
         let tag = self.core.next_timer_tag;
         self.core.next_timer_tag += 1;
-        self.core.timer_events.insert(tag, ev);
+        // Tags are allocated monotonically, so pushing keeps the vec
+        // sorted for the binary-search removal in `on_timer`.
+        debug_assert!(self.core.timer_events.last().is_none_or(|(t, _)| *t < tag));
+        self.core.timer_events.push((tag, ev));
         self.os.set_timer(delay, tag);
     }
 
     /// Installs a route (daemons and installers).
     pub fn install_route(&mut self, id: ArmorId, pid: Pid) {
-        self.core.route_table.insert(id, pid);
+        self.core.install_route(id, pid);
     }
 
     /// Looks up a route.
     pub fn route(&self, id: ArmorId) -> Option<Pid> {
-        self.core.route_table.get(&id).copied()
+        self.core.route(id)
     }
 
-    /// All currently known routes, sorted by ARMOR id.
+    /// All currently known routes, sorted by ARMOR id (the table's
+    /// natural order).
     pub fn routes(&self) -> Vec<(ArmorId, Pid)> {
-        let mut v: Vec<(ArmorId, Pid)> =
-            self.core.route_table.iter().map(|(a, p)| (*a, *p)).collect();
-        v.sort_unstable_by_key(|(a, _)| *a);
-        v
+        self.core.route_table.clone()
     }
 
     /// Appends to the cluster trace.
@@ -294,10 +312,10 @@ impl ArmorProcess {
                 comm: ReliableComm::new(id, opts.retransmit_after),
                 ckpt,
                 gateway,
-                route_table: HashMap::new(),
+                route_table: Vec::new(),
                 raised: Vec::new(),
                 poison_next_send: false,
-                timer_events: HashMap::new(),
+                timer_events: Vec::new(),
                 next_timer_tag: TIMER_USER_BASE,
                 ckpt_key: format!("ckpt/{name}"),
                 name,
@@ -586,7 +604,7 @@ impl Process for ArmorProcess {
             }
             "armor-control" => match msg.take::<ControlOp>() {
                 Ok(ControlOp::AddRoute(id, pid)) => {
-                    self.core.route_table.insert(id, pid);
+                    self.core.install_route(id, pid);
                 }
                 Ok(ControlOp::Raise(ev)) => {
                     let result = self.process_events(vec![ev], ctx);
@@ -646,7 +664,13 @@ impl Process for ArmorProcess {
                 }
             }
             user => {
-                if let Some(ev) = self.core.timer_events.remove(&user) {
+                let fired = self
+                    .core
+                    .timer_events
+                    .binary_search_by_key(&user, |(t, _)| *t)
+                    .ok()
+                    .map(|i| self.core.timer_events.remove(i).1);
+                if let Some(ev) = fired {
                     let result = self.process_events(vec![ev], ctx);
                     self.finish_local(result, ctx);
                 }

@@ -3,7 +3,16 @@
 //! it directly and emits `BENCH_campaign.json` for CI artifacts and
 //! PR-over-PR comparison.
 //!
-//! Usage: `campaign_bench [--runs N] [--seed S] [--out PATH] [--quiet]`
+//! Usage: `campaign_bench [--runs N] [--seed S] [--out PATH] [--quiet]
+//! [--baseline PATH]`
+//!
+//! `--baseline` compares this invocation's register-sweep runs/sec
+//! against a previously committed `BENCH_campaign.json` and prints a
+//! GitHub-annotation-style `::warning::` when throughput regressed by
+//! more than 10%. The comparison never fails the process — CI runners
+//! are shared hardware, so absolute numbers are advisory there; the
+//! hard gate is a developer re-running on the baseline's machine (see
+//! `docs/PERFORMANCE.md`).
 //!
 //! The workload is the paper's standard table campaign: the texture
 //! application on the 4-node testbed under the register error model
@@ -90,6 +99,46 @@ fn json_sweep(s: &Sweep) -> String {
     )
 }
 
+/// Extracts the register sweep's `runs_per_sec` from a committed
+/// `BENCH_campaign.json` without a JSON parser dependency: finds the
+/// `"label": "register"` entry and reads the next `"runs_per_sec":`
+/// number after it.
+fn baseline_register_rps(json: &str) -> Option<f64> {
+    let at = json.find("\"label\": \"register\"")?;
+    let rest = &json[at..];
+    let key = "\"runs_per_sec\": ";
+    let num = &rest[rest.find(key)? + key.len()..];
+    let end = num.find(|c: char| c != '.' && !c.is_ascii_digit()).unwrap_or(num.len());
+    num[..end].parse().ok()
+}
+
+/// Diffs the measured register sweep against `path`'s committed
+/// baseline, warning (never failing) on a >10% runs/sec regression.
+fn compare_with_baseline(path: &str, measured: &Sweep) {
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("::warning::cannot read baseline {path}: {e}");
+            return;
+        }
+    };
+    let Some(base) = baseline_register_rps(&json) else {
+        eprintln!("::warning::no register runs_per_sec found in baseline {path}");
+        return;
+    };
+    let now = measured.runs_per_sec();
+    let delta = (now - base) / base * 100.0;
+    if now < base * 0.9 {
+        eprintln!(
+            "::warning::campaign throughput regression: register sweep {now:.1} runs/sec vs \
+             baseline {base:.1} ({delta:+.1}%) — investigate before merging (shared CI runners \
+             make this advisory; confirm on dedicated hardware, see docs/PERFORMANCE.md)"
+        );
+    } else {
+        eprintln!("baseline check: register {now:.1} runs/sec vs {base:.1} ({delta:+.1}%)");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get =
@@ -129,5 +178,8 @@ fn main() {
     if !quiet {
         print!("{json}");
         eprintln!("wrote {out}");
+    }
+    if let Some(baseline) = get("--baseline") {
+        compare_with_baseline(&baseline, &register);
     }
 }

@@ -1,11 +1,41 @@
-//! # ree-bench — Criterion harnesses regenerating every table and figure
+//! # ree-bench — throughput and regression benchmarks
 //!
-//! Three benchmark suites:
-//! * `tables` — one benchmark per paper table (3–12), each executing a
-//!   scaled-down campaign per iteration;
-//! * `figures` — figures 6–10;
-//! * `micro` — component ablations: microcheckpointing, reliable comm,
-//!   FFT, k-means, compression, SAN stepping.
+//! Two kinds of measurement (method and history in
+//! `docs/PERFORMANCE.md`):
 //!
-//! Absolute numbers are simulator wall-clock; the intent is tracking the
-//! cost of each reproduction and catching performance regressions.
+//! * **End-to-end campaign throughput** — the `campaign_bench` binary
+//!   runs the paper's standard campaign and emits
+//!   `BENCH_campaign.json` (runs/sec, mean/p95 per-run wall time).
+//!   This is the headline capacity number every perf PR must move:
+//!
+//!   ```console
+//!   $ cargo run --release -p ree-bench --bin campaign_bench -- --runs 512
+//!   $ cargo run --release -p ree-bench --bin campaign_bench -- \
+//!       --runs 32 --baseline BENCH_campaign.json   # CI smoke + regression diff
+//!   ```
+//!
+//! * **Criterion suites** — `tables` (one benchmark per paper table
+//!   3–12, each a scaled-down campaign), `figures` (figures 6–10),
+//!   `micro` (component ablations: microcheckpointing, reliable comm,
+//!   FFT, k-means, compression, SAN stepping), `classification`
+//!   (typed trace queries), and `hotpath` (event-queue churn, trace
+//!   push). Absolute numbers are simulator wall-clock; the intent is
+//!   tracking the cost of each reproduction and catching regressions.
+//!
+//! The library itself only hosts shared helpers; the measurement entry
+//! points are the binary and the benches. A campaign is cheap enough
+//! to time directly in a test or doc example:
+//!
+//! ```
+//! use ree_inject::{run_campaign_aggregate, ErrorModel, RunPlan, Target};
+//! use ree_sim::SimTime;
+//!
+//! let plan = RunPlan {
+//!     scenario: ree_apps::Scenario::single_texture(1),
+//!     target: Target::App,
+//!     model: ErrorModel::Sigint,
+//!     timeout: SimTime::from_secs(220),
+//! };
+//! let agg = run_campaign_aggregate(&plan, 2, 7);
+//! assert!(agg.errors_injected <= 2);
+//! ```

@@ -73,6 +73,9 @@ pub fn run_campaign_fold_with_threads<A>(
     if runs == 0 {
         return acc;
     }
+    // Generate the campaign-shared synthetic inputs once, before the
+    // workers fan out, so they never race to synthesise the same image.
+    plan.scenario.warm_inputs();
     let threads = threads.clamp(1, runs as usize);
     if threads == 1 {
         for i in 0..u64::from(runs) {

@@ -8,6 +8,35 @@
 //! independent of the per-model injectors, which live behind the
 //! `ree-os` injection surface (signals, register/text bit flips, heap
 //! bit flips).
+//!
+//! # Campaign execution and throughput
+//!
+//! A campaign is thousands of seeded runs of one plan; runs/second is
+//! the capacity ceiling for every reproduced table (the measurement
+//! and optimisation history live in `docs/PERFORMANCE.md`). Campaigns
+//! execute on a work-stealing thread pool and fold results **in seed
+//! order**, so output is bit-identical for any thread count; before
+//! the workers fan out, [`run_campaign`] warms the campaign-shared
+//! input cache (`ree_apps::Scenario::warm_inputs`) so the synthetic
+//! instrument data is generated once per process, not once per run.
+//!
+//! ```
+//! use ree_inject::{run_campaign, Aggregate, ErrorModel, RunPlan, Target};
+//! use ree_sim::SimTime;
+//!
+//! let plan = RunPlan {
+//!     scenario: ree_apps::Scenario::single_texture(1),
+//!     target: Target::App,
+//!     model: ErrorModel::Sigint,
+//!     timeout: SimTime::from_secs(220),
+//! };
+//! let results = run_campaign(&plan, 2, 7);
+//! assert_eq!(results.len(), 2);
+//! // SIGINT injects at most once per run (and not at all if the run
+//! // completes before the sampled injection instant).
+//! let agg = Aggregate::from_results(&results);
+//! assert!(agg.errors_injected <= 2);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
