@@ -44,7 +44,7 @@
 //! ```
 
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A complex number as a `(re, im)` pair.
 pub type Complex = (f64, f64);
@@ -120,19 +120,19 @@ impl FftPlan {
     /// # Panics
     ///
     /// Panics if `n` is not a power of two.
-    pub fn for_size(n: usize) -> Rc<FftPlan> {
+    pub fn for_size(n: usize) -> Arc<FftPlan> {
         thread_local! {
             /// Sorted `(size, plan)` registry; a campaign touches only a
             /// couple of sizes, so a small sorted vec beats hashing.
-            static REGISTRY: RefCell<Vec<(usize, Rc<FftPlan>)>> = const { RefCell::new(Vec::new()) };
+            static REGISTRY: RefCell<Vec<(usize, Arc<FftPlan>)>> = const { RefCell::new(Vec::new()) };
         }
         REGISTRY.with(|cell| {
             let mut reg = cell.borrow_mut();
             match reg.binary_search_by_key(&n, |(size, _)| *size) {
-                Ok(i) => Rc::clone(&reg[i].1),
+                Ok(i) => Arc::clone(&reg[i].1),
                 Err(i) => {
-                    let plan = Rc::new(FftPlan::new(n));
-                    reg.insert(i, (n, Rc::clone(&plan)));
+                    let plan = Arc::new(FftPlan::new(n));
+                    reg.insert(i, (n, Arc::clone(&plan)));
                     plan
                 }
             }
@@ -387,7 +387,7 @@ mod tests {
     fn registry_returns_the_same_plan_instance() {
         let a = FftPlan::for_size(32);
         let b = FftPlan::for_size(32);
-        assert!(Rc::ptr_eq(&a, &b), "plans must be cached per size");
+        assert!(Arc::ptr_eq(&a, &b), "plans must be cached per size");
         assert_eq!(a.size(), 32);
     }
 

@@ -31,7 +31,7 @@
 use crate::fft::{fft2d_with, power, Complex, FftPlan};
 use crate::synth::Image;
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Number of directional filters (the image's "three axes").
 pub const NUM_FILTERS: usize = 3;
@@ -129,11 +129,11 @@ fn build_band_mask(size: usize, filter: usize, exact: bool) -> Vec<bool> {
 }
 
 /// Sorted `((size, filter), mask)` registry entries.
-type MaskRegistry = Vec<((usize, usize), Rc<[bool]>)>;
+type MaskRegistry = Vec<((usize, usize), Arc<[bool]>)>;
 
 /// Fetches (building on first use) the cached orientation mask for one
 /// `(size, filter)` pair.
-fn band_mask(size: usize, filter: usize) -> Rc<[bool]> {
+fn band_mask(size: usize, filter: usize) -> Arc<[bool]> {
     debug_assert!(size <= MAX_TILE_PX, "mask size {size} beyond the proven fast/exact bound");
     thread_local! {
         /// Sorted mask registry — at most a handful of entries per
@@ -143,11 +143,11 @@ fn band_mask(size: usize, filter: usize) -> Rc<[bool]> {
     MASKS.with(|cell| {
         let mut reg = cell.borrow_mut();
         match reg.binary_search_by_key(&(size, filter), |(key, _)| *key) {
-            Ok(i) => Rc::clone(&reg[i].1),
+            Ok(i) => Arc::clone(&reg[i].1),
             Err(i) => {
                 let exact = cfg!(feature = "exact-trig");
-                let mask: Rc<[bool]> = build_band_mask(size, filter, exact).into();
-                reg.insert(i, ((size, filter), Rc::clone(&mask)));
+                let mask: Arc<[bool]> = build_band_mask(size, filter, exact).into();
+                reg.insert(i, ((size, filter), Arc::clone(&mask)));
                 mask
             }
         }
@@ -157,9 +157,9 @@ fn band_mask(size: usize, filter: usize) -> Rc<[bool]> {
 /// Reusable per-tile working state: the FFT plan for the tile size, the
 /// tile spectrum buffer, and the column scratch — everything
 /// `filter_tiles` needs, allocated once and reused for every tile.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FilterScratch {
-    plan: Rc<FftPlan>,
+    plan: Arc<FftPlan>,
     buf: Vec<Complex>,
     col: Vec<Complex>,
 }

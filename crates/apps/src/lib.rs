@@ -60,21 +60,21 @@ pub mod texture;
 pub mod verify;
 
 use ree_sift::{AppFactory, Blueprint};
-use std::rc::Rc;
+use std::sync::Arc;
 
 pub use otis::{OtisApp, OtisParams};
-pub use testbed::{run_without_sift, Running, Scenario};
+pub use testbed::{run_without_sift, BootSnapshot, Running, Scenario};
 pub use texture::{TextureApp, TextureParams};
 pub use verify::Verdict;
 
 /// Builds the texture-analysis application factory.
 pub fn texture_factory(params: TextureParams) -> AppFactory {
-    Rc::new(move |launch| Box::new(TextureApp::new(launch, params.clone())))
+    Arc::new(move |launch| Box::new(TextureApp::new(launch, params.clone())))
 }
 
 /// Builds the OTIS application factory.
 pub fn otis_factory(params: OtisParams) -> AppFactory {
-    Rc::new(move |launch| Box::new(OtisApp::new(launch, params.clone())))
+    Arc::new(move |launch| Box::new(OtisApp::new(launch, params.clone())))
 }
 
 /// Registers both paper applications in a blueprint under their

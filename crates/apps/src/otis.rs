@@ -88,6 +88,7 @@ enum Phase {
 }
 
 /// One MPI rank of the OTIS application.
+#[derive(Clone)]
 pub struct OtisApp {
     shell: AppShell,
     params: OtisParams,

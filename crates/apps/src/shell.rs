@@ -40,6 +40,7 @@ pub enum ShellPoll {
 }
 
 /// Shared application plumbing.
+#[derive(Clone)]
 pub struct AppShell {
     /// Launch descriptor.
     pub launch: AppLaunch,

@@ -7,7 +7,7 @@ use ree_os::NodeId;
 use ree_os::{Cluster, ClusterConfig, Pid, SpawnSpec};
 use ree_sift::{Blueprint, JobSpec, JobTimes, Scc, SiftConfig};
 use ree_sim::{SimDuration, SimTime};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A declarative experiment setup.
 #[derive(Clone, Debug)]
@@ -90,7 +90,7 @@ impl Scenario {
         let mut cluster = Cluster::new(config);
         let blueprint = Blueprint::new(self.sift.clone());
         crate::register_paper_apps(&blueprint, self.texture.clone(), self.otis.clone());
-        let scc = Scc::new(Rc::clone(&blueprint), self.nodes as u16, self.jobs.clone());
+        let scc = Scc::new(Arc::clone(&blueprint), self.nodes as u16, self.jobs.clone());
         let scc_pid = cluster.spawn(SpawnSpec::new("scc", NodeId(0), Box::new(scc)));
         Running { cluster, scc_pid, jobs: self.jobs.len() }
     }
@@ -136,9 +136,77 @@ impl Scenario {
         running.run_until_done(horizon);
         running
     }
+
+    /// Boots the scenario once and freezes it at `until` as a reusable
+    /// [`BootSnapshot`]. Campaigns boot the identical SIFT cluster for
+    /// every run; snapshotting the booted state and handing each run a
+    /// deep clone skips re-executing the whole installation protocol
+    /// (~5 s of simulated setup) per run.
+    ///
+    /// Boot runs under this scenario's `seed`, which a campaign holds
+    /// fixed; per-run randomness enters only when a fork re-seeds the
+    /// cluster streams ([`BootSnapshot::fork`]). Cold boots that re-seed
+    /// at the same instant reproduce a fork byte-for-byte.
+    pub fn boot_snapshot(&self, until: SimTime) -> BootSnapshot {
+        let mut running = self.start();
+        running.run_until_done(until);
+        BootSnapshot { running, booted_to: until }
+    }
+}
+
+/// A booted cluster frozen at a fixed instant, cheaply forkable into
+/// independent per-run copies.
+///
+/// The snapshot is `Send + Sync`: one boot on the campaign thread serves
+/// every worker, each of which clones (`fork`) its own `Running` per
+/// run. Everything mutable is deep-copied by the fork; only immutable
+/// shared structure (app factories, interned names, FFT plans, synthetic
+/// input caches) stays `Arc`-shared across forks.
+pub struct BootSnapshot {
+    running: Running,
+    booted_to: SimTime,
+}
+
+impl BootSnapshot {
+    /// The instant the boot was frozen at.
+    pub fn booted_to(&self) -> SimTime {
+        self.booted_to
+    }
+
+    /// True if every job already completed during boot (degenerate
+    /// scenarios only; campaigns then have nothing left to inject into).
+    pub fn all_done(&self) -> bool {
+        self.running.all_done()
+    }
+
+    /// Deep-clones the booted cluster and re-seeds its random streams
+    /// from `seed` — the per-run warm-boot path.
+    pub fn fork(&self, seed: u64) -> Running {
+        let mut running = self.running.clone();
+        running.cluster.reseed(seed);
+        running
+    }
+
+    /// Consumes the snapshot into a run without the clone — the cold
+    /// path (boot, re-seed, run) used when a snapshot serves one run.
+    pub fn into_running(self, seed: u64) -> Running {
+        let mut running = self.running;
+        running.cluster.reseed(seed);
+        running
+    }
+}
+
+impl std::fmt::Debug for BootSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BootSnapshot")
+            .field("booted_to", &self.booted_to)
+            .field("running", &self.running)
+            .finish()
+    }
 }
 
 /// A live (or finished) scenario execution.
+#[derive(Clone)]
 pub struct Running {
     /// The simulated cluster.
     pub cluster: Cluster,

@@ -94,6 +94,7 @@ enum Phase {
 }
 
 /// One MPI rank of the texture-analysis application.
+#[derive(Clone)]
 pub struct TextureApp {
     shell: AppShell,
     params: TextureParams,

@@ -43,7 +43,7 @@ struct Pending {
 }
 
 /// Per-ARMOR reliable messaging state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReliableComm {
     me: ArmorId,
     next_seq: u64,

@@ -31,8 +31,32 @@ pub enum ElementOutcome {
     AbortThread(String),
 }
 
+/// Object-safe cloning for [`Element`] trait objects (warm-boot
+/// snapshot forking clones whole ARMOR processes, elements included).
+/// Blanket-implemented for every `Element + Clone` type.
+pub trait ElementClone {
+    /// Clones the element behind the trait object.
+    fn clone_element(&self) -> Box<dyn Element>;
+}
+
+impl<T: Element + Clone + 'static> ElementClone for T {
+    fn clone_element(&self) -> Box<dyn Element> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Element> {
+    fn clone(&self) -> Self {
+        (**self).clone_element()
+    }
+}
+
 /// A pluggable unit of ARMOR functionality.
-pub trait Element {
+///
+/// `Send + Sync + ElementClone` mirror the bounds on
+/// [`ree_os::Process`]: element state must be clonable plain data (or
+/// `Arc`-shared immutable data) so a booted ARMOR can be forked.
+pub trait Element: ElementClone + Send + Sync {
     /// Stable element name; also names its checkpoint-buffer region and
     /// heap-injection target (Table 8 uses `mgr_armor_info`,
     /// `exec_armor_info`, `app_param`, `mgr_app_detect`, `node_mgmt`).

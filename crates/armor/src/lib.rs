@@ -29,7 +29,7 @@ mod value;
 mod wire;
 
 pub use comm::{Inbound, ReliableComm};
-pub use element::{assertions, Element, ElementOutcome};
+pub use element::{assertions, Element, ElementClone, ElementOutcome};
 pub use event::{ArmorEvent, ArmorId, ArmorMessage, WireKind, WirePacket};
 pub use microcheckpoint::CheckpointBuffer;
 pub use runtime::{

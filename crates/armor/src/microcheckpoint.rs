@@ -17,33 +17,90 @@
 //! 2. **Commit happens on every message transmission**, keeping the
 //!    global checkpoint set consistent so a single process rolls back.
 
-use crate::wire::{decode_fields, encode_fields, DecodeError};
+use crate::wire::{decode_fields, encode_fields_into, DecodeError};
 use crate::Fields;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes, BytesMut};
 
-/// The in-process checkpoint buffer: one disjoint region per element.
-#[derive(Debug, Clone)]
+/// The in-process checkpoint buffer: one disjoint region per element,
+/// with an **incrementally maintained** stable-storage image.
+///
+/// Two commit-path costs used to scale with total state size on every
+/// reliable ARMOR send: re-encoding the touched element and rebuilding
+/// the whole stable-storage image. Both are now incremental:
+///
+/// * [`CheckpointBuffer::update`] encodes into a reusable scratch buffer
+///   and, when the encoded bytes equal the region's current image (the
+///   element processed an event without changing state), skips the copy
+///   and leaves the region clean.
+/// * [`CheckpointBuffer::encode`] keeps the assembled image from the
+///   previous commit and patches only dirty regions in place. Region
+///   offsets are stable because regions are disjoint and fixed at
+///   construction; only a region changing *length* forces a full
+///   rebuild (which also refreshes every offset).
+///
+/// Regions are addressed by construction-order index through a sorted
+/// name→index table, replacing the linear `String` compare per event.
+#[derive(Debug, Clone, Default)]
 pub struct CheckpointBuffer {
     regions: Vec<Region>,
+    /// Sorted `(element name, region index)` lookup table.
+    by_name: Vec<(String, u32)>,
+    /// The assembled stable-storage image as of the last commit
+    /// (empty until the first commit).
+    assembled: Vec<u8>,
+    /// True when a region's image changed length since the last commit,
+    /// invalidating every cached offset.
+    needs_rebuild: bool,
+    /// Reusable per-update encode scratch.
+    scratch: BytesMut,
     updates: u64,
+    clean_updates: u64,
     commits: u64,
+    patched_commits: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct Region {
     element: String,
     image: Vec<u8>,
+    /// Byte offset of `image` within `assembled` (valid while
+    /// `needs_rebuild` is false and `assembled` is non-empty).
+    offset: usize,
+    /// Image changed since the last commit.
+    dirty: bool,
 }
 
 impl CheckpointBuffer {
     /// Creates a buffer with one region per element name, seeded from the
     /// provided initial states.
     pub fn new<'a>(elements: impl IntoIterator<Item = (&'a str, &'a Fields)>) -> Self {
-        let regions = elements
+        let mut scratch = BytesMut::with_capacity(256);
+        let regions: Vec<Region> = elements
             .into_iter()
-            .map(|(name, state)| Region { element: name.to_owned(), image: encode_fields(state) })
+            .map(|(name, state)| {
+                scratch.clear();
+                encode_fields_into(state, &mut scratch);
+                Region { element: name.to_owned(), image: scratch.to_vec(), offset: 0, dirty: true }
+            })
             .collect();
-        CheckpointBuffer { regions, updates: 0, commits: 0 }
+        let mut by_name: Vec<(String, u32)> =
+            regions.iter().enumerate().map(|(i, r)| (r.element.clone(), i as u32)).collect();
+        // Duplicate names keep construction order within the sorted
+        // table, so the *first* constructed region wins lookups —
+        // matching the old linear scan's semantics.
+        by_name.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        by_name.dedup_by(|later, first| later.0 == first.0);
+        CheckpointBuffer {
+            regions,
+            by_name,
+            assembled: Vec::new(),
+            needs_rebuild: true,
+            scratch,
+            updates: 0,
+            clean_updates: 0,
+            commits: 0,
+            patched_commits: 0,
+        }
     }
 
     /// Number of regions.
@@ -51,36 +108,87 @@ impl CheckpointBuffer {
         self.regions.len()
     }
 
+    /// Looks up a region by element name (sorted table, no linear
+    /// `String` scan).
+    fn region_index(&self, element: &str) -> Option<usize> {
+        self.by_name
+            .binary_search_by(|(name, _)| name.as_str().cmp(element))
+            .ok()
+            .map(|i| self.by_name[i].1 as usize)
+    }
+
     /// Copies `state` into the region of `element` — the per-event
     /// microcheckpoint step. Returns `false` if the element is unknown.
+    ///
+    /// Re-encoding into a reusable scratch buffer, the update is a no-op
+    /// (region stays clean for the next commit) when the encoded image
+    /// is byte-identical to the region's current one.
     pub fn update(&mut self, element: &str, state: &Fields) -> bool {
-        match self.regions.iter_mut().find(|r| r.element == element) {
-            Some(region) => {
-                region.image = encode_fields(state);
-                self.updates += 1;
-                true
-            }
-            None => false,
+        let Some(i) = self.region_index(element) else { return false };
+        self.updates += 1;
+        self.scratch.clear();
+        encode_fields_into(state, &mut self.scratch);
+        let region = &mut self.regions[i];
+        if region.image.as_slice() == &self.scratch[..] {
+            self.clean_updates += 1;
+            return true;
         }
+        if region.image.len() != self.scratch.len() {
+            self.needs_rebuild = true;
+        }
+        region.image.clear();
+        region.image.extend_from_slice(&self.scratch);
+        region.dirty = true;
+        true
     }
 
     /// The current image of one region (for tests/inspection).
     pub fn region_image(&self, element: &str) -> Option<&[u8]> {
-        self.regions.iter().find(|r| r.element == element).map(|r| r.image.as_slice())
+        self.region_index(element).map(|i| self.regions[i].image.as_slice())
     }
 
     /// Serialises the whole buffer into a stable-storage image.
+    ///
+    /// Incremental: the image assembled at the previous commit is kept,
+    /// and only regions whose state changed since then are re-written
+    /// into their (stable) spans. A region that changed length triggers
+    /// a full rebuild.
     pub fn encode(&mut self) -> Vec<u8> {
         self.commits += 1;
-        let mut buf = BytesMut::with_capacity(1024);
-        buf.put_u32(self.regions.len() as u32);
-        for region in &self.regions {
-            buf.put_u32(region.element.len() as u32);
-            buf.put_slice(region.element.as_bytes());
-            buf.put_u32(region.image.len() as u32);
-            buf.put_slice(&region.image);
+        if self.needs_rebuild || self.assembled.is_empty() {
+            self.rebuild_assembled();
+        } else {
+            self.patched_commits += 1;
+            for region in &mut self.regions {
+                if region.dirty {
+                    self.assembled[region.offset..region.offset + region.image.len()]
+                        .copy_from_slice(&region.image);
+                    region.dirty = false;
+                }
+            }
         }
-        buf.to_vec()
+        self.assembled.clone()
+    }
+
+    /// Rebuilds the assembled image from scratch, refreshing every
+    /// region's cached offset.
+    fn rebuild_assembled(&mut self) {
+        let total: usize =
+            4 + self.regions.iter().map(|r| 8 + r.element.len() + r.image.len()).sum::<usize>();
+        let mut buf = std::mem::take(&mut self.assembled);
+        buf.clear();
+        buf.reserve(total);
+        buf.extend_from_slice(&(self.regions.len() as u32).to_be_bytes());
+        for region in &mut self.regions {
+            buf.extend_from_slice(&(region.element.len() as u32).to_be_bytes());
+            buf.extend_from_slice(region.element.as_bytes());
+            buf.extend_from_slice(&(region.image.len() as u32).to_be_bytes());
+            region.offset = buf.len();
+            buf.extend_from_slice(&region.image);
+            region.dirty = false;
+        }
+        self.assembled = buf;
+        self.needs_rebuild = false;
     }
 
     /// Decodes a stable-storage image into `(element, state)` pairs.
@@ -125,9 +233,21 @@ impl CheckpointBuffer {
         self.updates
     }
 
+    /// Count of updates whose encoded image was unchanged (no copy, no
+    /// dirty mark).
+    pub fn clean_updates(&self) -> u64 {
+        self.clean_updates
+    }
+
     /// Count of stable-storage commits.
     pub fn commits(&self) -> u64 {
         self.commits
+    }
+
+    /// Count of commits served by patching dirty spans of the cached
+    /// image instead of rebuilding it.
+    pub fn patched_commits(&self) -> u64 {
+        self.patched_commits
     }
 }
 
@@ -211,5 +331,79 @@ mod tests {
         assert_eq!(buf.updates(), 2);
         assert_eq!(buf.commits(), 1);
         assert_eq!(buf.region_count(), 1);
+    }
+
+    /// From-scratch reference image for the given (name, state) pairs.
+    fn reference_image(states: &[(&str, &Fields)]) -> Vec<u8> {
+        CheckpointBuffer::new(states.iter().copied()).encode()
+    }
+
+    #[test]
+    fn patched_commit_equals_full_rebuild() {
+        let a0 = fields(1);
+        let b0 = fields(2);
+        let mut buf = CheckpointBuffer::new([("a", &a0), ("b", &b0)]);
+        let _ = buf.encode(); // first commit assembles the cache
+                              // Same-length change: the second commit patches in place.
+        let a1 = fields(0xAB);
+        buf.update("a", &a1);
+        let image = buf.encode();
+        assert_eq!(image, reference_image(&[("a", &a1), ("b", &b0)]));
+        assert_eq!(buf.patched_commits(), 1, "second commit must patch, not rebuild");
+    }
+
+    #[test]
+    fn length_change_falls_back_to_full_rebuild() {
+        let mut a = Fields::new();
+        a.set("s", Value::Str("ab".into()));
+        let b = fields(2);
+        let mut buf = CheckpointBuffer::new([("a", &a), ("b", &b)]);
+        let _ = buf.encode();
+        // Growing the string changes the region's encoded length; every
+        // later offset shifts, so the commit must rebuild.
+        let mut a2 = Fields::new();
+        a2.set("s", Value::Str("a-much-longer-string".into()));
+        buf.update("a", &a2);
+        let patched_before = buf.patched_commits();
+        let image = buf.encode();
+        assert_eq!(image, reference_image(&[("a", &a2), ("b", &b)]));
+        assert_eq!(buf.patched_commits(), patched_before, "length change must rebuild");
+        // And patching resumes on the refreshed offsets afterwards.
+        let mut a3 = Fields::new();
+        a3.set("s", Value::Str("a-MUCH-longer-string".into()));
+        buf.update("a", &a3);
+        let image = buf.encode();
+        assert_eq!(image, reference_image(&[("a", &a3), ("b", &b)]));
+        assert_eq!(buf.patched_commits(), patched_before + 1);
+    }
+
+    #[test]
+    fn unchanged_state_update_is_clean() {
+        let a = fields(7);
+        let mut buf = CheckpointBuffer::new([("a", &a)]);
+        let first = buf.encode();
+        // Re-checkpointing identical state skips the copy and leaves the
+        // region clean for the next commit.
+        assert!(buf.update("a", &fields(7)));
+        assert_eq!(buf.clean_updates(), 1);
+        assert_eq!(buf.encode(), first);
+    }
+
+    #[test]
+    fn duplicate_region_names_resolve_to_first_constructed() {
+        // The old linear scan returned the first matching region; the
+        // sorted index must preserve that.
+        let a0 = fields(1);
+        let a1 = fields(2);
+        let mut buf = CheckpointBuffer::new([("dup", &a0), ("dup", &a1)]);
+        let first = buf.region_image("dup").unwrap().to_vec();
+        let mut only_first = CheckpointBuffer::new([("dup", &a0)]);
+        let only_image = only_first.encode();
+        // Layout: u32 count, u32 name_len, "dup", u32 img_len, image.
+        assert_eq!(first.as_slice(), &only_image[4 + 4 + 3 + 4..], "first region wins lookups");
+        buf.update("dup", &fields(9));
+        let decoded = CheckpointBuffer::decode(&buf.encode()).unwrap();
+        assert_eq!(decoded[0].1.u64("v"), Some(9), "update lands in the first region");
+        assert_eq!(decoded[1].1.u64("v"), Some(2), "second region untouched");
     }
 }

@@ -105,6 +105,7 @@ enum Processing {
 
 /// Everything in the ARMOR other than the elements themselves (split so
 /// an element and the core can be borrowed simultaneously).
+#[derive(Clone)]
 pub struct ArmorCore {
     id: ArmorId,
     name: Arc<str>,
@@ -282,6 +283,7 @@ impl ElementCtx<'_, '_> {
 }
 
 /// The ARMOR process: element container + runtime services.
+#[derive(Clone)]
 pub struct ArmorProcess {
     core: ArmorCore,
     elements: Vec<Option<Box<dyn Element>>>,
@@ -537,7 +539,7 @@ impl ArmorProcess {
 
 /// Control operations outside the ARMOR reliable-messaging plane (used
 /// by the trusted SCC and by the SIFT application interface).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ControlOp {
     /// Adds a routing entry.
     AddRoute(ArmorId, Pid),

@@ -176,13 +176,19 @@ fn decode_value(buf: &mut Bytes, depth: usize) -> Result<Value, DecodeError> {
 /// Serialises element state to a checkpoint image.
 pub fn encode_fields(fields: &Fields) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(256);
+    encode_fields_into(fields, &mut buf);
+    buf.to_vec()
+}
+
+/// [`encode_fields`] into a caller-held buffer (appended), so per-event
+/// microcheckpoint updates can reuse one scratch allocation.
+pub fn encode_fields_into(fields: &Fields, buf: &mut BytesMut) {
     buf.put_u32(fields.len() as u32);
     for (name, value) in fields.iter() {
         buf.put_u32(name.len() as u32);
         buf.put_slice(name.as_bytes());
-        encode_value(value, &mut buf);
+        encode_value(value, buf);
     }
-    buf.to_vec()
 }
 
 /// Deserialises a checkpoint image back into element state.

@@ -132,6 +132,60 @@ proptest! {
         prop_assert_eq!(delivered.len(), n_msgs, "every message delivered");
     }
 
+    /// Incremental commits are indistinguishable from from-scratch
+    /// encoding under arbitrary event sequences: every interleaving of
+    /// region updates (including unchanged-state re-updates and
+    /// length-changing updates, which exercise the clean-skip and
+    /// full-rebuild paths) and commits must produce exactly the image a
+    /// freshly built buffer over the same final states produces.
+    #[test]
+    fn incremental_encode_matches_from_scratch(
+        ops in proptest::collection::vec(
+            (0usize..3, arb_fields(), any::<bool>(), any::<bool>()),
+            1..24,
+        ),
+    ) {
+        let names = ["alpha", "beta", "gamma"];
+        let empty = Fields::new();
+        let mut live = CheckpointBuffer::new(names.iter().map(|n| (*n, &empty)));
+        let mut states: Vec<Fields> = vec![Fields::new(); names.len()];
+        let reference = |states: &[Fields]| {
+            CheckpointBuffer::new(names.iter().zip(states).map(|(n, s)| (*n, s))).encode()
+        };
+        for (idx, fields, reuse_current, commit) in ops {
+            // `reuse_current` re-checkpoints the unchanged state — the
+            // clean-update path that must not dirty the region.
+            let next = if reuse_current { states[idx].clone() } else { fields };
+            prop_assert!(live.update(names[idx], &next));
+            states[idx] = next;
+            if commit {
+                prop_assert_eq!(live.encode(), reference(&states));
+            }
+        }
+        prop_assert_eq!(live.encode(), reference(&states));
+    }
+
+    /// A region whose encoded image changes length mid-sequence (string
+    /// growth) keeps later regions' spans correct.
+    #[test]
+    fn incremental_encode_survives_length_changes(
+        grow_by in 1usize..48,
+        tail in arb_fields(),
+    ) {
+        let mut a = Fields::new();
+        a.set("s", Value::Str("x".into()));
+        let b = Fields::new();
+        let mut live = CheckpointBuffer::new([("a", &a), ("b", &b)]);
+        let _ = live.encode();
+        let mut a2 = Fields::new();
+        a2.set("s", Value::Str("x".repeat(1 + grow_by)));
+        live.update("a", &a2);
+        live.update("b", &tail);
+        let incremental = live.encode();
+        let reference = CheckpointBuffer::new([("a", &a2), ("b", &tail)]).encode();
+        prop_assert_eq!(incremental, reference);
+    }
+
     /// Sequence rebasing preserves monotonicity (reincarnation safety).
     #[test]
     fn rebase_is_monotone(bases in proptest::collection::vec(0u64..1 << 30, 1..10)) {

@@ -7,6 +7,7 @@
 //! shows up before it has drowned in whole-campaign noise.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ree_armor::{CheckpointBuffer, Fields, Value};
 use ree_os::{Pid, Trace, TraceDetail, TraceEvent, TraceKind};
 use ree_sim::{EventQueue, SimTime};
 use std::hint::black_box;
@@ -102,6 +103,42 @@ fn hotpath(c: &mut Criterion) {
             );
         }
         b.iter(|| black_box(trace.render().len()));
+    });
+
+    group.bench_function("ckpt_encode_dirty", |b| {
+        // The per-send commit after one element changed: incremental
+        // encode patches the dirty span of the cached image instead of
+        // rebuilding the whole stable-storage image.
+        let states: Vec<(String, Fields)> = (0..6)
+            .map(|i| {
+                let mut f = Fields::new();
+                f.set("id", Value::U64(i));
+                f.set("count", Value::U64(0));
+                f.set("peer", Value::Str("armor-peer".into()));
+                (format!("element{i}"), f)
+            })
+            .collect();
+        let mut ckpt = CheckpointBuffer::new(states.iter().map(|(n, f)| (n.as_str(), f)));
+        let _ = ckpt.encode();
+        let mut f = states[2].1.clone();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            f.set("count", Value::U64(n));
+            ckpt.update("element2", &f);
+            black_box(ckpt.encode().len())
+        });
+    });
+
+    group.bench_function("ckpt_update_unchanged", |b| {
+        // The other commit-path win: a touched-but-unchanged element
+        // costs one scratch encode + compare, no copy and no dirty span.
+        let mut f = Fields::new();
+        f.set("id", Value::U64(1));
+        f.set("peer", Value::Str("armor-peer".into()));
+        let mut ckpt = CheckpointBuffer::new([("element", &f)]);
+        let _ = ckpt.encode();
+        b.iter(|| black_box(ckpt.update("element", &f)));
     });
 
     group.finish();

@@ -21,8 +21,13 @@
 //! table workloads. Per-run wall times come from a single-threaded
 //! sweep; aggregate throughput is additionally measured with the
 //! work-stealing parallel campaign runner.
+//!
+//! The headline `register`/`sigint` sweeps run **warm** (one boot
+//! snapshot per sweep, forked per run — what `run_campaign` does);
+//! `register_cold`/`sigint_cold` re-measure the same seeds with a full
+//! boot per run, so the JSON carries the warm-vs-cold comparison.
 
-use ree_inject::{run_campaign, ErrorModel, RunPlan, Target};
+use ree_inject::{execute_warm, run_campaign, ErrorModel, RunPlan, Target};
 use ree_sim::SimTime;
 use std::time::Instant;
 
@@ -49,14 +54,35 @@ impl Sweep {
     }
 }
 
-/// Times `runs` single-threaded executions of `plan`, recording each
-/// run's wall time.
-fn sweep(label: &'static str, plan: &RunPlan, runs: u32, seed0: u64) -> Sweep {
+/// Times `runs` single-threaded **cold** executions of `plan` (full
+/// boot per run), recording each run's wall time.
+fn sweep_cold(label: &'static str, plan: &RunPlan, runs: u32, seed0: u64) -> Sweep {
+    run_sweep(label, runs, |i| ree_inject::execute(plan, seed0 + i))
+}
+
+/// Times `runs` single-threaded **warm** executions of `plan`: one boot
+/// snapshot, one geometry derivation, a fork per run — the per-worker
+/// shape of `run_campaign`. The snapshot boot is timed inside the sweep
+/// total, so the amortisation is measured honestly.
+fn sweep_warm(label: &'static str, plan: &RunPlan, runs: u32, seed0: u64) -> Sweep {
+    let t0 = Instant::now();
+    let geometry = plan.geometry();
+    let snapshot = plan.boot_snapshot();
+    let mut sweep = run_sweep(label, runs, |i| execute_warm(plan, &geometry, &snapshot, seed0 + i));
+    sweep.total_secs = t0.elapsed().as_secs_f64();
+    sweep
+}
+
+fn run_sweep(
+    label: &'static str,
+    runs: u32,
+    mut run: impl FnMut(u64) -> ree_inject::RunResult,
+) -> Sweep {
     let mut per_run_ms: Vec<f64> = Vec::with_capacity(runs as usize);
     let t0 = Instant::now();
     for i in 0..u64::from(runs) {
         let r0 = Instant::now();
-        let result = ree_inject::execute(plan, seed0 + i);
+        let result = run(i);
         std::hint::black_box(&result);
         per_run_ms.push(r0.elapsed().as_secs_f64() * 1e3);
     }
@@ -149,8 +175,10 @@ fn main() {
     let note = get("--note").unwrap_or_default();
     let quiet = args.iter().any(|a| a == "--quiet");
 
-    let register = sweep("register", &plan(ErrorModel::Register, seed), runs, seed);
-    let sigint = sweep("sigint", &plan(ErrorModel::Sigint, seed), runs, seed);
+    let register = sweep_warm("register", &plan(ErrorModel::Register, seed), runs, seed);
+    let sigint = sweep_warm("sigint", &plan(ErrorModel::Sigint, seed), runs, seed);
+    let register_cold = sweep_cold("register_cold", &plan(ErrorModel::Register, seed), runs, seed);
+    let sigint_cold = sweep_cold("sigint_cold", &plan(ErrorModel::Sigint, seed), runs, seed);
 
     // Parallel aggregate throughput with the work-stealing runner.
     let pplan = plan(ErrorModel::Register, seed);
@@ -164,12 +192,14 @@ fn main() {
         "{{\n  \"workload\": \"single_texture 4-node testbed, Target::App\",\n  \
          \"note\": \"{}\",\n  \
          \"runs_per_sweep\": {runs},\n  \"seed\": {seed},\n  \
-         \"single_thread\": [\n    {},\n    {}\n  ],\n  \
+         \"single_thread\": [\n    {},\n    {},\n    {},\n    {}\n  ],\n  \
          \"parallel_register\": {{\"runs\": {runs}, \"total_secs\": {parallel_secs:.3}, \
          \"runs_per_sec\": {parallel_rps:.2}}}\n}}\n",
         json_escape(&note),
         json_sweep(&register),
         json_sweep(&sigint),
+        json_sweep(&register_cold),
+        json_sweep(&sigint_cold),
     );
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("cannot write {out}: {e}");

@@ -17,12 +17,15 @@ use crate::ftm::{
 use crate::heartbeat::HbWatch;
 use ree_armor::{ArmorId, ArmorOptions, ArmorProcess, Element, Gateway, RestorePolicy};
 use ree_os::{NodeId, Pid, Process};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Constructs the process for one MPI rank of an application.
-pub type AppFactory = Rc<dyn Fn(&AppLaunch) -> Box<dyn Process>>;
+///
+/// Factories are shared (`Arc`) and thread-portable: a warm-boot
+/// snapshot carries them inside cloned processes, and campaign workers
+/// invoke them concurrently.
+pub type AppFactory = Arc<dyn Fn(&AppLaunch) -> Box<dyn Process> + Send + Sync>;
 
 /// Everything an application process needs to know at launch.
 #[derive(Clone)]
@@ -85,31 +88,36 @@ impl AppLaunch {
 }
 
 /// The SIFT deployment recipe book.
+///
+/// Shared behind an `Arc` by every process that launches others; the
+/// registry lock is uncontended in practice (registration happens before
+/// boot, lookups happen on submissions and restarts).
 pub struct Blueprint {
     /// Environment configuration.
     pub config: SiftConfig,
-    apps: RefCell<HashMap<String, AppFactory>>,
+    apps: Mutex<HashMap<String, AppFactory>>,
 }
 
 impl Blueprint {
     /// Creates a blueprint with the given configuration.
-    pub fn new(config: SiftConfig) -> Rc<Blueprint> {
-        Rc::new(Blueprint { config, apps: RefCell::new(HashMap::new()) })
+    pub fn new(config: SiftConfig) -> Arc<Blueprint> {
+        Arc::new(Blueprint { config, apps: Mutex::new(HashMap::new()) })
     }
 
     /// Registers an application factory under `name`.
     pub fn register_app(&self, name: impl Into<String>, factory: AppFactory) {
-        self.apps.borrow_mut().insert(name.into(), factory);
+        self.apps.lock().expect("app registry lock").insert(name.into(), factory);
     }
 
     /// Looks up an application factory.
     pub fn app_factory(&self, name: &str) -> Option<AppFactory> {
-        self.apps.borrow().get(name).cloned()
+        self.apps.lock().expect("app registry lock").get(name).cloned()
     }
 
     /// Registered application names (sorted).
     pub fn app_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.apps.borrow().keys().cloned().collect();
+        let mut v: Vec<String> =
+            self.apps.lock().expect("app registry lock").keys().cloned().collect();
         v.sort();
         v
     }
@@ -132,10 +140,10 @@ impl Blueprint {
     }
 
     /// Builds a daemon ARMOR for `node` (used by the SCC).
-    pub fn make_daemon(self: &Rc<Self>, node: NodeId) -> Box<dyn Process> {
+    pub fn make_daemon(self: &Arc<Self>, node: NodeId) -> Box<dyn Process> {
         let elements: Vec<Box<dyn Element>> = vec![
             Box::new(DaemonGateway::new(node)),
-            Box::new(DaemonInstaller::new(node, Rc::clone(self))),
+            Box::new(DaemonInstaller::new(node, Arc::clone(self))),
             Box::new(LocalProber::new(self.config.daemon_probe_period)),
         ];
         Box::new(ArmorProcess::new(
@@ -150,7 +158,7 @@ impl Blueprint {
     /// Builds an ARMOR of `kind` gatewayed through the daemon process
     /// `gateway` (used by daemons when installing/recovering).
     pub fn make_armor(
-        self: &Rc<Self>,
+        self: &Arc<Self>,
         kind: &str,
         id: ArmorId,
         gateway: Pid,
@@ -200,7 +208,7 @@ impl Blueprint {
                 let elements: Vec<Box<dyn Element>> = vec![
                     Box::new(Configurator::new()),
                     Box::new(ProbeResponder::new()),
-                    Box::new(AppMonitor::new(Rc::clone(self))),
+                    Box::new(AppMonitor::new(Arc::clone(self))),
                     Box::new(ProgressWatch::new(
                         self.config.pi_check_period,
                         self.config.interrupt_driven_pi,

@@ -36,7 +36,7 @@ struct PendingCall {
 }
 
 /// Client half of the SIFT interface, embedded in application processes.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SiftClient {
     exec_pid: Option<Pid>,
     rank: u32,

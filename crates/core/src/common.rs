@@ -7,7 +7,7 @@ use ree_armor::{ArmorEvent, Element, ElementCtx, ElementOutcome, Fields, Value};
 /// Responds to "Are-you-alive?" probes from the local daemon — core
 /// capability (3) of every ARMOR (§3.1). A hung (stopped) ARMOR never
 /// replies, which is exactly how daemons detect hang failures.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ProbeResponder {
     state: Fields,
 }
@@ -57,7 +57,7 @@ impl Element for ProbeResponder {
 /// Stores `sift-configure` fields into element state so compositions can
 /// be parameterised after spawn (HB ARMOR learns the FTM's daemon, Exec
 /// ARMORs learn their slot/rank, everyone learns the SCC pid).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Configurator {
     state: Fields,
 }

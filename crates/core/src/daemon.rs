@@ -10,7 +10,7 @@ use ree_armor::{
 };
 use ree_os::{NodeId, Pid, Signal, SpawnSpec, TextSource, TraceDetail, TraceEvent};
 use ree_sim::SimDuration;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Number of fork-image recoveries of the same ARMOR before the daemon
 /// reloads a pristine image from disk (paper §3.4 footnote: "if the ARMOR
@@ -21,6 +21,7 @@ pub const IMAGE_RELOAD_THRESHOLD: u64 = 3;
 
 /// Gateway duties: heartbeat replies to the FTM, route updates, and
 /// registration with the FTM.
+#[derive(Clone)]
 pub struct DaemonGateway {
     state: Fields,
 }
@@ -104,14 +105,15 @@ impl Element for DaemonGateway {
 
 /// Installs, reinstalls, and uninstalls ARMOR processes on this node, and
 /// detects their failures through `waitpid`.
+#[derive(Clone)]
 pub struct DaemonInstaller {
     state: Fields,
-    blueprint: Rc<Blueprint>,
+    blueprint: Arc<Blueprint>,
 }
 
 impl DaemonInstaller {
     /// Creates the installer element.
-    pub fn new(node: NodeId, blueprint: Rc<Blueprint>) -> Self {
+    pub fn new(node: NodeId, blueprint: Arc<Blueprint>) -> Self {
         let mut state = Fields::new();
         state.set("node", Value::U64(node.0 as u64));
         state.set("local", Value::Map(Default::default()));
@@ -447,6 +449,7 @@ fn table_keys_local(fields: &Fields, table: &str) -> Vec<String> {
 
 /// Sends "Are-you-alive?" probes to local ARMORs every probe period and
 /// raises `armor-hung` when one stops answering (§3.3).
+#[derive(Clone)]
 pub struct LocalProber {
     state: Fields,
     period: SimDuration,

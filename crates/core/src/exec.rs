@@ -7,21 +7,22 @@ use crate::config::{ids, tags};
 use ree_armor::{valid_ptr, ArmorEvent, Element, ElementCtx, ElementOutcome, Fields, Value};
 use ree_os::{Pid, Signal, SpawnSpec, TraceDetail, TraceEvent};
 use ree_sim::SimDuration;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// How often an Execution ARMOR polls the OS process table for MPI ranks
 /// it did not spawn (§3.3).
 const PROC_POLL_PERIOD: SimDuration = SimDuration::from_secs(2);
 
 /// Launches and monitors the local MPI application process.
+#[derive(Clone)]
 pub struct AppMonitor {
     state: Fields,
-    blueprint: Rc<Blueprint>,
+    blueprint: Arc<Blueprint>,
 }
 
 impl AppMonitor {
     /// Creates the monitor element.
-    pub fn new(blueprint: Rc<Blueprint>) -> Self {
+    pub fn new(blueprint: Arc<Blueprint>) -> Self {
         let mut state = Fields::new();
         state.set("slot", Value::U64(0));
         state.set("rank", Value::U64(0));
@@ -337,6 +338,7 @@ impl Element for AppMonitor {
 /// detection latency is up to **twice** the period. The interrupt-driven
 /// variant (§5.1 discussion) re-arms a deadline on every update,
 /// detecting within one period.
+#[derive(Clone)]
 pub struct ProgressWatch {
     state: Fields,
     check_period: SimDuration,

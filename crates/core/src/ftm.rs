@@ -19,6 +19,7 @@ use ree_os::{Pid, TraceEvent};
 use ree_sim::SimDuration;
 
 /// Answers the Heartbeat ARMOR's liveness polls.
+#[derive(Clone)]
 pub struct FtmHbResponder {
     state: Fields,
 }
@@ -68,6 +69,7 @@ impl Element for FtmHbResponder {
 
 /// The SCC interface element: accepts submissions, reports status back
 /// (FTM responsibilities 1 and 8 in §3.1).
+#[derive(Clone)]
 pub struct SccIface {
     state: Fields,
     checks: bool,
@@ -244,6 +246,7 @@ impl Element for SccIface {
 /// `mgr_armor_info` (Table 8): "stores information about subordinate
 /// ARMORs such as location and element composition". Owns subordinate
 /// recovery (FTM responsibilities 4–6).
+#[derive(Clone)]
 pub struct MgrArmorInfo {
     state: Fields,
     checks: bool,
@@ -507,6 +510,7 @@ impl Element for MgrArmorInfo {
 
 /// `exec_armor_info` (Table 8): "stores information about each Execution
 /// ARMOR such as status of subordinate application".
+#[derive(Clone)]
 pub struct ExecArmorInfo {
     state: Fields,
     checks: bool,
@@ -662,6 +666,7 @@ impl Element for ExecArmorInfo {
 /// executable name, command-line arguments, and number of times
 /// application restarted". Read-mostly after submission — which is why
 /// the paper found it insensitive to error propagation.
+#[derive(Clone)]
 pub struct AppParam {
     state: Fields,
     checks: bool,
@@ -853,6 +858,7 @@ impl Element for AppParam {
 
 /// `mgr_app_detect` (Table 8): "used to detect that all processes for MPI
 /// application have terminated and to initiate recovery if necessary".
+#[derive(Clone)]
 pub struct MgrAppDetect {
     state: Fields,
     checks: bool,
@@ -1021,6 +1027,7 @@ impl Element for MgrAppDetect {
 /// for every install/reinstall/uninstall — returning the **default daemon
 /// ID of zero** when translation fails, which the FTM does not validate
 /// (the paper's §7.2 propagation bug, kept deliberately).
+#[derive(Clone)]
 pub struct NodeMgmt {
     state: Fields,
     checks: bool,
@@ -1188,6 +1195,7 @@ impl Element for NodeMgmt {
 /// Heartbeats every registered daemon to detect node failures (FTM
 /// responsibility 3; §3.3 "the FTM periodically exchanges heartbeat
 /// messages with each daemon").
+#[derive(Clone)]
 pub struct DaemonHb {
     state: Fields,
     period: SimDuration,

@@ -13,6 +13,7 @@ use ree_sim::SimDuration;
 const MISS_THRESHOLD: u64 = 2;
 
 /// The single FTM-watching element of the Heartbeat ARMOR.
+#[derive(Clone)]
 pub struct HbWatch {
     state: Fields,
     period: SimDuration,

@@ -13,7 +13,7 @@ use crate::report::{ArmorInstalled, JobTimes, SccReport};
 use ree_armor::{ArmorEvent, ControlOp, Value};
 use ree_os::{Message, NodeId, Pid, ProcCtx, Process, SpawnSpec, TraceDetail};
 use ree_sim::SimDuration;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One job the SCC will submit.
 #[derive(Clone, Debug)]
@@ -35,8 +35,9 @@ const TIMER_VERIFY_BASE: u64 = 200;
 const MAX_SUBMIT_ATTEMPTS: u32 = 5;
 
 /// The SCC driver process.
+#[derive(Clone)]
 pub struct Scc {
-    blueprint: Rc<Blueprint>,
+    blueprint: Arc<Blueprint>,
     jobs: Vec<JobSpec>,
     cluster_nodes: u16,
     daemon_pids: Vec<Pid>,
@@ -49,7 +50,7 @@ pub struct Scc {
 impl Scc {
     /// Creates the driver for a cluster of `cluster_nodes` nodes running
     /// the given jobs.
-    pub fn new(blueprint: Rc<Blueprint>, cluster_nodes: u16, jobs: Vec<JobSpec>) -> Self {
+    pub fn new(blueprint: Arc<Blueprint>, cluster_nodes: u16, jobs: Vec<JobSpec>) -> Self {
         let job_times = jobs.iter().map(|_| JobTimes::default()).collect();
         let submit_attempts = jobs.iter().map(|_| 0).collect();
         Scc {

@@ -263,6 +263,7 @@ pub fn fig10(seed0: u64) -> Fig10 {
 
 fn send_control(running: &mut ree_apps::Running, to: ree_os::Pid, ev: ArmorEvent) {
     // Use a throwaway driver process to deliver control events.
+    #[derive(Clone)]
     struct Driver {
         to: ree_os::Pid,
         ev: Option<ArmorEvent>,

@@ -10,7 +10,7 @@
 //! campaign bit-for-bit deterministic for any thread count.
 
 use crate::model::{FailureClass, SystemFailure};
-use crate::runner::{execute, RunPlan, RunResult};
+use crate::runner::{execute_warm, RunPlan, RunResult};
 use ree_stats::Summary;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,10 +76,16 @@ pub fn run_campaign_fold_with_threads<A>(
     // Generate the campaign-shared synthetic inputs once, before the
     // workers fan out, so they never race to synthesise the same image.
     plan.scenario.warm_inputs();
+    // Boot the SIFT cluster once: every run starts from a fork of this
+    // snapshot instead of replaying the identical installation protocol.
+    // The geometry (injection window, nominal duration) is likewise
+    // derived once; the per-run path only draws the injection instant.
+    let geometry = plan.geometry();
+    let snapshot = plan.scenario.boot_snapshot(geometry.snapshot_at);
     let threads = threads.clamp(1, runs as usize);
     if threads == 1 {
         for i in 0..u64::from(runs) {
-            let r = execute(plan, seed0 + i);
+            let r = execute_warm(plan, &geometry, &snapshot, seed0 + i);
             fold(&mut acc, r);
         }
         return acc;
@@ -97,12 +103,14 @@ pub fn run_campaign_fold_with_threads<A>(
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
+            let geometry = &geometry;
+            let snapshot = &snapshot;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= u64::from(runs) {
                     break;
                 }
-                let r = execute(plan, seed0 + i);
+                let r = execute_warm(plan, geometry, snapshot, seed0 + i);
                 if tx.send((i, r)).is_err() {
                     break;
                 }

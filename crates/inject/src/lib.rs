@@ -20,6 +20,16 @@
 //! input cache (`ree_apps::Scenario::warm_inputs`) so the synthetic
 //! instrument data is generated once per process, not once per run.
 //!
+//! Campaign runs start **warm**: the SIFT cluster is booted once per
+//! campaign ([`RunPlan::boot_snapshot`]) and every run forks that
+//! snapshot — a deep clone with per-run re-seeded random streams
+//! ([`execute_warm`]) — instead of replaying the installation
+//! protocol. The cold path ([`execute`]/[`execute_full`]) boots a
+//! private snapshot to the same instant and re-seeds identically, so
+//! warm and cold runs are byte-identical per seed (proved by
+//! `tests/warm_boot.rs`); the campaign-invariant run geometry
+//! ([`RunGeometry`]) is likewise derived once per campaign.
+//!
 //! ```
 //! use ree_inject::{run_campaign, Aggregate, ErrorModel, RunPlan, Target};
 //! use ree_sim::SimTime;
@@ -50,4 +60,7 @@ pub use campaign::{
     run_campaign_with_threads, Aggregate,
 };
 pub use model::{ErrorModel, FailureClass, SystemFailure, Target};
-pub use runner::{execute, execute_full, verify_outputs, RunPlan, RunResult};
+pub use runner::{
+    execute, execute_full, execute_warm, execute_warm_full, verify_outputs, RunGeometry, RunPlan,
+    RunResult,
+};

@@ -5,7 +5,7 @@
 
 use crate::model::{ErrorModel, FailureClass, SystemFailure, Target};
 use ree_apps::verify::{verify_otis, verify_texture, Verdict};
-use ree_apps::{Running, Scenario};
+use ree_apps::{BootSnapshot, Running, Scenario};
 use ree_os::{ExitStatus, HeapHit, Pid, Signal, TraceEvent};
 use ree_sim::{SimDuration, SimRng, SimTime};
 
@@ -21,6 +21,51 @@ pub struct RunPlan {
     /// System-failure timeout ("a failure occurs when the application
     /// cannot complete within a predefined timeout", §4.2).
     pub timeout: SimTime,
+}
+
+/// Campaign-invariant run geometry, derived from a [`RunPlan`] once per
+/// campaign instead of re-derived from identical inputs on every run.
+/// The per-run path only draws the seed-dependent injection instant
+/// inside the precomputed window.
+#[derive(Clone, Debug)]
+pub struct RunGeometry {
+    /// First job's submission instant.
+    pub submit: SimDuration,
+    /// Nominal fault-free duration of the first job's science.
+    pub nominal: SimDuration,
+    /// Injection-window start (exposure start for the plan's target).
+    pub window_start: SimTime,
+    /// Injection-window end (covers setup, execution, takedown).
+    pub window_end: SimTime,
+    /// Warm-boot snapshot instant: the window start, clamped to the
+    /// timeout so a snapshot never simulates past a short plan's end.
+    /// Before this instant a clean boot is identical for every run of
+    /// the campaign; at it, per-run streams are re-seeded.
+    pub snapshot_at: SimTime,
+}
+
+impl RunPlan {
+    /// Derives the campaign-invariant geometry of this plan's runs.
+    pub fn geometry(&self) -> RunGeometry {
+        let submit =
+            self.scenario.jobs.first().map(|j| j.submit_at).unwrap_or(SimDuration::from_secs(5));
+        let nominal = app_nominal(&self.scenario);
+        let window_start = SimTime::ZERO + exposure_start(&self.target, submit);
+        let window_end = SimTime::ZERO + submit + nominal + SimDuration::from_secs(12);
+        RunGeometry {
+            submit,
+            nominal,
+            window_start,
+            window_end,
+            snapshot_at: window_start.min(self.timeout),
+        }
+    }
+
+    /// Boots this plan's scenario once, frozen at the snapshot instant —
+    /// the warm-boot image `run_campaign*` forks per run.
+    pub fn boot_snapshot(&self) -> BootSnapshot {
+        self.scenario.boot_snapshot(self.geometry().snapshot_at)
+    }
 }
 
 /// Everything one run produced.
@@ -67,24 +112,57 @@ impl RunResult {
     }
 }
 
-/// Executes one injection run.
+/// Executes one injection run (cold: boots its own cluster).
 pub fn execute(plan: &RunPlan, seed: u64) -> RunResult {
     execute_full(plan, seed).0
 }
 
 /// Executes one injection run and also returns the finished environment
 /// (trace inspection, debugging, extension experiments).
+///
+/// This is the **cold** path: it boots a fresh cluster to the snapshot
+/// instant, re-seeds the streams from `seed`, and runs — exactly what a
+/// warm run does from a shared [`BootSnapshot`], minus the clone, so
+/// warm and cold results are byte-identical for the same seed.
 pub fn execute_full(plan: &RunPlan, seed: u64) -> (RunResult, Running) {
-    let mut scenario = plan.scenario.clone();
-    scenario.seed = seed;
-    let mut rng = SimRng::new(seed ^ 0x1A7E_C0DE);
-    let mut running = scenario.start();
+    let geometry = plan.geometry();
+    let snapshot = plan.scenario.boot_snapshot(geometry.snapshot_at);
+    run_seeded(plan, &geometry, snapshot.into_running(seed), seed)
+}
 
-    let submit = scenario.jobs.first().map(|j| j.submit_at).unwrap_or(SimDuration::from_secs(5));
-    let nominal = app_nominal(&scenario);
-    // Injection window: covers setup, execution, and takedown exposure.
-    let w0 = SimTime::ZERO + exposure_start(&plan.target, submit);
-    let w1 = SimTime::ZERO + submit + nominal + SimDuration::from_secs(12);
+/// Executes one injection run from a shared warm-boot snapshot: clones
+/// the booted cluster, re-seeds it from `seed`, and runs.
+pub fn execute_warm(
+    plan: &RunPlan,
+    geometry: &RunGeometry,
+    snapshot: &BootSnapshot,
+    seed: u64,
+) -> RunResult {
+    execute_warm_full(plan, geometry, snapshot, seed).0
+}
+
+/// [`execute_warm`] variant that also returns the finished environment.
+pub fn execute_warm_full(
+    plan: &RunPlan,
+    geometry: &RunGeometry,
+    snapshot: &BootSnapshot,
+    seed: u64,
+) -> (RunResult, Running) {
+    run_seeded(plan, geometry, snapshot.fork(seed), seed)
+}
+
+/// The seed-dependent part of a run: everything after the (seed-
+/// independent) boot. `running` arrives at the snapshot instant with its
+/// streams already re-seeded from `seed`.
+fn run_seeded(
+    plan: &RunPlan,
+    geometry: &RunGeometry,
+    mut running: Running,
+    seed: u64,
+) -> (RunResult, Running) {
+    let mut rng = SimRng::new(seed ^ 0x1A7E_C0DE);
+    let w0 = geometry.window_start;
+    let w1 = geometry.window_end;
     let mut next_injection =
         SimTime::from_micros(rng.range_u64(w0.as_micros(), w1.as_micros().max(w0.as_micros() + 1)));
 

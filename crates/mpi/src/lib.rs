@@ -78,7 +78,7 @@ pub struct MpiMsg {
 }
 
 /// Per-process MPI state: peer pids, receive buffer, init bookkeeping.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MpiEndpoint {
     rank: u32,
     size: u32,

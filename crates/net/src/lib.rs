@@ -107,7 +107,7 @@ impl SendVerdict {
 /// Tracks per-node transmit occupancy so concurrent senders experience
 /// serialisation delay, plus transient load windows that model recovery
 /// traffic contention.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Network {
     config: NetworkConfig,
     rng: SimRng,
@@ -135,6 +135,14 @@ impl Network {
             bytes_sent: 0,
             packets_dropped: 0,
         }
+    }
+
+    /// Replaces the jitter/drop random stream (warm-boot forking: each
+    /// forked run re-seeds the network stream so per-run draws are a
+    /// function of the run seed, not of how much traffic boot consumed).
+    /// Link state, transmit occupancy, and traffic counters are kept.
+    pub fn reseed(&mut self, rng: SimRng) {
+        self.rng = rng;
     }
 
     /// Computes the delivery time of a `size_bytes` packet sent at `now`

@@ -8,13 +8,12 @@
 //! MPI, applications) is ordinary `Process` behaviour.
 
 use crate::machine::{FaultConsequence, InjectionSite, MachineState};
-use crate::process::{ExitStatus, HeapHit, HeapTarget, Message, Pid, Process, Signal};
+use crate::process::{ExitStatus, HeapHit, HeapTarget, Message, Payload, Pid, Process, Signal};
 use crate::ptable::ProcTable;
 use crate::storage::{RamDisk, RemoteFs};
 use crate::trace::{Trace, TraceDetail, TraceEvent, TraceKind};
 use ree_net::{Network, NetworkConfig, NodeId, SendVerdict};
 use ree_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use std::any::Any;
 use std::sync::Arc;
 
 /// Identifies a pending timer (for cancellation).
@@ -136,20 +135,23 @@ impl ClusterConfig {
     }
 }
 
+#[derive(Clone)]
 enum OsEvent {
     Start { pid: Pid },
-    Deliver { to: Pid, from: Pid, label: &'static str, payload: Box<dyn Any> },
+    Deliver { to: Pid, from: Pid, label: &'static str, payload: Box<dyn Payload> },
     Timer { pid: Pid, timer_id: u64, tag: u64 },
     WorkChunk { pid: Pid, work_id: u64 },
     SignalEv { pid: Pid, sig: Signal },
     ChildExit { parent: Pid, child: Pid, status: ExitStatus },
 }
 
+#[derive(Clone)]
 struct WorkState {
     tag: u64,
     remaining: SimDuration,
 }
 
+#[derive(Clone)]
 struct ProcEntry {
     kind: &'static str,
     parent: Option<Pid>,
@@ -167,6 +169,7 @@ struct ProcEntry {
     spawned_at: SimTime,
 }
 
+#[derive(Clone)]
 struct NodeState {
     ramdisk: RamDisk,
     alive: bool,
@@ -181,6 +184,7 @@ struct NodeState {
 /// use ree_net::NodeId;
 /// use ree_sim::SimTime;
 ///
+/// #[derive(Clone)]
 /// struct Hello;
 /// impl Process for Hello {
 ///     fn kind(&self) -> &'static str { "hello" }
@@ -193,6 +197,11 @@ struct NodeState {
 /// cluster.run_until(SimTime::from_secs(1));
 /// assert!(cluster.trace().contains("hello started"));
 /// ```
+///
+/// A cluster is [`Clone`]: a booted cluster can be deep-copied and each
+/// copy driven independently (the warm-boot campaign snapshot). Combine
+/// with [`Cluster::reseed`] to give each copy its own random streams.
+#[derive(Clone)]
 pub struct Cluster {
     config: ClusterConfig,
     now: SimTime,
@@ -289,6 +298,27 @@ impl Cluster {
     /// Forks an independent RNG stream (for injectors).
     pub fn fork_rng(&mut self, tag: u64) -> SimRng {
         self.rng.fork(tag)
+    }
+
+    /// Re-seeds every random stream (network jitter/drop, cluster,
+    /// machine model) exactly as [`Cluster::new`] derives them from
+    /// `seed`, discarding the streams' current positions. Deterministic
+    /// non-stream state — event queue, process table, storage, trace —
+    /// is untouched.
+    ///
+    /// This is the warm-boot forking contract: a campaign boots one
+    /// cluster (under the campaign's scenario seed), clones it per run,
+    /// and re-seeds each clone with the run seed. A cold run that boots
+    /// its own cluster and re-seeds at the same instant produces
+    /// byte-identical behaviour, because the post-reseed streams are a
+    /// pure function of `seed` and the pre-reseed boot is a pure
+    /// function of the scenario.
+    pub fn reseed(&mut self, seed: u64) {
+        let mut master = SimRng::new(seed);
+        self.net.reseed(master.fork(1));
+        self.rng = master.fork(2);
+        self.machine_rng = master.fork(3);
+        self.config.seed = seed;
     }
 
     // ------------------------------------------------------------------
@@ -833,12 +863,18 @@ impl ProcCtx<'_> {
     ///
     /// Delivery is asynchronous and may be silently dropped by a lossy or
     /// partitioned network; reliable protocols must acknowledge.
-    pub fn send<T: Any>(&mut self, to: Pid, label: &'static str, size: u64, payload: T) {
+    pub fn send<T: Payload>(&mut self, to: Pid, label: &'static str, size: u64, payload: T) {
         self.send_boxed(to, label, size, Box::new(payload));
     }
 
     /// Type-erased variant of [`ProcCtx::send`].
-    pub fn send_boxed(&mut self, to: Pid, label: &'static str, size: u64, payload: Box<dyn Any>) {
+    pub fn send_boxed(
+        &mut self,
+        to: Pid,
+        label: &'static str,
+        size: u64,
+        payload: Box<dyn Payload>,
+    ) {
         let from_node = self.node();
         let to_node = match self.cluster.procs.node_of(to) {
             Some(n) => n,

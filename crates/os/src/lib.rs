@@ -36,7 +36,8 @@ pub use machine::{
     FaultConsequence, FunctionSite, InjectionSite, MachineProfile, MachineState, RegClass, TextHit,
 };
 pub use process::{
-    ExitStatus, FieldKind, HeapHit, HeapModel, HeapTarget, Message, Pid, Process, Signal,
+    ExitStatus, FieldKind, HeapHit, HeapModel, HeapTarget, Message, Payload, Pid, Process,
+    ProcessClone, Signal,
 };
 pub use storage::{DiskError, RamDisk, RemoteFs};
 pub use trace::{Trace, TraceDetail, TraceEvent, TraceKind, TraceRecord};

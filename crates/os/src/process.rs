@@ -79,6 +79,51 @@ impl std::fmt::Display for ExitStatus {
     }
 }
 
+/// A message payload: any `Send + Sync` type that can be cloned.
+///
+/// Payloads used to be plain `Box<dyn Any>`; warm-boot campaign
+/// snapshots require cloning a live cluster — including every in-flight
+/// and stashed message — and handing clones to worker threads, so
+/// payloads must be clonable and thread-portable. The blanket impl keeps
+/// call sites unchanged: anything `Any + Send + Sync + Clone` qualifies.
+pub trait Payload: Any + Send + Sync {
+    /// Clones the payload behind the trait object.
+    fn clone_payload(&self) -> Box<dyn Payload>;
+    /// Borrows the payload as `Any` (for downcasting).
+    fn as_any(&self) -> &dyn Any;
+    /// Converts the box into `Box<dyn Any>` (for consuming downcasts).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any + Send + Sync + Clone> Payload for T {
+    fn clone_payload(&self) -> Box<dyn Payload> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+// NOTE: `Box<dyn Payload>` is itself `Any + Send + Sync + Clone`, so the
+// blanket impl applies to the *box* too; every call below derefs
+// explicitly to reach the boxed object's impl, not the box's.
+impl Clone for Box<dyn Payload> {
+    fn clone(&self) -> Self {
+        (**self).clone_payload()
+    }
+}
+
+impl std::fmt::Debug for dyn Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Payload { .. }")
+    }
+}
+
 /// A message delivered to a process's mailbox.
 #[derive(Debug)]
 pub struct Message {
@@ -88,21 +133,22 @@ pub struct Message {
     /// cheaply without downcasting).
     pub label: &'static str,
     /// Opaque payload; receivers downcast to the concrete type.
-    pub payload: Box<dyn Any>,
+    pub payload: Box<dyn Payload>,
 }
 
 impl Message {
     /// Attempts to take the payload as a `T`, consuming it on success.
     pub fn take<T: 'static>(self) -> Result<T, Message> {
-        match self.payload.downcast::<T>() {
-            Ok(b) => Ok(*b),
-            Err(payload) => Err(Message { from: self.from, label: self.label, payload }),
+        if (*self.payload).as_any().is::<T>() {
+            Ok(*Payload::into_any(self.payload).downcast::<T>().expect("type checked above"))
+        } else {
+            Err(self)
         }
     }
 
     /// Borrowing downcast.
     pub fn peek<T: 'static>(&self) -> Option<&T> {
-        self.payload.downcast_ref::<T>()
+        (*self.payload).as_any().downcast_ref::<T>()
     }
 }
 
@@ -152,12 +198,39 @@ pub trait HeapModel {
     fn flip_bit(&mut self, rng: &mut SimRng, target: &HeapTarget) -> Option<HeapHit>;
 }
 
+/// Object-safe cloning for [`Process`] trait objects.
+///
+/// Blanket-implemented for every `Process + Clone` type, so concrete
+/// behaviours only need `#[derive(Clone)]`. Cloning behaviours is what
+/// makes a booted cluster forkable into per-run campaign copies.
+pub trait ProcessClone {
+    /// Clones the behaviour behind the trait object.
+    fn clone_process(&self) -> Box<dyn Process>;
+}
+
+impl<T: Process + Clone + 'static> ProcessClone for T {
+    fn clone_process(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Process> {
+    fn clone(&self) -> Self {
+        (**self).clone_process()
+    }
+}
+
 /// Behaviour of a simulated process: a state machine over OS events.
 ///
 /// Methods receive a [`crate::ProcCtx`] giving access to messaging,
 /// timers, CPU work, spawning, storage, and self-termination. All methods
 /// other than [`Process::on_message`] have empty defaults.
-pub trait Process {
+///
+/// `Send + Sync + ProcessClone` bounds exist for warm-boot campaign
+/// snapshots: a booted cluster is cloned per run and the clones execute
+/// on worker threads, so every behaviour must be clonable and
+/// thread-portable (`#[derive(Clone)]` plus plain-data / `Arc` state).
+pub trait Process: ProcessClone + Send + Sync {
     /// Short kind tag (names the text image; appears in traces).
     fn kind(&self) -> &'static str;
 

@@ -25,6 +25,7 @@ use std::sync::Arc;
 /// `by_pid` tombstone: pid not (or no longer) in the table.
 const NONE: u32 = u32::MAX;
 
+#[derive(Clone)]
 struct Slot<T> {
     node: NodeId,
     name: Arc<str>,
@@ -32,6 +33,7 @@ struct Slot<T> {
 }
 
 /// Generational-slab process table with node and name indexes.
+#[derive(Clone)]
 pub(crate) struct ProcTable<T> {
     slots: Vec<Option<Slot<T>>>,
     free: Vec<u32>,

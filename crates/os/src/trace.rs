@@ -562,7 +562,7 @@ pub struct TraceRecord {
 }
 
 /// An in-memory, bounded trace buffer with O(1) typed-event queries.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Trace {
     records: Vec<TraceRecord>,
     counters: [u64; TraceEvent::COUNT],

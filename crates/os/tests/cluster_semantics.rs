@@ -9,6 +9,7 @@ use ree_os::{
 use ree_sim::{SimDuration, SimTime};
 
 /// A process that records everything it sees into the trace.
+#[derive(Clone)]
 struct Probe {
     /// Replies to "ping" messages with a trace record.
     reply_to_ping: bool,
@@ -38,6 +39,7 @@ impl Process for Probe {
     }
 }
 
+#[derive(Clone)]
 struct Pinger {
     target: ree_os::Pid,
 }
@@ -120,6 +122,7 @@ fn sigstop_suspends_and_sigcont_resumes_with_stashed_messages() {
 
 #[test]
 fn stopped_process_does_not_fire_timers_until_resumed() {
+    #[derive(Clone)]
     struct TimerProc;
     impl Process for TimerProc {
         fn kind(&self) -> &'static str {
@@ -146,6 +149,7 @@ fn stopped_process_does_not_fire_timers_until_resumed() {
 
 #[test]
 fn work_runs_for_its_duration_and_pauses_while_stopped() {
+    #[derive(Clone)]
     struct Worker;
     impl Process for Worker {
         fn kind(&self) -> &'static str {
@@ -257,6 +261,7 @@ fn register_injection_eventually_crashes_or_masks_an_active_process() {
     // A busy process (steady work) with repeated register injections must
     // eventually fail — this is the Table 2 "periodically flipped until a
     // failure is induced" protocol.
+    #[derive(Clone)]
     struct Busy;
     impl Process for Busy {
         fn kind(&self) -> &'static str {
@@ -286,6 +291,7 @@ fn register_injection_eventually_crashes_or_masks_an_active_process() {
 
 #[test]
 fn text_corruption_propagates_through_image_copy() {
+    #[derive(Clone)]
     struct Idle;
     impl Process for Idle {
         fn kind(&self) -> &'static str {
@@ -298,6 +304,7 @@ fn text_corruption_propagates_through_image_copy() {
     c.run_until(SimTime::from_secs(1));
     c.inject_text(daemon).expect("daemon alive");
     // Spawn a child copying the daemon's (corrupted) image.
+    #[derive(Clone)]
     struct SpawnOnce {
         from: ree_os::Pid,
         done: bool,
@@ -347,6 +354,7 @@ fn deterministic_replay_same_seed_same_trace() {
 
 #[test]
 fn exit_from_handler_terminates_with_code() {
+    #[derive(Clone)]
     struct Quitter;
     impl Process for Quitter {
         fn kind(&self) -> &'static str {
@@ -366,6 +374,7 @@ fn exit_from_handler_terminates_with_code() {
 
 #[test]
 fn abort_reports_assertion_reason() {
+    #[derive(Clone)]
     struct Asserter;
     impl Process for Asserter {
         fn kind(&self) -> &'static str {

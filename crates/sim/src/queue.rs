@@ -38,6 +38,7 @@ impl EventHandle {
 /// Sentinel heap position for a slot that is not scheduled.
 const FREE: u32 = u32::MAX;
 
+#[derive(Clone)]
 struct Slot<E> {
     /// Bumped every time the slot is vacated; half of handle validity.
     gen: u32,
@@ -71,6 +72,21 @@ pub struct EventQueue<E> {
     /// Min-heap of slot indices, ordered by `(time, seq)`.
     heap: Vec<u32>,
     next_seq: u64,
+}
+
+/// Cloning a queue clones every pending event (warm-boot snapshot
+/// forking); handles issued by the original remain valid against the
+/// clone because slot indices, generations, and heap layout are copied
+/// verbatim.
+impl<E: Clone> Clone for EventQueue<E> {
+    fn clone(&self) -> Self {
+        EventQueue {
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            heap: self.heap.clone(),
+            next_seq: self.next_seq,
+        }
+    }
 }
 
 impl<E> Default for EventQueue<E> {

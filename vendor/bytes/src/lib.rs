@@ -108,6 +108,11 @@ impl BytesMut {
         self.data.clone()
     }
 
+    /// Clears the buffer, keeping its allocation (scratch-buffer reuse).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Converts the written bytes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes { data: self.data, pos: 0 }
