@@ -104,7 +104,7 @@ impl Scenario {
     ///
     /// ```
     /// let scenario = ree_apps::Scenario::single_texture(7);
-    /// scenario.warm_inputs(); // idempotent; called by `run_campaign`
+    /// scenario.warm_inputs(); // idempotent; the `Campaign` executor calls it
     /// ```
     pub fn warm_inputs(&self) {
         for (slot, job) in self.jobs.iter().enumerate() {

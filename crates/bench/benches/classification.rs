@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ree_apps::Scenario;
-use ree_inject::{run_campaign_aggregate, run_campaign_with_threads, ErrorModel, RunPlan, Target};
+use ree_inject::{Campaign, ErrorModel, RunPlan, Target};
 use ree_os::{Pid, Trace, TraceEvent, TraceKind};
 use ree_sim::SimTime;
 use std::hint::black_box;
@@ -87,18 +87,18 @@ fn bench_classification(c: &mut Criterion) {
         model: ErrorModel::Sigint,
         timeout: SimTime::from_secs(320),
     };
-    group.bench_function("run_campaign_4x_materialised", |b| {
+    group.bench_function("campaign_4x_materialised", |b| {
         let mut seed = 0;
         b.iter(|| {
             seed += 1000;
-            black_box(run_campaign_with_threads(&plan, 4, seed, 4).len())
+            black_box(Campaign::new(&plan).runs(4).seed(seed).threads(4).collect().len())
         });
     });
-    group.bench_function("run_campaign_4x_streaming_fold", |b| {
+    group.bench_function("campaign_4x_streaming_fold", |b| {
         let mut seed = 0;
         b.iter(|| {
             seed += 1000;
-            black_box(run_campaign_aggregate(&plan, 4, seed).errors_injected)
+            black_box(Campaign::new(&plan).runs(4).seed(seed).aggregate().errors_injected)
         });
     });
     group.finish();

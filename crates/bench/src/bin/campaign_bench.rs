@@ -23,11 +23,18 @@
 //! work-stealing parallel campaign runner.
 //!
 //! The headline `register`/`sigint` sweeps run **warm** (one boot
-//! snapshot per sweep, forked per run — what `run_campaign` does);
-//! `register_cold`/`sigint_cold` re-measure the same seeds with a full
-//! boot per run, so the JSON carries the warm-vs-cold comparison.
+//! snapshot per sweep, forked per run — what the `Campaign` executor
+//! does); `register_cold`/`sigint_cold` re-measure the same seeds with
+//! a full boot per run, so the JSON carries the warm-vs-cold
+//! comparison.
+//!
+//! The `adaptive` section reruns both error models under the
+//! confidence-targeted engine (±2% Wilson half-width at 95% on the
+//! recovery rate, 512-run budget) and records how many runs the
+//! stopping rule actually needed next to the fixed 512-run spend it
+//! replaces.
 
-use ree_inject::{execute_warm, run_campaign, ErrorModel, RunPlan, Target};
+use ree_inject::{execute_warm, Campaign, ErrorModel, RunPlan, StoppingRule, Target};
 use ree_sim::SimTime;
 use std::time::Instant;
 
@@ -62,7 +69,7 @@ fn sweep_cold(label: &'static str, plan: &RunPlan, runs: u32, seed0: u64) -> Swe
 
 /// Times `runs` single-threaded **warm** executions of `plan`: one boot
 /// snapshot, one geometry derivation, a fork per run — the per-worker
-/// shape of `run_campaign`. The snapshot boot is timed inside the sweep
+/// shape of a `Campaign`. The snapshot boot is timed inside the sweep
 /// total, so the amortisation is measured honestly.
 fn sweep_warm(label: &'static str, plan: &RunPlan, runs: u32, seed0: u64) -> Sweep {
     let t0 = Instant::now();
@@ -125,6 +132,60 @@ fn json_sweep(s: &Sweep) -> String {
     )
 }
 
+/// One adaptive-engine measurement: the same plan as the fixed sweep,
+/// driven until the stopping rule's CI target is met (or the budget is
+/// spent), timed end to end.
+struct AdaptiveSweep {
+    label: &'static str,
+    runs_to_target: u32,
+    target_met: bool,
+    rate: f64,
+    half_width: f64,
+    total_secs: f64,
+    fixed_runs: u32,
+}
+
+/// Runs `plan` under a ±2%-at-95% Wilson stopping rule on the recovery
+/// rate with a `fixed_runs` budget — the adaptive replacement for a
+/// fixed `fixed_runs`-run sweep of the same cell.
+fn sweep_adaptive(
+    label: &'static str,
+    plan: &RunPlan,
+    fixed_runs: u32,
+    seed0: u64,
+) -> AdaptiveSweep {
+    let rule = StoppingRule::default().half_width(0.02).max_runs(fixed_runs);
+    let t0 = Instant::now();
+    let report = Campaign::new(plan).seed(seed0).adaptive(&rule);
+    let total_secs = t0.elapsed().as_secs_f64();
+    AdaptiveSweep {
+        label,
+        runs_to_target: report.runs,
+        target_met: report.target_met,
+        rate: report.proportion.point(),
+        half_width: report.half_width,
+        total_secs,
+        fixed_runs,
+    }
+}
+
+fn json_adaptive(s: &AdaptiveSweep) -> String {
+    format!(
+        "{{\"label\": \"{}\", \"runs_to_target\": {}, \"target_met\": {}, \
+         \"recovery_rate\": {:.4}, \"half_width\": {:.4}, \"total_secs\": {:.3}, \
+         \"runs_per_sec\": {:.2}, \"fixed_runs\": {}, \"runs_saved_vs_fixed\": {}}}",
+        s.label,
+        s.runs_to_target,
+        s.target_met,
+        s.rate,
+        s.half_width,
+        s.total_secs,
+        f64::from(s.runs_to_target) / s.total_secs.max(1e-9),
+        s.fixed_runs,
+        s.fixed_runs.saturating_sub(s.runs_to_target),
+    )
+}
+
 /// Extracts the register sweep's `runs_per_sec` from a committed
 /// `BENCH_campaign.json` without a JSON parser dependency: finds the
 /// `"label": "register"` entry and reads the next `"runs_per_sec":`
@@ -183,10 +244,19 @@ fn main() {
     // Parallel aggregate throughput with the work-stealing runner.
     let pplan = plan(ErrorModel::Register, seed);
     let t0 = Instant::now();
-    let results = run_campaign(&pplan, runs, seed);
+    let results = Campaign::new(&pplan).runs(runs).seed(seed).collect();
     let parallel_secs = t0.elapsed().as_secs_f64();
     std::hint::black_box(&results);
     let parallel_rps = f64::from(runs) / parallel_secs;
+
+    // Adaptive engine: same cells, but the stopping rule decides the
+    // spend. The budget is pinned at 512 (the paper-standard fixed
+    // campaign size) independent of `--runs`, so the runs-saved numbers
+    // always compare against the sweep the rule replaces.
+    let adaptive_register =
+        sweep_adaptive("adaptive_register", &plan(ErrorModel::Register, seed), 512, seed);
+    let adaptive_sigint =
+        sweep_adaptive("adaptive_sigint", &plan(ErrorModel::Sigint, seed), 512, seed);
 
     let json = format!(
         "{{\n  \"workload\": \"single_texture 4-node testbed, Target::App\",\n  \
@@ -194,12 +264,15 @@ fn main() {
          \"runs_per_sweep\": {runs},\n  \"seed\": {seed},\n  \
          \"single_thread\": [\n    {},\n    {},\n    {},\n    {}\n  ],\n  \
          \"parallel_register\": {{\"runs\": {runs}, \"total_secs\": {parallel_secs:.3}, \
-         \"runs_per_sec\": {parallel_rps:.2}}}\n}}\n",
+         \"runs_per_sec\": {parallel_rps:.2}}},\n  \
+         \"adaptive\": [\n    {},\n    {}\n  ]\n}}\n",
         json_escape(&note),
         json_sweep(&register),
         json_sweep(&sigint),
         json_sweep(&register_cold),
         json_sweep(&sigint_cold),
+        json_adaptive(&adaptive_register),
+        json_adaptive(&adaptive_sigint),
     );
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("cannot write {out}: {e}");

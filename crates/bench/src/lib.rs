@@ -27,7 +27,7 @@
 //! to time directly in a test or doc example:
 //!
 //! ```
-//! use ree_inject::{run_campaign_aggregate, ErrorModel, RunPlan, Target};
+//! use ree_inject::{Campaign, ErrorModel, RunPlan, Target};
 //! use ree_sim::SimTime;
 //!
 //! let plan = RunPlan {
@@ -36,6 +36,6 @@
 //!     model: ErrorModel::Sigint,
 //!     timeout: SimTime::from_secs(220),
 //! };
-//! let agg = run_campaign_aggregate(&plan, 2, 7);
+//! let agg = Campaign::new(&plan).runs(2).seed(7).aggregate();
 //! assert!(agg.errors_injected <= 2);
 //! ```

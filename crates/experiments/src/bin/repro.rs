@@ -1,6 +1,11 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `repro [--quick] [--seed N] <table1..table12|fig6..fig10|all>`
+//! Usage: `repro [--quick] [--seed N] <table1..table12|table4a|fig6..fig10|fig6a|all>`
+//!
+//! `table4a` and `fig6a` are the adaptive (confidence-targeted)
+//! variants of table4 and fig6: each cell runs until its recovery-rate
+//! Wilson interval meets the stopping-rule target instead of a fixed
+//! run count.
 
 use ree_experiments::{
     fig9, figures, table10, table11, table3, table4, table5, table6, table7, table8, Effort,
@@ -45,6 +50,9 @@ fn main() {
         }
         "table3" => print!("{}", table3::run(effort, seed).render()),
         "table4" => print!("{}", table4::run(effort, seed).render()),
+        "table4a" => {
+            print!("{}", table4::run_adaptive(&table4::adaptive_rule(effort), seed).render())
+        }
         "table5" => print!("{}", table5::run(effort, seed).render()),
         "table6" => print!("{}", table6::run(effort, seed).render()),
         "table7" => print!("{}", table7::run(effort, seed).render()),
@@ -54,21 +62,27 @@ fn main() {
         "table11" => print!("{}", table11::run(effort, seed).0.render()),
         "table12" => print!("{}", table11::run(effort, seed).1.render()),
         "fig6" => print!("{}", figures::fig6(effort, seed).render()),
+        "fig6a" => {
+            print!("{}", figures::fig6_adaptive(&table4::adaptive_rule(effort), seed).render())
+        }
         "fig7" => print!("{}", figures::fig7(effort, seed).render()),
         "fig8" => print!("{}", figures::fig8(effort, seed).render()),
         "fig9" => print!("{}", fig9::run(seed).render()),
         "fig10" => print!("{}", figures::fig10(seed).render()),
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("usage: repro [--quick] [--seed N] <table1..table12|fig6..fig10|all>");
+            eprintln!(
+                "usage: repro [--quick] [--seed N] <table1..table12|table4a|fig6..fig10|fig6a|all>"
+            );
             std::process::exit(2);
         }
     };
 
     if what == "all" {
         for name in [
-            "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-            "table10", "table11", "table12", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "table2", "table3", "table4", "table4a", "table5", "table6", "table7", "table8",
+            "table9", "table10", "table11", "table12", "fig6", "fig6a", "fig7", "fig8", "fig9",
+            "fig10",
         ] {
             println!("==== {name} ====");
             run_one(name);

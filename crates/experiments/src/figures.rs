@@ -5,6 +5,7 @@
 use crate::effort::Effort;
 use ree_apps::Scenario;
 use ree_armor::{ArmorEvent, ControlOp, Value};
+use ree_inject::{adaptive, Arm, ArmReport, ErrorModel, RunPlan, StoppingRule, Target};
 use ree_os::{Signal, SpawnSpec, TraceEvent};
 use ree_sift::{ids, tags};
 use ree_sim::{SimDuration, SimTime};
@@ -90,6 +91,73 @@ pub fn fig6(effort: Effort, seed0: u64) -> Fig6 {
         }
     }
     out
+}
+
+/// Figure 6 under the adaptive engine: a two-arm sweep (polling vs
+/// interrupt-driven progress indicators) of SIGSTOP-into-application
+/// hang campaigns, each arm stopping at its own confidence target.
+#[derive(Debug, Clone)]
+pub struct Fig6Adaptive {
+    /// The polling-design arm.
+    pub polling: ArmReport,
+    /// The interrupt-driven arm.
+    pub interrupt: ArmReport,
+    /// The rule both arms ran under.
+    pub rule: StoppingRule,
+}
+
+impl Fig6Adaptive {
+    /// Renders the two arms' spend and perceived-time cost.
+    pub fn render(&self) -> String {
+        let mut t = TableBuilder::new(vec![
+            "DESIGN",
+            "RUNS",
+            "RECOVERY RATE",
+            "PERCEIVED (s)",
+            "CI TARGET",
+        ])
+        .with_title("Figure 6 (adaptive): hang campaigns, polling vs interrupt-driven PI");
+        for row in [&self.polling, &self.interrupt] {
+            t.row(vec![
+                row.label.clone(),
+                row.runs.to_string(),
+                row.display_rate(),
+                row.aggregate.perceived.display_pm(),
+                if row.target_met { "met".into() } else { "budget exhausted".into() },
+            ]);
+        }
+        format!(
+            "{}\ntarget ±{:.1}% at {:.0}% confidence; slower hang detection surfaces as \
+             perceived-time cost, not lost recoveries\n",
+            t.render(),
+            self.rule.half_width * 100.0,
+            self.rule.confidence * 100.0,
+        )
+    }
+}
+
+/// Runs the two Figure 6 designs as one adaptive sweep: SIGSTOP the
+/// application (the hang model fig6 measures) with the progress
+/// indicators polling vs interrupt-driven, until each arm's
+/// recovery-rate interval meets `rule`'s target.
+pub fn fig6_adaptive(rule: &StoppingRule, seed0: u64) -> Fig6Adaptive {
+    let arm = |interrupt_driven: bool, label: &str, seed: u64| {
+        let mut scenario = Scenario::single_texture(0);
+        scenario.sift.interrupt_driven_pi = interrupt_driven;
+        let plan = RunPlan {
+            scenario,
+            target: Target::App,
+            model: ErrorModel::Sigstop,
+            timeout: SimTime::from_secs(320),
+        };
+        Arm::new(label, plan, seed)
+    };
+    let arms =
+        [arm(false, "polling (paper)", seed0), arm(true, "interrupt-driven (§5.1)", seed0 ^ 0x61)];
+    let mut report = adaptive::run_arms(&arms, rule);
+    let interrupt = report.arms.pop().expect("two arms");
+    let polling = report.arms.pop().expect("two arms");
+    Fig6Adaptive { polling, interrupt, rule: rule.clone() }
 }
 
 /// Figure 7: FTM failures during setup/teardown inflate *perceived* time

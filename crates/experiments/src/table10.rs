@@ -6,7 +6,7 @@
 
 use crate::effort::Effort;
 use ree_apps::{Scenario, Verdict};
-use ree_inject::{run_campaign, ErrorModel, FailureClass, RunPlan, Target};
+use ree_inject::{Campaign, ErrorModel, FailureClass, RunPlan, Target};
 use ree_os::HeapTarget;
 use ree_sim::SimTime;
 use ree_stats::TableBuilder;
@@ -52,7 +52,7 @@ pub fn run(effort: Effort, seed0: u64) -> Table10 {
         model: ErrorModel::HeapSingle(HeapTarget::Any),
         timeout: SimTime::from_secs(320),
     };
-    let results = run_campaign(&plan, runs, seed0);
+    let results = Campaign::new(&plan).runs(runs).seed(seed0).collect();
     let mut out = Table10::default();
     for r in &results {
         if r.injections == 0 {

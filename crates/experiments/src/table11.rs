@@ -9,7 +9,7 @@
 
 use crate::effort::Effort;
 use ree_apps::Scenario;
-use ree_inject::{run_campaign, ErrorModel, FailureClass, RunPlan, RunResult, Target};
+use ree_inject::{Campaign, ErrorModel, FailureClass, RunPlan, RunResult, Target};
 use ree_sim::SimTime;
 use ree_stats::{Summary, TableBuilder};
 
@@ -224,7 +224,8 @@ pub fn run(effort: Effort, seed0: u64) -> (Table11, Table12) {
         for (k, model) in models.into_iter().enumerate() {
             let plan =
                 RunPlan { scenario: scenario.clone(), target: target.clone(), model, timeout };
-            pooled.extend(run_campaign(&plan, runs / 2, seed0 ^ ((k as u64 + 3) << 20)));
+            let seed = seed0 ^ ((k as u64 + 3) << 20);
+            pooled.extend(Campaign::new(&plan).runs(runs / 2).seed(seed).collect());
         }
         let (t11, t12) = collect_row(label, &pooled);
         rows11.push(t11);

@@ -8,7 +8,9 @@
 
 use crate::effort::Effort;
 use ree_apps::Scenario;
-use ree_inject::{run_campaign, ErrorModel, RunPlan, RunResult, Target};
+use ree_inject::{
+    adaptive, Arm, ArmReport, Campaign, ErrorModel, RunPlan, RunResult, StoppingRule, Target,
+};
 use ree_sim::SimTime;
 use ree_stats::{no_failure_upper_bound, Summary, TableBuilder};
 
@@ -152,13 +154,91 @@ pub fn run(effort: Effort, seed0: u64) -> Table4 {
                 model: model.clone(),
                 timeout: SimTime::from_secs(320),
             };
-            let results = run_campaign(&plan, runs, seed0 ^ hash_pair(&model, &target));
+            let results =
+                Campaign::new(&plan).runs(runs).seed(seed0 ^ hash_pair(&model, &target)).collect();
             let row = summarize(model.clone(), target, &results);
             total_injected += row.errors_injected;
             rows.push(row);
         }
     }
     Table4 { baseline: (base_p, base_a), rows, total_injected }
+}
+
+/// Table 4 under the adaptive engine: the same eight cells as [`run`],
+/// but each cell stops as soon as its recovery-rate Wilson interval
+/// meets the stopping rule's target instead of spending a fixed run
+/// count.
+#[derive(Debug, Clone)]
+pub struct Table4Adaptive {
+    /// One report per cell, in the fixed table's row order.
+    pub rows: Vec<ArmReport>,
+    /// The rule every cell ran under.
+    pub rule: StoppingRule,
+    /// Batch rounds the sweep took (scheduling-dependent).
+    pub rounds: u32,
+}
+
+impl Table4Adaptive {
+    /// Renders the per-cell spend next to what a fixed sweep would cost.
+    pub fn render(&self) -> String {
+        let mut t =
+            TableBuilder::new(vec!["TARGET", "RUNS", "ERRORS INJ.", "RECOVERY RATE", "CI TARGET"])
+                .with_title("Table 4 (adaptive): confidence-targeted SIGINT/SIGSTOP cells");
+        for row in &self.rows {
+            t.row(vec![
+                row.label.clone(),
+                row.runs.to_string(),
+                row.aggregate.errors_injected.to_string(),
+                row.display_rate(),
+                if row.target_met { "met".into() } else { "budget exhausted".into() },
+            ]);
+        }
+        let spent: u64 = self.rows.iter().map(|r| u64::from(r.runs)).sum();
+        let fixed = u64::from(self.rule.max_runs) * self.rows.len() as u64;
+        format!(
+            "{}\ntarget ±{:.1}% at {:.0}% confidence; {} runs spent vs {} for a fixed sweep \
+             ({} rounds)\n",
+            t.render(),
+            self.rule.half_width * 100.0,
+            self.rule.confidence * 100.0,
+            spent,
+            fixed,
+            self.rounds,
+        )
+    }
+}
+
+/// Runs the eight Table 4 cells as one adaptive sweep under `rule`,
+/// reallocating each round's batches to the widest-interval cells.
+pub fn run_adaptive(rule: &StoppingRule, seed0: u64) -> Table4Adaptive {
+    let mut arms = Vec::new();
+    for model in [ErrorModel::Sigint, ErrorModel::Sigstop] {
+        for target in [Target::App, Target::Ftm, Target::ExecArmor, Target::Heartbeat] {
+            let plan = RunPlan {
+                scenario: Scenario::single_texture(0),
+                target: target.clone(),
+                model: model.clone(),
+                timeout: SimTime::from_secs(320),
+            };
+            arms.push(Arm::new(
+                format!("{model} / {target}"),
+                plan,
+                seed0 ^ hash_pair(&model, &target),
+            ));
+        }
+    }
+    let report = adaptive::run_arms(&arms, rule);
+    Table4Adaptive { rows: report.arms, rule: rule.clone(), rounds: report.rounds }
+}
+
+/// The stopping rule the `repro` binary uses for the adaptive table:
+/// the paper-standard ±2%-at-95% target, scaled down (wider target,
+/// smaller batches and budget) for `Effort::Quick` CI runs.
+pub fn adaptive_rule(effort: Effort) -> StoppingRule {
+    match effort {
+        Effort::Paper => StoppingRule::default(),
+        Effort::Quick => StoppingRule::default().half_width(0.08).batch(8).min_runs(8).max_runs(32),
+    }
 }
 
 fn hash_pair(model: &ErrorModel, target: &Target) -> u64 {

@@ -8,7 +8,7 @@
 
 use crate::effort::Effort;
 use ree_apps::Scenario;
-use ree_inject::{run_campaign, ErrorModel, RunPlan, Target};
+use ree_inject::{Campaign, ErrorModel, RunPlan, Target};
 use ree_sim::{SimDuration, SimTime};
 use ree_stats::{Summary, TableBuilder};
 
@@ -59,7 +59,7 @@ pub fn run(effort: Effort, seed0: u64) -> Table5 {
             model: ErrorModel::Sigint,
             timeout: SimTime::from_secs(400),
         };
-        let results = run_campaign(&plan, runs, seed0 ^ (period_s << 8));
+        let results = Campaign::new(&plan).runs(runs).seed(seed0 ^ (period_s << 8)).collect();
         let mut perceived = Summary::new();
         let mut actual = Summary::new();
         for r in &results {

@@ -10,7 +10,7 @@
 
 use crate::effort::Effort;
 use ree_apps::Scenario;
-use ree_inject::{run_campaign, ErrorModel, FailureClass, RunPlan, RunResult, Target};
+use ree_inject::{Campaign, ErrorModel, FailureClass, RunPlan, RunResult, Target};
 use ree_sim::SimTime;
 use ree_stats::{Summary, TableBuilder};
 
@@ -165,7 +165,7 @@ pub fn run(effort: Effort, seed0: u64) -> Table6 {
                 timeout: SimTime::from_secs(400),
             };
             let seed = seed0 ^ seed_of(&model, &target);
-            let results = run_campaign(&plan, runs, seed);
+            let results = Campaign::new(&plan).runs(runs).seed(seed).collect();
             rows.push(summarize(model.clone(), target, &results));
         }
     }

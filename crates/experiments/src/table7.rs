@@ -7,7 +7,7 @@
 
 use crate::effort::Effort;
 use ree_apps::Scenario;
-use ree_inject::{run_campaign, ErrorModel, RunPlan, RunResult, Target};
+use ree_inject::{Campaign, ErrorModel, RunPlan, RunResult, Target};
 use ree_sim::SimTime;
 use ree_stats::{Summary, TableBuilder};
 
@@ -116,7 +116,8 @@ pub fn run(effort: Effort, seed0: u64) -> Table7 {
             model: ErrorModel::Heap,
             timeout: SimTime::from_secs(400),
         };
-        let results = run_campaign(&plan, runs, seed0 ^ (target.to_string().len() as u64) << 16);
+        let seed = seed0 ^ (target.to_string().len() as u64) << 16;
+        let results = Campaign::new(&plan).runs(runs).seed(seed).collect();
         rows.push(summarize(target, &results));
     }
     Table7 { rows }

@@ -10,7 +10,7 @@
 
 use crate::effort::Effort;
 use ree_apps::Scenario;
-use ree_inject::{run_campaign, ErrorModel, RunPlan, RunResult, SystemFailure, Target};
+use ree_inject::{Campaign, ErrorModel, RunPlan, RunResult, SystemFailure, Target};
 use ree_os::HeapTarget;
 use ree_sim::SimTime;
 use ree_stats::TableBuilder;
@@ -168,7 +168,7 @@ pub fn run(effort: Effort, seed0: u64) -> Table8 {
             timeout: SimTime::from_secs(360),
         };
         let seed = seed0 ^ element.bytes().map(|b| b as u64).sum::<u64>();
-        let results = run_campaign(&plan, runs, seed);
+        let results = Campaign::new(&plan).runs(runs).seed(seed).collect();
         elements.push(classify(&results, element));
     }
     Table8 { elements }

@@ -1,0 +1,311 @@
+//! The unified campaign API: a [`Campaign`] builder over one
+//! [`RunPlan`] with terminal `collect`/`fold`/`aggregate`/`adaptive`
+//! operations, and its owned counterpart [`CampaignSpec`].
+//!
+//! This subsumes the historical `run_campaign*` free functions (now
+//! thin deprecated shims): one composable entry point instead of five
+//! name×option combinations, and the only place the work-stealing
+//! executor lives. Everything terminal folds results **in seed
+//! order**, so campaign output is bit-for-bit deterministic for any
+//! worker-thread count.
+
+use crate::adaptive::{Arm, ArmReport, StoppingRule};
+use crate::campaign::Aggregate;
+use crate::runner::{execute_warm, RunPlan, RunResult};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+/// Picks the effective worker count for `runs` seeded executions.
+/// Total for every input — `runs == 0` yields 1 worker (which then has
+/// nothing to claim) instead of constructing an empty clamp range, so
+/// callers that do not know their run count up front (the adaptive
+/// engine) can share it.
+pub(crate) fn effective_threads(requested: Option<usize>, runs: u32) -> usize {
+    requested.unwrap_or_else(default_threads).clamp(1, runs.max(1) as usize)
+}
+
+/// A configured fault-injection campaign over one [`RunPlan`]: `runs`
+/// seeded executions starting at `seed(..)`, on `threads(..)` workers.
+///
+/// Built with [`Campaign::new`] and finished with one of the terminal
+/// operations — [`collect`](Campaign::collect) (materialise every
+/// [`RunResult`] in seed order), [`fold`](Campaign::fold) (stream
+/// results through an accumulator without materialising),
+/// [`aggregate`](Campaign::aggregate) (fold into the paper-table
+/// [`Aggregate`]), or [`adaptive`](Campaign::adaptive) (run batches
+/// until a [`StoppingRule`]'s confidence target is met).
+///
+/// Results are identical for every thread count, including 1.
+///
+/// # Examples
+///
+/// ```
+/// use ree_inject::{Campaign, ErrorModel, RunPlan, Target};
+/// use ree_sim::SimTime;
+///
+/// let plan = RunPlan {
+///     scenario: ree_apps::Scenario::single_texture(1),
+///     target: Target::App,
+///     model: ErrorModel::Sigint,
+///     timeout: SimTime::from_secs(220),
+/// };
+/// let results = Campaign::new(&plan).runs(2).seed(7).collect();
+/// assert_eq!(results.len(), 2);
+/// let agg = Campaign::new(&plan).runs(2).seed(7).aggregate();
+/// assert!(agg.errors_injected <= 2);
+/// // Streaming: count hangs without materialising the results.
+/// let hangs = Campaign::new(&plan).runs(2).seed(7).fold(0u32, |n, r| {
+///     *n += u32::from(r.induced == Some(ree_inject::FailureClass::Hang));
+/// });
+/// assert!(hangs <= 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Campaign<'p> {
+    plan: &'p RunPlan,
+    runs: u32,
+    seed0: u64,
+    threads: Option<usize>,
+}
+
+impl<'p> Campaign<'p> {
+    /// Starts a campaign over `plan` with no runs scheduled yet, seed 0,
+    /// and automatic thread selection.
+    pub fn new(plan: &'p RunPlan) -> Self {
+        Campaign { plan, runs: 0, seed0: 0, threads: None }
+    }
+
+    /// Borrows an owned [`CampaignSpec`] as a runnable campaign.
+    pub fn from_spec(spec: &'p CampaignSpec) -> Self {
+        Campaign { plan: &spec.plan, runs: spec.runs, seed0: spec.seed0, threads: spec.threads }
+    }
+
+    /// Sets the number of seeded runs.
+    pub fn runs(mut self, runs: u32) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the first seed; run `i` uses `seed0 + i`.
+    pub fn seed(mut self, seed0: u64) -> Self {
+        self.seed0 = seed0;
+        self
+    }
+
+    /// Sets an explicit worker-thread count (any value is safe; it is
+    /// clamped to `1..=runs`). The default is the machine's available
+    /// parallelism, capped at 16.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Runs the campaign and returns every [`RunResult`] in seed order.
+    pub fn collect(&self) -> Vec<RunResult> {
+        self.fold(Vec::with_capacity(self.runs as usize), |v, r| v.push(r))
+    }
+
+    /// Runs the campaign, streaming each [`RunResult`] through `fold`
+    /// exactly once, **in seed order**, as soon as every earlier seed
+    /// has been folded. Peak memory is bounded by the reorder window (a
+    /// few results per worker) instead of the campaign size.
+    pub fn fold<A>(&self, init: A, fold: impl FnMut(&mut A, RunResult)) -> A {
+        run_fold(self.plan, self.runs, self.seed0, self.threads, init, fold)
+    }
+
+    /// Runs the campaign and aggregates it on the fly — the streaming
+    /// equivalent of `Aggregate::from_results(&campaign.collect())`.
+    pub fn aggregate(&self) -> Aggregate {
+        self.fold(Aggregate::default(), |agg, r| agg.accept(&r))
+    }
+
+    /// Runs this plan **adaptively**: in batches, until `rule`'s
+    /// confidence-interval target on the key proportion is met or the
+    /// rule's run budget is exhausted — the single-arm form of
+    /// [`crate::adaptive::run_arms`]. Any `runs(..)` setting is ignored;
+    /// the stopping rule owns the budget.
+    ///
+    /// The report is a pure function of `(plan, seed0, rule)` —
+    /// independent of the thread count.
+    pub fn adaptive(&self, rule: &StoppingRule) -> ArmReport {
+        let arm = Arm::new("", self.plan.clone(), self.seed0);
+        let mut report =
+            crate::adaptive::run_arms_with_threads(std::slice::from_ref(&arm), rule, self.threads);
+        report.arms.remove(0)
+    }
+}
+
+/// An owned campaign description: the [`RunPlan`] plus the campaign
+/// shape ([`runs`](CampaignSpec::runs), [`seed`](CampaignSpec::seed),
+/// [`threads`](CampaignSpec::threads)).
+///
+/// Where [`Campaign`] borrows its plan for immediate execution,
+/// `CampaignSpec` is `Clone` and self-contained — the form a request
+/// queue, a result cache key, or an adaptive sweep arm wants. The
+/// terminal operations mirror [`Campaign`]'s and delegate to it.
+///
+/// # Examples
+///
+/// ```
+/// use ree_inject::{CampaignSpec, ErrorModel, RunPlan, Target};
+/// use ree_sim::SimTime;
+///
+/// let plan = RunPlan {
+///     scenario: ree_apps::Scenario::single_texture(1),
+///     target: Target::App,
+///     model: ErrorModel::Sigint,
+///     timeout: SimTime::from_secs(220),
+/// };
+/// let spec = CampaignSpec::new(plan).runs(2).seed(7);
+/// assert_eq!(spec.collect().len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// The plan every run executes.
+    pub plan: RunPlan,
+    /// Number of seeded runs for the fixed-size terminals.
+    pub runs: u32,
+    /// First seed; run `i` uses `seed0 + i`.
+    pub seed0: u64,
+    /// Explicit worker-thread count (`None` = automatic).
+    pub threads: Option<usize>,
+}
+
+impl CampaignSpec {
+    /// Wraps `plan` with no runs scheduled, seed 0, automatic threads.
+    pub fn new(plan: RunPlan) -> Self {
+        CampaignSpec { plan, runs: 0, seed0: 0, threads: None }
+    }
+
+    /// Sets the number of seeded runs.
+    pub fn runs(mut self, runs: u32) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the first seed.
+    pub fn seed(mut self, seed0: u64) -> Self {
+        self.seed0 = seed0;
+        self
+    }
+
+    /// Sets an explicit worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// See [`Campaign::collect`].
+    pub fn collect(&self) -> Vec<RunResult> {
+        Campaign::from_spec(self).collect()
+    }
+
+    /// See [`Campaign::fold`].
+    pub fn fold<A>(&self, init: A, fold: impl FnMut(&mut A, RunResult)) -> A {
+        Campaign::from_spec(self).fold(init, fold)
+    }
+
+    /// See [`Campaign::aggregate`].
+    pub fn aggregate(&self) -> Aggregate {
+        Campaign::from_spec(self).aggregate()
+    }
+
+    /// See [`Campaign::adaptive`].
+    pub fn adaptive(&self, rule: &StoppingRule) -> ArmReport {
+        Campaign::from_spec(self).adaptive(rule)
+    }
+}
+
+/// The work-stealing campaign executor behind every terminal operation.
+///
+/// Workers claim the next seed index from a shared counter and ship
+/// `(index, result)` pairs back; the caller's thread reorders with a
+/// small buffer and folds in seed order while workers are still
+/// running. The channel is bounded so a straggler seed cannot make the
+/// reorder buffer grow with the campaign: once it fills, workers block
+/// on send instead of claiming further seeds, capping buffered results
+/// at ~2 per worker.
+pub(crate) fn run_fold<A>(
+    plan: &RunPlan,
+    runs: u32,
+    seed0: u64,
+    threads: Option<usize>,
+    init: A,
+    mut fold: impl FnMut(&mut A, RunResult),
+) -> A {
+    let mut acc = init;
+    let threads = effective_threads(threads, runs);
+    if runs == 0 {
+        return acc;
+    }
+    // Generate the campaign-shared synthetic inputs once, before the
+    // workers fan out, so they never race to synthesise the same image.
+    plan.scenario.warm_inputs();
+    // Boot the SIFT cluster once: every run starts from a fork of this
+    // snapshot instead of replaying the identical installation protocol.
+    // The geometry (injection window, nominal duration) is likewise
+    // derived once; the per-run path only draws the injection instant.
+    let geometry = plan.geometry();
+    let snapshot = plan.scenario.boot_snapshot(geometry.snapshot_at);
+    if threads == 1 {
+        for i in 0..u64::from(runs) {
+            let r = execute_warm(plan, &geometry, &snapshot, seed0 + i);
+            fold(&mut acc, r);
+        }
+        return acc;
+    }
+    let next = AtomicU64::new(0);
+    let (tx, rx) = mpsc::sync_channel::<(u64, RunResult)>(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let geometry = &geometry;
+            let snapshot = &snapshot;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= u64::from(runs) {
+                    break;
+                }
+                let r = execute_warm(plan, geometry, snapshot, seed0 + i);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut pending: BTreeMap<u64, RunResult> = BTreeMap::new();
+        let mut expect: u64 = 0;
+        for (i, r) in rx {
+            pending.insert(i, r);
+            while let Some(r) = pending.remove(&expect) {
+                fold(&mut acc, r);
+                expect += 1;
+            }
+        }
+        debug_assert_eq!(expect, u64::from(runs), "every seed folded exactly once");
+    });
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_selection_is_total() {
+        // The historical `threads.clamp(1, runs as usize)` panicked for
+        // `runs == 0` (clamp with max < min); the adaptive path cannot
+        // early-return on a known run count, so selection must be total.
+        assert_eq!(effective_threads(Some(8), 0), 1);
+        assert_eq!(effective_threads(Some(8), 1), 1);
+        assert_eq!(effective_threads(Some(0), 5), 1);
+        assert_eq!(effective_threads(Some(3), 5), 3);
+        assert_eq!(effective_threads(Some(8), 5), 5);
+        assert!(effective_threads(None, u32::MAX) >= 1);
+    }
+}

@@ -1,55 +1,40 @@
-//! Campaign execution: many seeded runs of one (target, model) pair,
-//! executed across worker threads, with aggregate views shaped like the
-//! paper's tables.
+//! Campaign aggregates and the deprecated free-function campaign API.
 //!
-//! Work is distributed by a shared atomic counter, not static chunking:
-//! a run that hangs into its timeout occupies one worker while the rest
-//! keep draining seeds, so skewed run durations no longer serialise the
-//! tail of the campaign. Results are folded back together **in seed
-//! order** regardless of which thread produced them, keeping every
-//! campaign bit-for-bit deterministic for any thread count.
+//! The executor itself lives behind the [`Campaign`] builder (see
+//! `builder.rs`); this module keeps the [`Aggregate`] table view and
+//! the historical `run_campaign*` entry points, now thin deprecated
+//! shims over the builder.
 
+use crate::builder::Campaign;
 use crate::model::{FailureClass, SystemFailure};
-use crate::runner::{execute_warm, RunPlan, RunResult};
+use crate::runner::{RunPlan, RunResult};
 use ree_stats::Summary;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
-}
 
 /// Runs `runs` seeded executions of `plan`, in parallel across available
 /// cores. Results are returned in seed order (deterministic).
+#[deprecated(since = "0.1.0", note = "use `Campaign::new(plan).runs(..).seed(..).collect()`")]
 pub fn run_campaign(plan: &RunPlan, runs: u32, seed0: u64) -> Vec<RunResult> {
-    run_campaign_with_threads(plan, runs, seed0, default_threads())
+    Campaign::new(plan).runs(runs).seed(seed0).collect()
 }
 
 /// [`run_campaign`] with an explicit worker-thread count. The output is
 /// identical for every `threads` value (including 1).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Campaign::new(plan).runs(..).seed(..).threads(..).collect()`"
+)]
 pub fn run_campaign_with_threads(
     plan: &RunPlan,
     runs: u32,
     seed0: u64,
     threads: usize,
 ) -> Vec<RunResult> {
-    run_campaign_fold_with_threads(
-        plan,
-        runs,
-        seed0,
-        threads,
-        Vec::with_capacity(runs as usize),
-        |v, r| v.push(r),
-    )
+    Campaign::new(plan).runs(runs).seed(seed0).threads(threads).collect()
 }
 
 /// Streams a campaign through a fold instead of materialising the full
-/// result vector: each [`RunResult`] is handed to `fold` exactly once,
-/// **in seed order**, as soon as every earlier seed has been folded.
-/// Peak memory is bounded by the reorder window (a few results per
-/// worker — the bounded channel stops workers from racing ahead of a
-/// straggler seed) instead of the campaign size.
+/// result vector; see [`Campaign::fold`].
+#[deprecated(since = "0.1.0", note = "use `Campaign::new(plan).runs(..).seed(..).fold(..)`")]
 pub fn run_campaign_fold<A>(
     plan: &RunPlan,
     runs: u32,
@@ -57,84 +42,30 @@ pub fn run_campaign_fold<A>(
     init: A,
     fold: impl FnMut(&mut A, RunResult),
 ) -> A {
-    run_campaign_fold_with_threads(plan, runs, seed0, default_threads(), init, fold)
+    Campaign::new(plan).runs(runs).seed(seed0).fold(init, fold)
 }
 
 /// [`run_campaign_fold`] with an explicit worker-thread count.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Campaign::new(plan).runs(..).seed(..).threads(..).fold(..)`"
+)]
 pub fn run_campaign_fold_with_threads<A>(
     plan: &RunPlan,
     runs: u32,
     seed0: u64,
     threads: usize,
     init: A,
-    mut fold: impl FnMut(&mut A, RunResult),
+    fold: impl FnMut(&mut A, RunResult),
 ) -> A {
-    let mut acc = init;
-    if runs == 0 {
-        return acc;
-    }
-    // Generate the campaign-shared synthetic inputs once, before the
-    // workers fan out, so they never race to synthesise the same image.
-    plan.scenario.warm_inputs();
-    // Boot the SIFT cluster once: every run starts from a fork of this
-    // snapshot instead of replaying the identical installation protocol.
-    // The geometry (injection window, nominal duration) is likewise
-    // derived once; the per-run path only draws the injection instant.
-    let geometry = plan.geometry();
-    let snapshot = plan.scenario.boot_snapshot(geometry.snapshot_at);
-    let threads = threads.clamp(1, runs as usize);
-    if threads == 1 {
-        for i in 0..u64::from(runs) {
-            let r = execute_warm(plan, &geometry, &snapshot, seed0 + i);
-            fold(&mut acc, r);
-        }
-        return acc;
-    }
-    // Workers claim the next seed index from a shared counter (work
-    // stealing without a queue) and ship `(index, result)` pairs back;
-    // the caller's thread reorders with a small buffer and folds in seed
-    // order while workers are still running. The channel is bounded so a
-    // straggler seed cannot make the reorder buffer grow with the
-    // campaign: once it fills, workers block on send instead of claiming
-    // further seeds, capping buffered results at ~2 per worker.
-    let next = AtomicU64::new(0);
-    let (tx, rx) = mpsc::sync_channel::<(u64, RunResult)>(threads);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            let geometry = &geometry;
-            let snapshot = &snapshot;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= u64::from(runs) {
-                    break;
-                }
-                let r = execute_warm(plan, geometry, snapshot, seed0 + i);
-                if tx.send((i, r)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        let mut pending: BTreeMap<u64, RunResult> = BTreeMap::new();
-        let mut expect: u64 = 0;
-        for (i, r) in rx {
-            pending.insert(i, r);
-            while let Some(r) = pending.remove(&expect) {
-                fold(&mut acc, r);
-                expect += 1;
-            }
-        }
-        debug_assert_eq!(expect, u64::from(runs), "every seed folded exactly once");
-    });
-    acc
+    Campaign::new(plan).runs(runs).seed(seed0).threads(threads).fold(init, fold)
 }
 
 /// Runs a campaign and aggregates it on the fly — the streaming
 /// equivalent of `Aggregate::from_results(&run_campaign(..))`.
+#[deprecated(since = "0.1.0", note = "use `Campaign::new(plan).runs(..).seed(..).aggregate()`")]
 pub fn run_campaign_aggregate(plan: &RunPlan, runs: u32, seed0: u64) -> Aggregate {
-    run_campaign_fold(plan, runs, seed0, Aggregate::default(), |agg, r| agg.accept(&r))
+    Campaign::new(plan).runs(runs).seed(seed0).aggregate()
 }
 
 /// Aggregate view over campaign results (one paper-table row).
@@ -231,6 +162,34 @@ impl Aggregate {
             agg.accept(r);
         }
         agg
+    }
+
+    /// Merges another aggregate into this one, as if `other`'s result
+    /// stream had been [`accept`](Aggregate::accept)ed here after this
+    /// one's. Associative with [`Aggregate::default`] as identity
+    /// (counters exactly; the [`Summary`] moments up to floating-point
+    /// rounding), which is what enables batch-wise accumulation in the
+    /// adaptive engine's sharded future (merge per-process aggregates
+    /// instead of shipping every `RunResult`).
+    ///
+    /// Order matters only for `system_failures`, which concatenates in
+    /// argument order — merging seed-ordered shards in seed order keeps
+    /// the combined list seed-ordered too.
+    pub fn merge(&mut self, other: &Aggregate) {
+        self.errors_injected += other.errors_injected;
+        self.failures += other.failures;
+        self.successful_recoveries += other.successful_recoveries;
+        self.system_failures.extend_from_slice(&other.system_failures);
+        self.seg_faults += other.seg_faults;
+        self.illegal_instrs += other.illegal_instrs;
+        self.hangs += other.hangs;
+        self.assertions += other.assertions;
+        self.perceived.merge(&other.perceived);
+        self.actual.merge(&other.actual);
+        self.recovery.merge(&other.recovery);
+        self.correlated += other.correlated;
+        self.incorrect_output += other.incorrect_output;
+        self.no_effect += other.no_effect;
     }
 
     /// Count of system failures of one phase.

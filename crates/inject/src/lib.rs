@@ -4,7 +4,7 @@
 //! injection experiments. NFTAPE separates the control, monitoring, and
 //! data collection aspects of injection experiments from the code that
 //! actually injects faults/errors" (§4). The same split here: the
-//! [`RunPlan`]/[`execute`] controller and [`run_campaign`] batcher are
+//! [`RunPlan`]/[`execute`] controller and the [`Campaign`] batcher are
 //! independent of the per-model injectors, which live behind the
 //! `ree-os` injection surface (signals, register/text bit flips, heap
 //! bit flips).
@@ -13,12 +13,16 @@
 //!
 //! A campaign is thousands of seeded runs of one plan; runs/second is
 //! the capacity ceiling for every reproduced table (the measurement
-//! and optimisation history live in `docs/PERFORMANCE.md`). Campaigns
-//! execute on a work-stealing thread pool and fold results **in seed
-//! order**, so output is bit-identical for any thread count; before
-//! the workers fan out, [`run_campaign`] warms the campaign-shared
-//! input cache (`ree_apps::Scenario::warm_inputs`) so the synthetic
-//! instrument data is generated once per process, not once per run.
+//! and optimisation history live in `docs/PERFORMANCE.md`). The single
+//! entry point is the [`Campaign`] builder — `runs`/`seed`/`threads`
+//! configuration with `collect`/`fold`/`aggregate`/`adaptive`
+//! terminals (the historical `run_campaign*` free functions survive as
+//! deprecated shims over it). Campaigns execute on a work-stealing
+//! thread pool and fold results **in seed order**, so output is
+//! bit-identical for any thread count; before the workers fan out, the
+//! executor warms the campaign-shared input cache
+//! (`ree_apps::Scenario::warm_inputs`) so the synthetic instrument
+//! data is generated once per process, not once per run.
 //!
 //! Campaign runs start **warm**: the SIFT cluster is booted once per
 //! campaign ([`RunPlan::boot_snapshot`]) and every run forks that
@@ -31,7 +35,7 @@
 //! ([`RunGeometry`]) is likewise derived once per campaign.
 //!
 //! ```
-//! use ree_inject::{run_campaign, Aggregate, ErrorModel, RunPlan, Target};
+//! use ree_inject::{Campaign, ErrorModel, RunPlan, Target};
 //! use ree_sim::SimTime;
 //!
 //! let plan = RunPlan {
@@ -40,24 +44,41 @@
 //!     model: ErrorModel::Sigint,
 //!     timeout: SimTime::from_secs(220),
 //! };
-//! let results = run_campaign(&plan, 2, 7);
+//! let results = Campaign::new(&plan).runs(2).seed(7).collect();
 //! assert_eq!(results.len(), 2);
 //! // SIGINT injects at most once per run (and not at all if the run
 //! // completes before the sampled injection instant).
-//! let agg = Aggregate::from_results(&results);
+//! let agg = ree_inject::Aggregate::from_results(&results);
 //! assert!(agg.errors_injected <= 2);
 //! ```
+//!
+//! # Adaptive confidence-targeted campaigns
+//!
+//! Fixed-size sweeps spend 512 runs per cell whether or not the cell's
+//! estimate needs them. The [`adaptive`] module instead drives many
+//! [`adaptive::Arm`]s in batches, stops each arm once the Wilson
+//! confidence interval on its key proportion is inside a
+//! [`StoppingRule`] target, and reallocates the next batch's runs to
+//! the widest-interval arms — same determinism contract (per-arm
+//! results are a pure function of `(plan, seed0, rule)`). See
+//! `docs/ADAPTIVE.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
+mod builder;
 mod campaign;
 mod model;
 mod runner;
 
+pub use adaptive::{AdaptiveReport, Arm, ArmReport, CiMetric, StoppingRule};
+pub use builder::{Campaign, CampaignSpec};
+pub use campaign::Aggregate;
+#[allow(deprecated)]
 pub use campaign::{
     run_campaign, run_campaign_aggregate, run_campaign_fold, run_campaign_fold_with_threads,
-    run_campaign_with_threads, Aggregate,
+    run_campaign_with_threads,
 };
 pub use model::{ErrorModel, FailureClass, SystemFailure, Target};
 pub use runner::{

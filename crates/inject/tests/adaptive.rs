@@ -1,0 +1,264 @@
+//! The adaptive engine's two contracts, tested from outside:
+//!
+//! * [`Aggregate::merge`] is a monoid operation matching the streaming
+//!   fold — merging per-shard aggregates equals folding the
+//!   concatenated stream (counters exactly, `Summary` moments up to FP
+//!   rounding), associatively, with `Aggregate::default()` as identity.
+//! * Per-arm adaptive reports are a pure function of
+//!   `(plan, seed0, rule)`: byte-identical across worker-thread counts
+//!   and arm orderings. Only the scheduling statistics may differ.
+
+use proptest::prelude::*;
+use ree_apps::{Scenario, Verdict};
+use ree_inject::adaptive::{run_arms, run_arms_with_threads};
+use ree_inject::{
+    Aggregate, Arm, ArmReport, Campaign, CiMetric, ErrorModel, FailureClass, RunPlan, RunResult,
+    StoppingRule, SystemFailure, Target,
+};
+use ree_sim::SimTime;
+use ree_stats::Summary;
+
+// ---- Aggregate::merge laws ------------------------------------------------
+
+/// Decodes one random word into a synthetic run covering every field
+/// `Aggregate::accept` looks at — including the `None`/empty branches.
+/// (`heap_hit`, the per-slot vectors, and the seed are not aggregated.)
+fn decode(word: u64) -> RunResult {
+    let induced = match (word >> 2) & 7 {
+        0 => Some(FailureClass::SegFault),
+        1 => Some(FailureClass::IllegalInstruction),
+        2 => Some(FailureClass::Hang),
+        3 => Some(FailureClass::Assertion),
+        4 => Some(FailureClass::InjectedSignal),
+        5 => Some(FailureClass::Other),
+        _ => None,
+    };
+    let system_failure = match (word >> 6) & 7 {
+        0 => Some(SystemFailure::UnableToRegisterDaemons),
+        1 => Some(SystemFailure::UnableToInstallExecArmors),
+        2 => Some(SystemFailure::UnableToStartApplication),
+        3 => Some(SystemFailure::UnableToRecognizeCompletion),
+        4 => Some(SystemFailure::AppDidNotComplete),
+        _ => None,
+    };
+    let output = match ((word >> 9) & 3) % 3 {
+        0 => Verdict::Correct,
+        1 => Verdict::Incorrect,
+        _ => Verdict::Missing,
+    };
+    let time = |shift: u32| {
+        let raw = (word >> shift) & 0xFF;
+        (raw != 0).then_some(raw as f64 * 1.7 + 0.3)
+    };
+    let recovery_times = (0..(word >> 11) & 3)
+        .map(|i| ((word >> (40 + 4 * i)) & 0xF) as f64 * 0.11 + 0.01)
+        .collect();
+    RunResult {
+        seed: 0,
+        injections: (word & 3) as u32,
+        induced,
+        completed: (word >> 5) & 1 == 1,
+        system_failure,
+        output,
+        perceived: time(16),
+        actual: time(24),
+        perceived_all: Vec::new(),
+        actual_all: Vec::new(),
+        restarts: (word >> 13) & 3,
+        recovery_times,
+        correlated: (word >> 15) & 1 == 1,
+        assertion_fired: false,
+        heap_hit: None,
+    }
+}
+
+fn aggregate(results: &[RunResult]) -> Aggregate {
+    let mut agg = Aggregate::default();
+    for r in results {
+        agg.accept(r);
+    }
+    agg
+}
+
+/// Exact on everything but the `Summary` moments, which a parallel
+/// (Chan et al.) merge reproduces only up to FP rounding.
+fn assert_agg_close(a: &Aggregate, b: &Aggregate) {
+    assert_eq!(a.errors_injected, b.errors_injected);
+    assert_eq!(a.failures, b.failures);
+    assert_eq!(a.successful_recoveries, b.successful_recoveries);
+    assert_eq!(a.system_failures, b.system_failures);
+    assert_eq!(a.seg_faults, b.seg_faults);
+    assert_eq!(a.illegal_instrs, b.illegal_instrs);
+    assert_eq!(a.hangs, b.hangs);
+    assert_eq!(a.assertions, b.assertions);
+    assert_eq!(a.correlated, b.correlated);
+    assert_eq!(a.incorrect_output, b.incorrect_output);
+    assert_eq!(a.no_effect, b.no_effect);
+    for (x, y) in [(&a.perceived, &b.perceived), (&a.actual, &b.actual), (&a.recovery, &b.recovery)]
+    {
+        assert_summary_close(x, y);
+    }
+}
+
+fn assert_summary_close(x: &Summary, y: &Summary) {
+    assert_eq!(x.n(), y.n());
+    assert_eq!(x.min(), y.min());
+    assert_eq!(x.max(), y.max());
+    assert!((x.mean() - y.mean()).abs() <= 1e-9 * x.mean().abs().max(1.0));
+    assert!((x.std_dev() - y.std_dev()).abs() <= 1e-6 * x.std_dev().abs().max(1.0));
+}
+
+proptest! {
+    /// merge(fold(left), fold(right)) == fold(left ++ right).
+    #[test]
+    fn merge_matches_concatenated_fold(
+        words in proptest::collection::vec(any::<u64>(), 0..40),
+        split in 0u64..41,
+    ) {
+        let results: Vec<RunResult> = words.iter().copied().map(decode).collect();
+        let split = (split as usize).min(results.len());
+        let (left, right) = results.split_at(split);
+        let mut merged = aggregate(left);
+        merged.merge(&aggregate(right));
+        assert_agg_close(&merged, &aggregate(&results));
+    }
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..15),
+        b in proptest::collection::vec(any::<u64>(), 0..15),
+        c in proptest::collection::vec(any::<u64>(), 0..15),
+    ) {
+        let agg_of = |words: &[u64]| {
+            let results: Vec<RunResult> = words.iter().copied().map(decode).collect();
+            aggregate(&results)
+        };
+        let (a, b, c) = (agg_of(&a), agg_of(&b), agg_of(&c));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_agg_close(&left, &right);
+    }
+
+    /// `Aggregate::default()` is a two-sided identity — bit-exact, not
+    /// just close.
+    #[test]
+    fn merge_identity_is_exact(words in proptest::collection::vec(any::<u64>(), 0..25)) {
+        let results: Vec<RunResult> = words.iter().copied().map(decode).collect();
+        let agg = aggregate(&results);
+        let mut left = Aggregate::default();
+        left.merge(&agg);
+        prop_assert_eq!(&left, &agg);
+        let mut right = agg.clone();
+        right.merge(&Aggregate::default());
+        prop_assert_eq!(&right, &agg);
+    }
+}
+
+// ---- Adaptive determinism -------------------------------------------------
+
+fn plan(model: ErrorModel, target: Target) -> RunPlan {
+    RunPlan {
+        scenario: Scenario::single_texture(0),
+        target,
+        model,
+        timeout: SimTime::from_secs(320),
+    }
+}
+
+/// A rule small enough for a test but still exercising the interesting
+/// machinery: multiple batches per arm, a reachable target (so some arm
+/// stops early and discards optimistic runs), and a budget edge that is
+/// not a batch multiple.
+fn rule() -> StoppingRule {
+    StoppingRule::default().half_width(0.30).batch(5).min_runs(10).max_runs(23)
+}
+
+#[test]
+fn arm_reports_are_identical_across_thread_counts_and_orderings() {
+    let arms = vec![
+        Arm::new("sigint/app", plan(ErrorModel::Sigint, Target::App), 9_000),
+        Arm::new("sigstop/ftm", plan(ErrorModel::Sigstop, Target::Ftm), 9_500),
+        Arm::new("sigint/exec", plan(ErrorModel::Sigint, Target::ExecArmor), 10_000),
+    ];
+    let rule = rule();
+    let reference = run_arms_with_threads(&arms, &rule, Some(1));
+    assert_eq!(reference.arms.len(), 3);
+    assert!(
+        reference.arms.iter().any(|a| a.target_met),
+        "rule must stop at least one arm before the budget for the test to bite"
+    );
+    for threads in [2usize, 8] {
+        let got = run_arms_with_threads(&arms, &rule, Some(threads));
+        assert_eq!(got.arms, reference.arms, "{threads}-thread sweep diverged from 1-thread");
+    }
+    // Arm order must not leak into any arm's report: reverse the sweep
+    // and compare each report to the same-label reference.
+    let mut reversed: Vec<Arm> = arms.clone();
+    reversed.reverse();
+    let rev = run_arms(&reversed, &rule);
+    let by_label = |arms: &[ArmReport], label: &str| {
+        arms.iter().find(|a| a.label == label).expect("label present").clone()
+    };
+    for arm in &arms {
+        assert_eq!(
+            by_label(&rev.arms, &arm.label),
+            by_label(&reference.arms, &arm.label),
+            "arm {} changed when the sweep order did",
+            arm.label
+        );
+    }
+    // A single-arm sweep of the same cell also matches: other arms are
+    // invisible to an arm's result.
+    let solo = run_arms(std::slice::from_ref(&arms[1]), &rule);
+    assert_eq!(solo.arms[0], by_label(&reference.arms, "sigstop/ftm"));
+}
+
+#[test]
+fn reported_runs_stop_at_the_first_satisfied_boundary() {
+    // Replay an arm's reported prefix by hand: the rule must be
+    // unsatisfied at every earlier qualifying boundary and (if the
+    // target was met) satisfied exactly at `runs`.
+    let p = plan(ErrorModel::Sigint, Target::App);
+    let rule = rule();
+    let report = Campaign::new(&p).seed(9_000).adaptive(&rule);
+    assert!(report.runs >= rule.min_runs && report.runs <= rule.max_runs);
+    let results = Campaign::new(&p).runs(report.runs).seed(9_000).collect();
+    let mut agg = Aggregate::default();
+    for (i, r) in results.iter().enumerate() {
+        agg.accept(r);
+        let n = i as u32 + 1;
+        let at_boundary = n.is_multiple_of(rule.batch) || n == rule.max_runs;
+        if n < report.runs && at_boundary && n >= rule.min_runs {
+            assert!(!rule.satisfied_by(&agg), "arm should have stopped at boundary {n}");
+        }
+    }
+    assert_eq!(agg, report.aggregate, "report aggregates exactly the first `runs` seeds");
+    assert_eq!(report.target_met, rule.satisfied_by(&agg));
+    // And the achieved interval is what the report claims.
+    assert_eq!(report.half_width, rule.metric.proportion(&agg).wilson_half_width(rule.confidence));
+}
+
+#[test]
+fn failure_rate_metric_targets_the_complement() {
+    let p = plan(ErrorModel::Sigint, Target::App);
+    let rule = rule().metric(CiMetric::FailureRate);
+    let report = Campaign::new(&p).seed(9_000).adaptive(&rule);
+    let prop = CiMetric::FailureRate.proportion(&report.aggregate);
+    assert_eq!(report.proportion, prop);
+    assert!(report.aggregate.failures <= report.aggregate.errors_injected);
+}
+
+#[test]
+fn zero_budget_rule_reports_empty_arms() {
+    let p = plan(ErrorModel::Sigint, Target::App);
+    let report = Campaign::new(&p).seed(1).adaptive(&StoppingRule::default().max_runs(0));
+    assert_eq!(report.runs, 0);
+    assert!(!report.target_met);
+    assert_eq!(report.aggregate, Aggregate::default());
+}

@@ -1,0 +1,52 @@
+//! The deprecated `run_campaign*` free functions are thin shims over
+//! the [`Campaign`] builder; until they are deleted, each must stay
+//! byte-identical to its builder replacement. This is the only file in
+//! the workspace allowed to call them (a CI grep gate enforces that
+//! nothing else does).
+
+#![allow(deprecated)]
+
+use ree_apps::Scenario;
+use ree_inject::{
+    run_campaign, run_campaign_aggregate, run_campaign_fold, run_campaign_fold_with_threads,
+    run_campaign_with_threads, Aggregate, Campaign, ErrorModel, RunPlan, Target,
+};
+use ree_sim::SimTime;
+
+fn plan() -> RunPlan {
+    RunPlan {
+        scenario: Scenario::single_texture(0),
+        target: Target::App,
+        model: ErrorModel::Sigint,
+        timeout: SimTime::from_secs(320),
+    }
+}
+
+const RUNS: u32 = 5;
+const SEED0: u64 = 61_000;
+
+#[test]
+fn shims_delegate_to_the_builder() {
+    let p = plan();
+    let reference = Campaign::new(&p).runs(RUNS).seed(SEED0).collect();
+    assert_eq!(run_campaign(&p, RUNS, SEED0), reference);
+    assert_eq!(run_campaign_with_threads(&p, RUNS, SEED0, 2), reference);
+    assert_eq!(
+        run_campaign_fold(&p, RUNS, SEED0, Vec::new(), |v, r| v.push(r)),
+        reference,
+        "fold shim must stream the same results in the same order"
+    );
+    assert_eq!(
+        run_campaign_fold_with_threads(&p, RUNS, SEED0, 3, Vec::new(), |v, r| v.push(r)),
+        reference
+    );
+    assert_eq!(run_campaign_aggregate(&p, RUNS, SEED0), Aggregate::from_results(&reference));
+}
+
+#[test]
+fn shims_survive_the_zero_run_edge() {
+    let p = plan();
+    assert!(run_campaign(&p, 0, SEED0).is_empty());
+    assert!(run_campaign_with_threads(&p, 0, SEED0, 8).is_empty());
+    assert_eq!(run_campaign_aggregate(&p, 0, SEED0), Aggregate::default());
+}

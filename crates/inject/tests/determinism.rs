@@ -3,10 +3,7 @@
 //! fold must agree with the materialise-then-aggregate path.
 
 use ree_apps::Scenario;
-use ree_inject::{
-    run_campaign, run_campaign_aggregate, run_campaign_fold_with_threads,
-    run_campaign_with_threads, Aggregate, ErrorModel, RunPlan, Target,
-};
+use ree_inject::{Aggregate, Campaign, ErrorModel, RunPlan, Target};
 use ree_sim::SimTime;
 
 fn plan() -> RunPlan {
@@ -24,9 +21,10 @@ const SEED0: u64 = 4100;
 #[test]
 fn identical_results_for_1_2_and_8_threads() {
     let p = plan();
-    let one = run_campaign_with_threads(&p, RUNS, SEED0, 1);
-    let two = run_campaign_with_threads(&p, RUNS, SEED0, 2);
-    let eight = run_campaign_with_threads(&p, RUNS, SEED0, 8);
+    let base = Campaign::new(&p).runs(RUNS).seed(SEED0);
+    let one = base.clone().threads(1).collect();
+    let two = base.clone().threads(2).collect();
+    let eight = base.clone().threads(8).collect();
     assert_eq!(one.len(), RUNS as usize);
     assert_eq!(one, two, "2-thread campaign diverged from single-threaded");
     assert_eq!(one, eight, "8-thread campaign diverged from single-threaded");
@@ -39,23 +37,49 @@ fn identical_results_for_1_2_and_8_threads() {
 #[test]
 fn streaming_fold_matches_materialised_aggregate() {
     let p = plan();
-    let results = run_campaign(&p, RUNS, SEED0);
+    let results = Campaign::new(&p).runs(RUNS).seed(SEED0).collect();
     let reference = Aggregate::from_results(&results);
-    let streamed = run_campaign_aggregate(&p, RUNS, SEED0);
+    let streamed = Campaign::new(&p).runs(RUNS).seed(SEED0).aggregate();
     assert_eq!(streamed, reference);
     // And with a skew-inducing thread count relative to the run count.
-    let streamed3 =
-        run_campaign_fold_with_threads(&p, RUNS, SEED0, 3, Aggregate::default(), |a, r| {
-            a.accept(&r)
-        });
+    let streamed3 = Campaign::new(&p)
+        .runs(RUNS)
+        .seed(SEED0)
+        .threads(3)
+        .fold(Aggregate::default(), |a, r| a.accept(&r));
     assert_eq!(streamed3, reference);
 }
 
 #[test]
-fn zero_runs_is_empty() {
+fn zero_and_one_run_campaigns_are_safe_for_any_thread_count() {
+    // Regression for the historical `threads.clamp(1, runs as usize)`
+    // edge: `runs == 0` relied on an early return to dodge a `1..=0`
+    // clamp panic, and `runs == 1` must degrade to one worker. Thread
+    // selection is now total (`runs = 0` is executable, not a special
+    // case before thread selection), which the adaptive engine's
+    // unknown-run-count scheduling requires.
     let p = plan();
-    assert!(run_campaign(&p, 0, SEED0).is_empty());
-    assert_eq!(run_campaign_aggregate(&p, 0, SEED0), Aggregate::default());
+    for threads in [1usize, 2, 8] {
+        let none = Campaign::new(&p).seed(SEED0).threads(threads).collect();
+        assert!(none.is_empty(), "runs defaults to 0 and must yield no results");
+        assert_eq!(
+            Campaign::new(&p).runs(0).seed(SEED0).threads(threads).aggregate(),
+            Aggregate::default()
+        );
+        let one = Campaign::new(&p).runs(1).seed(SEED0).threads(threads).collect();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].seed, SEED0);
+    }
+    // Unspecified thread count too.
+    assert!(Campaign::new(&p).runs(0).seed(SEED0).collect().is_empty());
+}
+
+#[test]
+fn spec_and_borrowing_builder_agree() {
+    let p = plan();
+    let spec = ree_inject::CampaignSpec::new(p.clone()).runs(RUNS).seed(SEED0);
+    assert_eq!(spec.collect(), Campaign::new(&p).runs(RUNS).seed(SEED0).collect());
+    assert_eq!(spec.aggregate(), Campaign::new(&p).runs(RUNS).seed(SEED0).aggregate());
 }
 
 #[test]

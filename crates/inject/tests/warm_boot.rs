@@ -11,8 +11,8 @@
 //! `execute_warm` ≡ `execute_full` byte-for-byte.
 
 use ree_inject::{
-    execute, execute_full, execute_warm, execute_warm_full, run_campaign_with_threads, ErrorModel,
-    RunPlan, RunResult, Target,
+    execute, execute_full, execute_warm, execute_warm_full, Campaign, ErrorModel, RunPlan,
+    RunResult, Target,
 };
 use ree_sim::SimTime;
 
@@ -31,7 +31,7 @@ const RUNS: u32 = 6;
 /// One snapshot must be shareable across campaign worker threads: the
 /// whole live simulation is `Send + Sync` by construction. (A compile-
 /// time fact, asserted so a future `Rc`/`RefCell` regression fails
-/// here with a readable message instead of deep inside `run_campaign`.)
+/// here with a readable message instead of deep inside a campaign.)
 #[test]
 fn snapshot_is_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}
@@ -87,16 +87,17 @@ fn warm_final_environment_trace_is_byte_identical_to_cold() {
 
 #[test]
 fn campaigns_identical_across_thread_counts_and_to_cold() {
-    // `run_campaign*` now forks from one shared snapshot; the results
+    // Campaigns fork from one shared snapshot; the results
     // must equal the per-run cold boots (and each other) at any worker
     // count — including the determinism fixture point that a campaign's
     // output is a pure function of (plan, seeds).
     for model in [ErrorModel::Register, ErrorModel::Sigint] {
         let p = plan(model, Target::App);
         let cold = cold_sweep(&p);
-        let one = run_campaign_with_threads(&p, RUNS, SEED0, 1);
-        let two = run_campaign_with_threads(&p, RUNS, SEED0, 2);
-        let eight = run_campaign_with_threads(&p, RUNS, SEED0, 8);
+        let base = Campaign::new(&p).runs(RUNS).seed(SEED0);
+        let one = base.clone().threads(1).collect();
+        let two = base.clone().threads(2).collect();
+        let eight = base.clone().threads(8).collect();
         assert_eq!(cold, one, "single-threaded warm campaign diverged from cold boots");
         assert_eq!(one, two);
         assert_eq!(one, eight);

@@ -5,14 +5,23 @@
 //! with `p < 1 − 0.95^(1/n)` (§5). Both are implemented here from first
 //! principles (no lookup tables): the Student-t quantile comes from
 //! inverting the regularised incomplete beta function.
+//!
+//! Adaptive confidence-targeted campaigns additionally need interval
+//! math on *proportions* (recovery rate, failure rate): [`Proportion`]
+//! carries Wilson score intervals ([`Proportion::wilson`]), built on
+//! the normal quantile [`z_quantile`], and [`Summary::merge`] combines
+//! two streaming summaries so aggregates can be accumulated batch-wise
+//! or across shards.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod proportion;
 mod special;
 mod summary;
 mod table;
 
-pub use special::{inc_beta, ln_gamma, t_cdf, t_quantile};
+pub use proportion::Proportion;
+pub use special::{inc_beta, ln_gamma, normal_cdf, t_cdf, t_quantile, z_quantile};
 pub use summary::{no_failure_upper_bound, Summary};
 pub use table::{format_pm, TableBuilder};

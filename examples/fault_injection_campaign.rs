@@ -1,11 +1,12 @@
 //! A miniature NFTAPE campaign: SIGSTOP injections into the Execution
 //! ARMORs with live per-run classification — the §5 experiment in a few
-//! seconds.
+//! seconds — followed by an adaptive rerun of the same plan that stops
+//! itself once the recovery-rate confidence interval is tight enough.
 //!
 //! Run with: `cargo run --release --example fault_injection_campaign`
 
 use ree_experiments::Scenario;
-use ree_inject::{execute, ErrorModel, RunPlan, Target};
+use ree_inject::{Campaign, ErrorModel, RunPlan, StoppingRule, Target};
 use ree_sim::SimTime;
 
 fn main() {
@@ -19,8 +20,9 @@ fn main() {
     let mut recovered = 0;
     let mut injected = 0;
     let mut correlated = 0;
-    for seed in 0..12 {
-        let r = execute(&plan, 7000 + seed);
+    // One builder call replaces the hand-rolled seed loop; results come
+    // back in seed order, bit-identical for any thread count.
+    for (seed, r) in Campaign::new(&plan).runs(12).seed(7000).collect().into_iter().enumerate() {
         let status = if r.injections == 0 {
             "no error injected (injection time after completion)".to_owned()
         } else if r.recovered() {
@@ -45,4 +47,16 @@ fn main() {
         }
     }
     println!("\n{recovered}/{injected} injected runs recovered; {correlated} correlated failures");
+
+    // The same plan, adaptively: keep injecting in batches of 32 until
+    // the 95% Wilson interval on the recovery rate is within ±5 points
+    // (or 512 runs are spent), instead of guessing a campaign size.
+    let rule = StoppingRule::default().half_width(0.05);
+    let report = Campaign::new(&plan).seed(7000).adaptive(&rule);
+    println!(
+        "adaptive: recovery rate {} after {} runs (target {})",
+        report.display_rate(),
+        report.runs,
+        if report.target_met { "met" } else { "not met — budget exhausted" },
+    );
 }

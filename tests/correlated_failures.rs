@@ -2,7 +2,7 @@
 //! scenarios (§5.2, §6.1, Figures 8 & 10).
 
 use ree::experiments::{figures, Scenario};
-use ree::inject::{execute, run_campaign, ErrorModel, RunPlan, Target};
+use ree::inject::{execute, Campaign, ErrorModel, RunPlan, Target};
 use ree::os::Signal;
 use ree::sim::SimTime;
 
@@ -19,7 +19,7 @@ fn exec_armor_hangs_can_induce_correlated_app_restarts() {
         model: ErrorModel::Sigstop,
         timeout: SimTime::from_secs(400),
     };
-    let results = run_campaign(&plan, 40, 4242);
+    let results = Campaign::new(&plan).runs(40).seed(4242).collect();
     let injected = results.iter().filter(|r| r.injections > 0).count();
     let recovered = results.iter().filter(|r| r.injections > 0 && r.recovered()).count();
     assert!(injected >= 25, "injected {injected}");
@@ -37,8 +37,8 @@ fn sigstop_correlates_more_than_sigint() {
         model,
         timeout: SimTime::from_secs(400),
     };
-    let stop = run_campaign(&mk(ErrorModel::Sigstop), 60, 991);
-    let int = run_campaign(&mk(ErrorModel::Sigint), 60, 992);
+    let stop = Campaign::new(&mk(ErrorModel::Sigstop)).runs(60).seed(991).collect();
+    let int = Campaign::new(&mk(ErrorModel::Sigint)).runs(60).seed(992).collect();
     let corr = |rs: &[ree::inject::RunResult]| rs.iter().filter(|r| r.correlated).count();
     let stop_corr = corr(&stop);
     let int_corr = corr(&int);
