@@ -53,6 +53,7 @@ pub mod filters;
 pub mod heap;
 pub mod kmeans;
 pub mod otis;
+pub mod pipeline;
 pub mod shell;
 pub mod synth;
 pub mod testbed;
@@ -63,6 +64,7 @@ use ree_sift::{AppFactory, Blueprint};
 use std::sync::Arc;
 
 pub use otis::{OtisApp, OtisParams};
+pub use pipeline::{PipelineApp, PipelineParams};
 pub use testbed::{run_without_sift, BootSnapshot, Running, Scenario};
 pub use texture::{TextureApp, TextureParams};
 pub use verify::Verdict;
@@ -77,9 +79,21 @@ pub fn otis_factory(params: OtisParams) -> AppFactory {
     Arc::new(move |launch| Box::new(OtisApp::new(launch, params.clone())))
 }
 
-/// Registers both paper applications in a blueprint under their
-/// conventional names (`texture`, `otis`).
-pub fn register_paper_apps(blueprint: &Blueprint, texture: TextureParams, otis: OtisParams) {
+/// Builds the image-acquisition pipeline factory.
+pub fn pipeline_factory(params: PipelineParams) -> AppFactory {
+    Arc::new(move |launch| Box::new(PipelineApp::new(launch, params.clone())))
+}
+
+/// Registers the paper applications plus the topology-placed image
+/// pipeline in a blueprint under their conventional names (`texture`,
+/// `otis`, `imgpipe`).
+pub fn register_paper_apps(
+    blueprint: &Blueprint,
+    texture: TextureParams,
+    otis: OtisParams,
+    pipeline: PipelineParams,
+) {
     blueprint.register_app("texture", texture_factory(texture));
     blueprint.register_app("otis", otis_factory(otis));
+    blueprint.register_app("imgpipe", pipeline_factory(pipeline));
 }

@@ -2,9 +2,9 @@
 //! measurement extraction. Every experiment (and most integration tests)
 //! starts from a [`Scenario`].
 
-use crate::{OtisParams, TextureParams};
+use crate::{OtisParams, PipelineParams, TextureParams};
 use ree_os::NodeId;
-use ree_os::{Cluster, ClusterConfig, Pid, SpawnSpec};
+use ree_os::{Cluster, ClusterConfig, LinkParams, Pid, Port, SpawnSpec, Topology};
 use ree_sift::{Blueprint, JobSpec, JobTimes, Scc, SiftConfig};
 use ree_sim::{SimDuration, SimTime};
 use std::sync::Arc;
@@ -20,6 +20,8 @@ pub struct Scenario {
     pub texture: TextureParams,
     /// OTIS workload parameters.
     pub otis: OtisParams,
+    /// Image-acquisition pipeline workload parameters.
+    pub pipeline: PipelineParams,
     /// Jobs the SCC submits.
     pub jobs: Vec<JobSpec>,
     /// Master seed.
@@ -27,6 +29,10 @@ pub struct Scenario {
     /// Whether the OS trace records events (slower, needed for
     /// classification).
     pub trace: bool,
+    /// Explicit interconnect topology. `None` builds the degenerate
+    /// single-switch topology from the cluster's flat [`ree_os::NetworkConfig`]
+    /// — byte-for-byte identical to the historical flat model.
+    pub topology: Option<Topology>,
 }
 
 impl Scenario {
@@ -38,6 +44,7 @@ impl Scenario {
             sift: SiftConfig::paper(),
             texture: TextureParams::default(),
             otis: OtisParams::default(),
+            pipeline: PipelineParams::default(),
             jobs: vec![JobSpec {
                 app: "texture".into(),
                 ranks: 2,
@@ -46,6 +53,7 @@ impl Scenario {
             }],
             seed,
             trace: true,
+            topology: None,
         }
     }
 
@@ -58,6 +66,7 @@ impl Scenario {
             sift: SiftConfig::paper(),
             texture,
             otis: OtisParams::default(),
+            pipeline: PipelineParams::default(),
             jobs: vec![
                 JobSpec {
                     app: "texture".into(),
@@ -74,6 +83,41 @@ impl Scenario {
             ],
             seed,
             trace: true,
+            topology: None,
+        }
+    }
+
+    /// The image-acquisition pipeline on an explicit two-switch
+    /// topology: camera and compute share the acquisition switch with
+    /// the SIFT control nodes; the downlink rank sits alone behind a
+    /// constrained trunk (a tenth of the uplink bandwidth) — the link a
+    /// partition fault severs in the network experiments.
+    pub fn image_pipeline(seed: u64) -> Scenario {
+        let mut b = Topology::builder(5);
+        let acquisition = b.add_switch();
+        let downlink = b.add_switch();
+        let uplink = LinkParams::wire(12_500_000, SimDuration::from_micros(200));
+        for node in 0..4u16 {
+            b.connect(Port::Node(NodeId(node)), Port::Switch(acquisition), uplink, uplink);
+        }
+        b.connect(Port::Node(NodeId(4)), Port::Switch(downlink), uplink, uplink);
+        let trunk = LinkParams::wire(1_250_000, SimDuration::from_micros(500));
+        b.connect_symmetric(Port::Switch(acquisition), Port::Switch(downlink), trunk);
+        Scenario {
+            nodes: 5,
+            sift: SiftConfig::paper(),
+            texture: TextureParams::default(),
+            otis: OtisParams::default(),
+            pipeline: PipelineParams::default(),
+            jobs: vec![JobSpec {
+                app: "imgpipe".into(),
+                ranks: 3,
+                nodes: vec![1, 2, 4],
+                submit_at: SimDuration::from_secs(5),
+            }],
+            seed,
+            trace: true,
+            topology: Some(b.build()),
         }
     }
 
@@ -87,9 +131,15 @@ impl Scenario {
         };
         config.nodes = self.nodes;
         config.trace_enabled = self.trace;
+        config.topology = self.topology.clone();
         let mut cluster = Cluster::new(config);
         let blueprint = Blueprint::new(self.sift.clone());
-        crate::register_paper_apps(&blueprint, self.texture.clone(), self.otis.clone());
+        crate::register_paper_apps(
+            &blueprint,
+            self.texture.clone(),
+            self.otis.clone(),
+            self.pipeline.clone(),
+        );
         let scc = Scc::new(Arc::clone(&blueprint), self.nodes as u16, self.jobs.clone());
         let scc_pid = cluster.spawn(SpawnSpec::new("scc", NodeId(0), Box::new(scc)));
         Running { cluster, scc_pid, jobs: self.jobs.len() }
@@ -122,6 +172,13 @@ impl Scenario {
                     let seed = crate::otis::otis_frame_seed(&job.app, slot);
                     for frame in 0..self.otis.frames {
                         let _ = crate::synth::thermal_frame_shared(self.otis.frame_px, seed, frame);
+                    }
+                }
+                "imgpipe" => {
+                    let seed = crate::pipeline::pipeline_frame_seed(&job.app, slot);
+                    for frame in 0..self.pipeline.frames {
+                        let _ =
+                            crate::synth::thermal_frame_shared(self.pipeline.frame_px, seed, frame);
                     }
                 }
                 _ => {}
@@ -230,6 +287,22 @@ impl Running {
         self.cluster.run_until(horizon);
     }
 
+    /// Like [`Running::run_until_done`], but also stops (without
+    /// counting as done) as soon as `pred` holds — the hook network
+    /// fault drivers use to react to trace events (e.g. arming a
+    /// partition off the first failure detection) mid-run.
+    pub fn run_until_done_or(
+        &mut self,
+        horizon: SimTime,
+        mut pred: impl FnMut(&Cluster) -> bool,
+    ) -> bool {
+        let jobs = self.jobs;
+        self.cluster.run_until_pred(horizon, |c| {
+            (c.remote_fs_ref().peek("scc/alldone").is_some() && jobs > 0) || pred(c)
+        });
+        self.all_done()
+    }
+
     /// Timing record of one job slot.
     pub fn job_times(&self, slot: u64) -> Option<JobTimes> {
         self.cluster.remote_fs_ref().peek(&JobTimes::path(slot)).and_then(JobTimes::decode)
@@ -290,9 +363,15 @@ pub fn run_without_sift(scenario: &Scenario, horizon: SimTime) -> (Cluster, Opti
     let mut config = ClusterConfig::ree_testbed(scenario.seed);
     config.nodes = scenario.nodes;
     config.trace_enabled = scenario.trace;
+    config.topology = scenario.topology.clone();
     let mut cluster = Cluster::new(config);
     let blueprint = Blueprint::new(scenario.sift.clone());
-    crate::register_paper_apps(&blueprint, scenario.texture.clone(), scenario.otis.clone());
+    crate::register_paper_apps(
+        &blueprint,
+        scenario.texture.clone(),
+        scenario.otis.clone(),
+        scenario.pipeline.clone(),
+    );
     let job = scenario.jobs.first().expect("scenario has a job");
     let factory = blueprint.app_factory(&job.app).expect("registered app");
     let launch = ree_sift::AppLaunch {

@@ -14,6 +14,7 @@ use crate::compress::{decompress, dequantize};
 use crate::filters::{assemble_features, filter_tiles, NUM_FILTERS};
 use crate::kmeans::kmeans;
 use crate::otis::{otis_frame_seed, split_window_retrieve};
+use crate::pipeline::{pipeline_frame_seed, radiometric_calibrate};
 use crate::synth::{mars_surface_shared, thermal_frame_shared, SharedCache};
 use crate::texture::texture_image_seed;
 use ree_os::RemoteFs;
@@ -147,6 +148,37 @@ pub fn verify_otis(fs: &RemoteFs, app: &str, slot: u32, frame: u32, frame_px: us
     }
 }
 
+/// Verifies one pipeline frame product: lossless decode plus calibrated
+/// radiance within quantisation resolution of the fault-free pipeline
+/// ([`radiometric_calibrate`] over the reference frame).
+pub fn verify_pipeline(
+    fs: &RemoteFs,
+    app: &str,
+    slot: u32,
+    frame: u32,
+    frame_px: usize,
+) -> Verdict {
+    let path = format!("output/{app}/s{slot}/pframe{frame}");
+    let Some(product) = fs.peek(&path) else { return Verdict::Missing };
+    let Ok(quantised) = decompress(product) else { return Verdict::Incorrect };
+    let values = dequantize(&quantised);
+    let reference = thermal_frame_shared(frame_px, pipeline_frame_seed(app, slot), frame);
+    let expect = radiometric_calibrate(&reference.band11);
+    if values.len() != expect.len() {
+        return Verdict::Incorrect;
+    }
+    let mut worst: f64 = 0.0;
+    for (v, e) in values.iter().zip(&expect) {
+        worst = worst.max((v - e).abs());
+    }
+    // Same centi-unit quantisation as OTIS products; 0.02 slack.
+    if worst <= 0.02 {
+        Verdict::Correct
+    } else {
+        Verdict::Incorrect
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +251,28 @@ mod tests {
             .collect();
         fs.write("output/otis/s0/frame3", compress(&quantize(&temps)));
         assert_eq!(verify_otis(&fs, "otis", 0, 3, 16), Verdict::Correct);
+    }
+
+    #[test]
+    fn correct_pipeline_product_passes() {
+        use crate::compress::{compress, quantize};
+        let mut fs = RemoteFs::new();
+        let frame = thermal_frame(16, pipeline_frame_seed("imgpipe", 0), 2);
+        let calibrated = radiometric_calibrate(&frame.band11);
+        fs.write("output/imgpipe/s0/pframe2", compress(&quantize(&calibrated)));
+        assert_eq!(verify_pipeline(&fs, "imgpipe", 0, 2, 16), Verdict::Correct);
+    }
+
+    #[test]
+    fn corrupted_pipeline_product_fails() {
+        use crate::compress::{compress, quantize};
+        let mut fs = RemoteFs::new();
+        let frame = thermal_frame(16, pipeline_frame_seed("imgpipe", 0), 0);
+        let mut calibrated = radiometric_calibrate(&frame.band11);
+        calibrated[7] += 40.0;
+        fs.write("output/imgpipe/s0/pframe0", compress(&quantize(&calibrated)));
+        assert_eq!(verify_pipeline(&fs, "imgpipe", 0, 0, 16), Verdict::Incorrect);
+        assert_eq!(verify_pipeline(&fs, "imgpipe", 0, 1, 16), Verdict::Missing);
     }
 
     #[test]

@@ -86,6 +86,7 @@ fn bench_classification(c: &mut Criterion) {
         target: Target::App,
         model: ErrorModel::Sigint,
         timeout: SimTime::from_secs(320),
+        net_faults: vec![],
     };
     group.bench_function("campaign_4x_materialised", |b| {
         let mut seed = 0;

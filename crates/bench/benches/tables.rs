@@ -15,6 +15,7 @@ fn plan(target: Target, model: ErrorModel) -> RunPlan {
         target,
         model,
         timeout: SimTime::from_secs(320),
+        net_faults: vec![],
     }
 }
 
@@ -54,6 +55,7 @@ fn bench_tables(c: &mut Criterion) {
             target: Target::Ftm,
             model: ErrorModel::Sigint,
             timeout: SimTime::from_secs(400),
+            net_faults: vec![],
         };
         let mut seed = 0;
         b.iter(|| {
@@ -115,6 +117,7 @@ fn bench_tables(c: &mut Criterion) {
             target: Target::NamedApp("otis".into()),
             model: ErrorModel::Register,
             timeout: SimTime::from_secs(700),
+            net_faults: vec![],
         };
         let mut seed = 0;
         b.iter(|| {

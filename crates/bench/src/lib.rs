@@ -35,6 +35,7 @@
 //!     target: Target::App,
 //!     model: ErrorModel::Sigint,
 //!     timeout: SimTime::from_secs(220),
+//!     net_faults: vec![],
 //! };
 //! let agg = Campaign::new(&plan).runs(2).seed(7).aggregate();
 //! assert!(agg.errors_injected <= 2);

@@ -1,14 +1,17 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `repro [--quick] [--seed N] <table1..table12|table4a|fig6..fig10|fig6a|all>`
+//! Usage: `repro [--quick] [--seed N]
+//! <table1..table12|table4a|fig6..fig10|fig6a|partition|all>`
 //!
 //! `table4a` and `fig6a` are the adaptive (confidence-targeted)
 //! variants of table4 and fig6: each cell runs until its recovery-rate
 //! Wilson interval meets the stopping-rule target instead of a fixed
-//! run count.
+//! run count. `partition` is the partition-during-recovery sweep
+//! (recovery rate vs partition duration), also adaptive.
 
 use ree_experiments::{
-    fig9, figures, table10, table11, table3, table4, table5, table6, table7, table8, Effort,
+    fig9, figures, partition, table10, table11, table3, table4, table5, table6, table7, table8,
+    Effort,
 };
 
 fn main() {
@@ -69,10 +72,12 @@ fn main() {
         "fig8" => print!("{}", figures::fig8(effort, seed).render()),
         "fig9" => print!("{}", fig9::run(seed).render()),
         "fig10" => print!("{}", figures::fig10(seed).render()),
+        "partition" => print!("{}", partition::run(effort, seed).render()),
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: repro [--quick] [--seed N] <table1..table12|table4a|fig6..fig10|fig6a|all>"
+                "usage: repro [--quick] [--seed N] \
+                 <table1..table12|table4a|fig6..fig10|fig6a|partition|all>"
             );
             std::process::exit(2);
         }
@@ -80,9 +85,25 @@ fn main() {
 
     if what == "all" {
         for name in [
-            "table2", "table3", "table4", "table4a", "table5", "table6", "table7", "table8",
-            "table9", "table10", "table11", "table12", "fig6", "fig6a", "fig7", "fig8", "fig9",
+            "table2",
+            "table3",
+            "table4",
+            "table4a",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "table9",
+            "table10",
+            "table11",
+            "table12",
+            "fig6",
+            "fig6a",
+            "fig7",
+            "fig8",
+            "fig9",
             "fig10",
+            "partition",
         ] {
             println!("==== {name} ====");
             run_one(name);

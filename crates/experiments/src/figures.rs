@@ -149,6 +149,7 @@ pub fn fig6_adaptive(rule: &StoppingRule, seed0: u64) -> Fig6Adaptive {
             target: Target::App,
             model: ErrorModel::Sigstop,
             timeout: SimTime::from_secs(320),
+            net_faults: vec![],
         };
         Arm::new(label, plan, seed)
     };

@@ -1,0 +1,145 @@
+//! Partition-during-recovery sweep: recovery rate vs partition duration.
+//!
+//! The classic SIFT stressor the paper names but never runs (§5.2
+//! attributes FTM recovery's only actual-execution-time overhead to
+//! network contention): induce a failure, and the instant the
+//! environment *detects* it, split the interconnect under the recovery
+//! protocol. Each arm sweeps one partition duration via
+//! [`ree_inject::NetFault::partition_on_recovery`]; the adaptive engine
+//! spends runs where the recovery-rate confidence interval is widest,
+//! so long-duration arms (where recoveries actually start failing) get
+//! the budget.
+
+use crate::effort::Effort;
+use crate::table4::adaptive_rule;
+use ree_apps::Scenario;
+use ree_inject::{adaptive, Arm, ArmReport, ErrorModel, NetFault, RunPlan, StoppingRule, Target};
+use ree_sim::{SimDuration, SimTime};
+use ree_stats::TableBuilder;
+
+/// Partition durations swept, in milliseconds.
+pub const DURATIONS_MS: [u64; 5] = [500, 1_000, 2_000, 5_000, 10_000];
+
+/// The split imposed on the 4-node testbed: the SIFT side (FTM and its
+/// backup on nodes 0–1) is severed from the application side (texture
+/// ranks on nodes 2–3) — exactly the traffic the recovery protocol
+/// needs to cross.
+fn partition_groups() -> Vec<Vec<u16>> {
+    vec![vec![0, 1], vec![2, 3]]
+}
+
+/// Recovery rate vs partition duration, one adaptive arm per duration
+/// plus a no-partition control.
+#[derive(Debug, Clone)]
+pub struct PartitionTable {
+    /// The control row followed by one report per duration.
+    pub rows: Vec<ArmReport>,
+    /// The rule every arm ran under.
+    pub rule: StoppingRule,
+    /// Batch rounds the sweep took (scheduling-dependent).
+    pub rounds: u32,
+}
+
+impl PartitionTable {
+    /// Renders recovery rate and time against partition duration.
+    pub fn render(&self) -> String {
+        let mut t = TableBuilder::new(vec![
+            "PARTITION",
+            "RUNS",
+            "ERRORS INJ.",
+            "RECOVERY RATE",
+            "RECOVERY (s)",
+            "CI TARGET",
+        ])
+        .with_title(
+            "Partition during recovery: FTM/SIGINT with the interconnect split at detection",
+        );
+        for row in &self.rows {
+            t.row(vec![
+                row.label.clone(),
+                row.runs.to_string(),
+                row.aggregate.errors_injected.to_string(),
+                row.display_rate(),
+                row.aggregate.recovery.display_pm(),
+                if row.target_met { "met".into() } else { "budget exhausted".into() },
+            ]);
+        }
+        let spent: u64 = self.rows.iter().map(|r| u64::from(r.runs)).sum();
+        let fixed = u64::from(self.rule.max_runs) * self.rows.len() as u64;
+        format!(
+            "{}\ntarget ±{:.1}% at {:.0}% confidence; {} runs spent vs {} for a fixed sweep \
+             ({} rounds)\n",
+            t.render(),
+            self.rule.half_width * 100.0,
+            self.rule.confidence * 100.0,
+            spent,
+            fixed,
+            self.rounds,
+        )
+    }
+}
+
+/// Runs the sweep under the effort level's standard adaptive rule.
+pub fn run(effort: Effort, seed0: u64) -> PartitionTable {
+    run_adaptive(&adaptive_rule(effort), seed0)
+}
+
+/// Runs the sweep under `rule`: a no-partition control arm and one arm
+/// per [`DURATIONS_MS`] entry, all targeting the FTM with SIGINT so
+/// every run starts a recovery for the partition to land on.
+pub fn run_adaptive(rule: &StoppingRule, seed0: u64) -> PartitionTable {
+    let mut arms = vec![arm("no partition", vec![], seed0)];
+    for ms in DURATIONS_MS {
+        let label = format!("partition {:.1} s", ms as f64 / 1000.0);
+        let fault =
+            NetFault::partition_on_recovery(partition_groups(), SimDuration::from_millis(ms));
+        arms.push(arm(&label, vec![fault], seed0));
+    }
+    let report = adaptive::run_arms(&arms, rule);
+    PartitionTable { rows: report.arms, rule: rule.clone(), rounds: report.rounds }
+}
+
+fn arm(label: &str, net_faults: Vec<NetFault>, seed0: u64) -> Arm {
+    let plan = RunPlan {
+        scenario: Scenario::single_texture(0),
+        target: Target::Ftm,
+        model: ErrorModel::Sigint,
+        timeout: SimTime::from_secs(320),
+        net_faults,
+    };
+    Arm::new(label.to_owned(), plan, seed0 ^ hash_label(label))
+}
+
+fn hash_label(label: &str) -> u64 {
+    let mut h: u64 = 0x9E37_79B9;
+    for b in label.bytes() {
+        h = h.rotate_left(5) ^ b as u64;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_rule() -> StoppingRule {
+        StoppingRule::default().half_width(0.45).batch(2).min_runs(2).max_runs(2)
+    }
+
+    #[test]
+    fn sweep_runs_and_renders() {
+        let table = run_adaptive(&tiny_rule(), 7);
+        assert_eq!(table.rows.len(), DURATIONS_MS.len() + 1);
+        assert!(table.rows.iter().all(|r| r.runs >= 2));
+        let rendered = table.render();
+        assert!(rendered.contains("no partition"), "{rendered}");
+        assert!(rendered.contains("partition 10.0 s"), "{rendered}");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = run_adaptive(&tiny_rule(), 42).render();
+        let b = run_adaptive(&tiny_rule(), 42).render();
+        assert_eq!(a, b);
+    }
+}

@@ -51,6 +51,7 @@ pub fn run(effort: Effort, seed0: u64) -> Table10 {
         target: Target::App,
         model: ErrorModel::HeapSingle(HeapTarget::Any),
         timeout: SimTime::from_secs(320),
+        net_faults: vec![],
     };
     let results = Campaign::new(&plan).runs(runs).seed(seed0).collect();
     let mut out = Table10::default();

@@ -222,8 +222,13 @@ pub fn run(effort: Effort, seed0: u64) -> (Table11, Table12) {
     ] {
         let mut pooled: Vec<RunResult> = Vec::new();
         for (k, model) in models.into_iter().enumerate() {
-            let plan =
-                RunPlan { scenario: scenario.clone(), target: target.clone(), model, timeout };
+            let plan = RunPlan {
+                scenario: scenario.clone(),
+                target: target.clone(),
+                model,
+                timeout,
+                net_faults: vec![],
+            };
             let seed = seed0 ^ ((k as u64 + 3) << 20);
             pooled.extend(Campaign::new(&plan).runs(runs / 2).seed(seed).collect());
         }

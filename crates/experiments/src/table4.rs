@@ -153,6 +153,7 @@ pub fn run(effort: Effort, seed0: u64) -> Table4 {
                 target: target.clone(),
                 model: model.clone(),
                 timeout: SimTime::from_secs(320),
+                net_faults: vec![],
             };
             let results =
                 Campaign::new(&plan).runs(runs).seed(seed0 ^ hash_pair(&model, &target)).collect();
@@ -219,6 +220,7 @@ pub fn run_adaptive(rule: &StoppingRule, seed0: u64) -> Table4Adaptive {
                 target: target.clone(),
                 model: model.clone(),
                 timeout: SimTime::from_secs(320),
+                net_faults: vec![],
             };
             arms.push(Arm::new(
                 format!("{model} / {target}"),

@@ -58,6 +58,7 @@ pub fn run(effort: Effort, seed0: u64) -> Table5 {
             target: Target::Ftm,
             model: ErrorModel::Sigint,
             timeout: SimTime::from_secs(400),
+            net_faults: vec![],
         };
         let results = Campaign::new(&plan).runs(runs).seed(seed0 ^ (period_s << 8)).collect();
         let mut perceived = Summary::new();

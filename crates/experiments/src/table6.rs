@@ -163,6 +163,7 @@ pub fn run(effort: Effort, seed0: u64) -> Table6 {
                 target: target.clone(),
                 model: model.clone(),
                 timeout: SimTime::from_secs(400),
+                net_faults: vec![],
             };
             let seed = seed0 ^ seed_of(&model, &target);
             let results = Campaign::new(&plan).runs(runs).seed(seed).collect();

@@ -115,6 +115,7 @@ pub fn run(effort: Effort, seed0: u64) -> Table7 {
             target: target.clone(),
             model: ErrorModel::Heap,
             timeout: SimTime::from_secs(400),
+            net_faults: vec![],
         };
         let seed = seed0 ^ (target.to_string().len() as u64) << 16;
         let results = Campaign::new(&plan).runs(runs).seed(seed).collect();

@@ -166,6 +166,7 @@ pub fn run(effort: Effort, seed0: u64) -> Table8 {
             target: Target::Ftm,
             model: ErrorModel::HeapSingle(HeapTarget::Region(element.to_owned())),
             timeout: SimTime::from_secs(360),
+            net_faults: vec![],
         };
         let seed = seed0 ^ element.bytes().map(|b| b as u64).sum::<u64>();
         let results = Campaign::new(&plan).runs(runs).seed(seed).collect();

@@ -32,6 +32,22 @@ fn textual_targets_exit_zero() {
 }
 
 #[test]
+fn quick_partition_sweep_exits_zero_and_prints_rates() {
+    let out =
+        repro().args(["--quick", "--seed", "7", "partition"]).output().expect("repro binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "repro exited with {:?}; stderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("Partition during recovery"), "expected sweep title, got:\n{stdout}");
+    assert!(stdout.contains("no partition"), "expected control row, got:\n{stdout}");
+    assert!(stdout.contains("partition 10.0 s"), "expected duration rows, got:\n{stdout}");
+}
+
+#[test]
 fn unknown_target_fails_with_usage() {
     let out = repro().arg("table99").output().expect("repro binary runs");
     assert!(!out.status.success(), "unknown target should exit non-zero");

@@ -53,6 +53,7 @@ pub(crate) fn effective_threads(requested: Option<usize>, runs: u32) -> usize {
 ///     target: Target::App,
 ///     model: ErrorModel::Sigint,
 ///     timeout: SimTime::from_secs(220),
+///     net_faults: vec![],
 /// };
 /// let results = Campaign::new(&plan).runs(2).seed(7).collect();
 /// assert_eq!(results.len(), 2);
@@ -159,6 +160,7 @@ impl<'p> Campaign<'p> {
 ///     target: Target::App,
 ///     model: ErrorModel::Sigint,
 ///     timeout: SimTime::from_secs(220),
+///     net_faults: vec![],
 /// };
 /// let spec = CampaignSpec::new(plan).runs(2).seed(7);
 /// assert_eq!(spec.collect().len(), 2);

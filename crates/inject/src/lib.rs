@@ -43,6 +43,7 @@
 //!     target: Target::App,
 //!     model: ErrorModel::Sigint,
 //!     timeout: SimTime::from_secs(220),
+//!     net_faults: vec![],
 //! };
 //! let results = Campaign::new(&plan).runs(2).seed(7).collect();
 //! assert_eq!(results.len(), 2);
@@ -62,6 +63,14 @@
 //! the widest-interval arms — same determinism contract (per-arm
 //! results are a pure function of `(plan, seed0, rule)`). See
 //! `docs/ADAPTIVE.md`.
+//!
+//! # Network fault plans
+//!
+//! Beyond process-level error models, a plan can impose interconnect
+//! faults — [`NetFault`] link failures, correlated multi-link failures,
+//! and partitions, triggered at fixed instants or off the run's first
+//! failure detection (partition-during-recovery). See [`netfault`] and
+//! `docs/NETWORK.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,6 +79,7 @@ pub mod adaptive;
 mod builder;
 mod campaign;
 mod model;
+pub mod netfault;
 mod runner;
 
 pub use adaptive::{AdaptiveReport, Arm, ArmReport, CiMetric, StoppingRule};
@@ -81,6 +91,7 @@ pub use campaign::{
     run_campaign_with_threads,
 };
 pub use model::{ErrorModel, FailureClass, SystemFailure, Target};
+pub use netfault::{NetFault, NetFaultKind, NetFaultTrigger};
 pub use runner::{
     execute, execute_full, execute_warm, execute_warm_full, verify_outputs, RunGeometry, RunPlan,
     RunResult,

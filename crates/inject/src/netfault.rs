@@ -1,0 +1,278 @@
+//! Network fault plans: link failures, partitions, and correlated
+//! multi-link failures as first-class injection targets.
+//!
+//! The paper's testbed could not exercise interconnect faults — the
+//! classic SIFT stressor it names but never runs is a *partition during
+//! recovery* (§5.2 attributes the only actual-execution-time overhead
+//! of FTM recovery to network contention). A [`NetFault`] describes one
+//! such fault: what to sever ([`NetFaultKind`]), when to impose it
+//! ([`NetFaultTrigger`]), and for how long. Plans carry any number of
+//! them in [`crate::RunPlan::net_faults`], so every campaign surface —
+//! the [`crate::Campaign`] builder, the adaptive engine, warm-boot
+//! forking — gains network faults without further plumbing.
+//!
+//! Faults are imposed as administrative endpoint-pair blocks
+//! ([`ree_os::Network::set_link_down`]), which work on any topology.
+//! The driver is deterministic: activation instants are a pure function
+//! of the plan and the run's trace, so campaigns stay byte-identical
+//! across thread counts and warm-vs-cold boot.
+
+use ree_apps::Running;
+use ree_os::{NodeId, Trace, TraceDetail, TraceEvent, TraceKind};
+use ree_sim::{SimDuration, SimTime};
+
+/// What a network fault severs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetFaultKind {
+    /// Severs the path between two endpoint nodes (both directions).
+    Link {
+        /// One endpoint.
+        a: u16,
+        /// The other endpoint.
+        b: u16,
+    },
+    /// Severs several endpoint pairs at once (correlated link failure —
+    /// e.g. every port of one switch card).
+    Correlated {
+        /// The endpoint pairs to sever together.
+        pairs: Vec<(u16, u16)>,
+    },
+    /// Splits the listed node groups from each other: every pair with
+    /// ends in different groups is severed. Traffic *within* a group
+    /// (and to nodes not listed) still flows.
+    Partition {
+        /// The node groups to isolate from each other.
+        groups: Vec<Vec<u16>>,
+    },
+}
+
+impl NetFaultKind {
+    /// The endpoint pairs this fault blocks.
+    fn pairs(&self) -> Vec<(NodeId, NodeId)> {
+        match self {
+            NetFaultKind::Link { a, b } => vec![(NodeId(*a), NodeId(*b))],
+            NetFaultKind::Correlated { pairs } => {
+                pairs.iter().map(|(a, b)| (NodeId(*a), NodeId(*b))).collect()
+            }
+            NetFaultKind::Partition { groups } => {
+                let mut out = Vec::new();
+                for (i, ga) in groups.iter().enumerate() {
+                    for gb in groups.iter().skip(i + 1) {
+                        for &a in ga {
+                            for &b in gb {
+                                out.push((NodeId(a), NodeId(b)));
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// When a network fault is imposed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetFaultTrigger {
+    /// At a fixed virtual-time instant.
+    At(SimTime),
+    /// `delay` after the run's first failure-detection trace event —
+    /// the start of a recovery ([`TraceEvent::is_failure_detection`]).
+    /// This is the partition-during-recovery stressor: the error model
+    /// induces a failure, and the moment the SIFT environment *detects*
+    /// it, the network splits under the recovery protocol.
+    OnRecoveryStart {
+        /// Delay from detection to imposition.
+        delay: SimDuration,
+    },
+}
+
+/// One planned network fault: what, when, and for how long.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetFault {
+    /// What to sever.
+    pub kind: NetFaultKind,
+    /// When to impose it.
+    pub trigger: NetFaultTrigger,
+    /// How long the fault lasts before the links heal.
+    pub duration: SimDuration,
+}
+
+impl NetFault {
+    /// A partition splitting `groups` for `duration`, imposed the
+    /// moment the first failure detection starts a recovery.
+    pub fn partition_on_recovery(groups: Vec<Vec<u16>>, duration: SimDuration) -> NetFault {
+        NetFault {
+            kind: NetFaultKind::Partition { groups },
+            trigger: NetFaultTrigger::OnRecoveryStart { delay: SimDuration::ZERO },
+            duration,
+        }
+    }
+
+    /// A two-ended link failure over a fixed window.
+    pub fn link_at(a: u16, b: u16, at: SimTime, duration: SimDuration) -> NetFault {
+        NetFault { kind: NetFaultKind::Link { a, b }, trigger: NetFaultTrigger::At(at), duration }
+    }
+}
+
+/// Failure-detection events recorded so far (the recovery-start signal).
+fn detections(trace: &Trace) -> u64 {
+    const DETECTIONS: [TraceEvent; 6] = [
+        TraceEvent::HangDetected,
+        TraceEvent::CrashDetected,
+        TraceEvent::AppHangDetected,
+        TraceEvent::AppCrashDetected,
+        TraceEvent::FtmFailureDetected,
+        TraceEvent::NodeFailureDetected,
+    ];
+    DETECTIONS.iter().map(|e| trace.count_of(*e)).sum()
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Phase {
+    /// Waiting for the recovery-start signal.
+    Waiting,
+    /// Will activate at the instant.
+    Armed(SimTime),
+    /// Active; heals at the instant.
+    Active(SimTime),
+    /// Healed.
+    Done,
+}
+
+/// Drives a run while imposing and healing the plan's network faults at
+/// the right instants. With an empty plan this is exactly
+/// [`Running::run_until_done`] — zero overhead on the hot path.
+#[derive(Debug)]
+pub(crate) struct NetFaultDriver<'p> {
+    faults: &'p [NetFault],
+    phase: Vec<Phase>,
+    /// Detection events seen; `None` until baselined on first use.
+    seen: Option<u64>,
+    applied: u32,
+}
+
+impl<'p> NetFaultDriver<'p> {
+    pub(crate) fn new(faults: &'p [NetFault]) -> Self {
+        let phase = faults
+            .iter()
+            .map(|f| match f.trigger {
+                NetFaultTrigger::At(t) => Phase::Armed(t),
+                NetFaultTrigger::OnRecoveryStart { .. } => Phase::Waiting,
+            })
+            .collect();
+        NetFaultDriver { faults, phase, seen: None, applied: 0 }
+    }
+
+    /// Number of faults that reached their activation instant.
+    pub(crate) fn applied(&self) -> u32 {
+        self.applied
+    }
+
+    /// Runs until every job completes (true) or `horizon` passes
+    /// (false), imposing/healing faults on the way.
+    pub(crate) fn run(&mut self, running: &mut Running, horizon: SimTime) -> bool {
+        if self.faults.is_empty() {
+            return running.run_until_done(horizon);
+        }
+        if self.seen.is_none() {
+            self.seen = Some(detections(running.cluster.trace()));
+        }
+        loop {
+            let now = running.cluster.now();
+            self.transition(running, now);
+            let stop = self.next_transition().map_or(horizon, |t| t.min(horizon));
+            let watching = self.faults.iter().zip(&self.phase).any(|(f, p)| {
+                *p == Phase::Waiting && matches!(f.trigger, NetFaultTrigger::OnRecoveryStart { .. })
+            });
+            let baseline = self.seen.unwrap_or(0);
+            let done = if watching {
+                running.run_until_done_or(stop, |c| detections(c.trace()) > baseline)
+            } else {
+                running.run_until_done(stop)
+            };
+            let now = running.cluster.now();
+            let count = detections(running.cluster.trace());
+            let fired = count > baseline;
+            if fired {
+                self.seen = Some(count);
+                for (i, f) in self.faults.iter().enumerate() {
+                    if let (Phase::Waiting, NetFaultTrigger::OnRecoveryStart { delay }) =
+                        (self.phase[i], &f.trigger)
+                    {
+                        self.phase[i] = Phase::Armed(now + *delay);
+                    }
+                }
+            }
+            self.transition(running, now);
+            if done {
+                return true;
+            }
+            if now >= horizon {
+                return false;
+            }
+            if !fired && now < stop {
+                // The event queue drained before the stop instant: no
+                // further event can observe the network, so pending
+                // fault transitions are moot. Hand control back.
+                return false;
+            }
+        }
+    }
+
+    fn next_transition(&self) -> Option<SimTime> {
+        self.phase
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Armed(t) | Phase::Active(t) => Some(*t),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Applies every transition due at or before `now`.
+    fn transition(&mut self, running: &mut Running, now: SimTime) {
+        for i in 0..self.faults.len() {
+            match self.phase[i] {
+                Phase::Armed(at) if at <= now => {
+                    let pairs = self.faults[i].kind.pairs();
+                    for &(a, b) in &pairs {
+                        running.cluster.network_mut().set_link_down(a, b, true);
+                    }
+                    running.cluster.trace_mut().push(
+                        now,
+                        None,
+                        TraceKind::Injection,
+                        TraceDetail::Custom(
+                            format!("net fault imposed: {} pair(s) severed", pairs.len()).into(),
+                        ),
+                    );
+                    self.applied += 1;
+                    let until = at + self.faults[i].duration;
+                    if until <= now {
+                        self.heal(running, i, now);
+                    } else {
+                        self.phase[i] = Phase::Active(until);
+                    }
+                }
+                Phase::Active(until) if until <= now => {
+                    self.heal(running, i, now);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn heal(&mut self, running: &mut Running, i: usize, now: SimTime) {
+        for (a, b) in self.faults[i].kind.pairs() {
+            running.cluster.network_mut().set_link_down(a, b, false);
+        }
+        running.cluster.trace_mut().push(
+            now,
+            None,
+            TraceKind::Recovery,
+            TraceDetail::Static("net fault healed"),
+        );
+        self.phase[i] = Phase::Done;
+    }
+}

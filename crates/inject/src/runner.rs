@@ -4,7 +4,8 @@
 //! `ree-os` injection surface.
 
 use crate::model::{ErrorModel, FailureClass, SystemFailure, Target};
-use ree_apps::verify::{verify_otis, verify_texture, Verdict};
+use crate::netfault::{NetFault, NetFaultDriver};
+use ree_apps::verify::{verify_otis, verify_pipeline, verify_texture, Verdict};
 use ree_apps::{BootSnapshot, Running, Scenario};
 use ree_os::{ExitStatus, HeapHit, Pid, Signal, TraceEvent};
 use ree_sim::{SimDuration, SimRng, SimTime};
@@ -21,6 +22,10 @@ pub struct RunPlan {
     /// System-failure timeout ("a failure occurs when the application
     /// cannot complete within a predefined timeout", §4.2).
     pub timeout: SimTime,
+    /// Network faults imposed during the run (link failures,
+    /// partitions), alongside the process-level error model. Empty for
+    /// the paper's original campaigns.
+    pub net_faults: Vec<NetFault>,
 }
 
 /// Campaign-invariant run geometry, derived from a [`RunPlan`] once per
@@ -102,6 +107,8 @@ pub struct RunResult {
     pub assertion_fired: bool,
     /// What the heap injection hit (single-flip campaigns).
     pub heap_hit: Option<HeapHit>,
+    /// Network faults that reached their activation instant.
+    pub net_faults_applied: u32,
 }
 
 impl RunResult {
@@ -161,6 +168,7 @@ fn run_seeded(
     seed: u64,
 ) -> (RunResult, Running) {
     let mut rng = SimRng::new(seed ^ 0x1A7E_C0DE);
+    let mut net_driver = NetFaultDriver::new(&plan.net_faults);
     let w0 = geometry.window_start;
     let w1 = geometry.window_end;
     let mut next_injection =
@@ -176,7 +184,7 @@ fn run_seeded(
     loop {
         // Run up to the next injection instant (or completion/timeout).
         let horizon = next_injection.min(plan.timeout);
-        let done = running.run_until_done(horizon);
+        let done = net_driver.run(&mut running, horizon);
         if done || running.cluster.now() >= plan.timeout {
             break;
         }
@@ -188,12 +196,11 @@ fn run_seeded(
         }
         if induced.is_some() && plan.model.repeats() {
             // Failure induced: stop injecting, run the rest out.
-            let done = running.run_until_done(plan.timeout);
-            let _ = done;
+            let _ = net_driver.run(&mut running, plan.timeout);
             break;
         }
         if injections >= max_injections {
-            let _ = running.run_until_done(plan.timeout);
+            let _ = net_driver.run(&mut running, plan.timeout);
             break;
         }
         // Resolve the target afresh (recoveries change pids).
@@ -202,7 +209,7 @@ fn run_seeded(
             // Target not alive right now; retry shortly.
             next_injection = running.cluster.now() + SimDuration::from_millis(1500);
             if next_injection >= plan.timeout {
-                let _ = running.run_until_done(plan.timeout);
+                let _ = net_driver.run(&mut running, plan.timeout);
                 break;
             }
             continue;
@@ -233,7 +240,7 @@ fn run_seeded(
             // matrices); retry shortly without counting an injection.
             next_injection = running.cluster.now() + SimDuration::from_secs(2);
             if next_injection >= w1 {
-                let _ = running.run_until_done(plan.timeout);
+                let _ = net_driver.run(&mut running, plan.timeout);
                 break;
             }
             continue;
@@ -243,7 +250,16 @@ fn run_seeded(
             if !plan.model.repeats() {
                 // Single-flip campaign: keep the hit for Table 8 / Table
                 // 10 attribution and run the rest out.
-                return finish_run(plan, seed, running, injections, induced, Some(h), watched);
+                return finish_run(
+                    plan,
+                    seed,
+                    running,
+                    injections,
+                    induced,
+                    Some(h),
+                    watched,
+                    &mut net_driver,
+                );
             }
         }
         // Schedule the next injection (repeat protocols) or just observe.
@@ -260,9 +276,10 @@ fn run_seeded(
             induced = classify_target_state(&running, pid, &plan.model);
         }
     }
-    finish_run(plan, seed, running, injections, induced, None, watched)
+    finish_run(plan, seed, running, injections, induced, None, watched, &mut net_driver)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish_run(
     plan: &RunPlan,
     seed: u64,
@@ -271,10 +288,11 @@ fn finish_run(
     mut induced: Option<FailureClass>,
     heap_hit: Option<HeapHit>,
     watched: Option<Pid>,
+    net_driver: &mut NetFaultDriver<'_>,
 ) -> (RunResult, Running) {
     // If we returned early (single heap flip), keep running to the end.
     if !running.all_done() && running.cluster.now() < plan.timeout {
-        running.run_until_done(plan.timeout);
+        net_driver.run(&mut running, plan.timeout);
     }
     if induced.is_none() {
         if let Some(pid) = watched {
@@ -316,6 +334,7 @@ fn finish_run(
             correlated,
             assertion_fired,
             heap_hit,
+            net_faults_applied: net_driver.applied(),
         },
         running,
     )
@@ -336,6 +355,7 @@ fn app_nominal(scenario: &Scenario) -> SimDuration {
     let job = scenario.jobs.first();
     match job.map(|j| j.app.as_str()) {
         Some("otis") => scenario.otis.nominal(),
+        Some("imgpipe") => scenario.pipeline.nominal(),
         _ => scenario.texture.nominal_per_image() * scenario.texture.images.max(1) as u64,
     }
 }
@@ -398,6 +418,21 @@ pub fn verify_outputs(running: &Running, scenario: &Scenario) -> Verdict {
             "otis" => {
                 for frame in 0..scenario.otis.frames {
                     match verify_otis(fs, "otis", slot as u32, frame, scenario.otis.frame_px) {
+                        Verdict::Missing => return Verdict::Missing,
+                        Verdict::Incorrect => worst = Verdict::Incorrect,
+                        Verdict::Correct => {}
+                    }
+                }
+            }
+            "imgpipe" => {
+                for frame in 0..scenario.pipeline.frames {
+                    match verify_pipeline(
+                        fs,
+                        "imgpipe",
+                        slot as u32,
+                        frame,
+                        scenario.pipeline.frame_px,
+                    ) {
                         Verdict::Missing => return Verdict::Missing,
                         Verdict::Incorrect => worst = Verdict::Incorrect,
                         Verdict::Correct => {}

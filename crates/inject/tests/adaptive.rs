@@ -69,6 +69,7 @@ fn decode(word: u64) -> RunResult {
         correlated: (word >> 15) & 1 == 1,
         assertion_fired: false,
         heap_hit: None,
+        net_faults_applied: 0,
     }
 }
 
@@ -168,6 +169,7 @@ fn plan(model: ErrorModel, target: Target) -> RunPlan {
         target,
         model,
         timeout: SimTime::from_secs(320),
+        net_faults: vec![],
     }
 }
 

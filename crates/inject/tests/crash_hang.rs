@@ -11,6 +11,7 @@ fn plan(target: Target, model: ErrorModel) -> RunPlan {
         target,
         model,
         timeout: SimTime::from_secs(320),
+        net_faults: vec![],
     }
 }
 

@@ -19,6 +19,7 @@ fn plan() -> RunPlan {
         target: Target::App,
         model: ErrorModel::Sigint,
         timeout: SimTime::from_secs(320),
+        net_faults: vec![],
     }
 }
 

@@ -62,6 +62,7 @@ fn register_injection_render_is_byte_identical() {
         target: Target::App,
         model: ErrorModel::Register,
         timeout: SimTime::from_secs(220),
+        net_faults: vec![],
     };
     let (_result, running) = execute_full(&plan, 42);
     check("trace_register_seed42.txt", &running.cluster.trace().render());
@@ -76,6 +77,7 @@ fn sigstop_injection_render_is_byte_identical() {
         target: Target::Ftm,
         model: ErrorModel::Sigstop,
         timeout: SimTime::from_secs(220),
+        net_faults: vec![],
     };
     let (_result, running) = execute_full(&plan, 11);
     check("trace_sigstop_ftm_seed11.txt", &running.cluster.trace().render());

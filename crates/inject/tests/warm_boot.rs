@@ -22,6 +22,7 @@ fn plan(model: ErrorModel, target: Target) -> RunPlan {
         target,
         model,
         timeout: SimTime::from_secs(320),
+        net_faults: vec![],
     }
 }
 

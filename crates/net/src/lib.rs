@@ -1,12 +1,20 @@
 //! # ree-net — simulated cluster interconnect
 //!
-//! Models the 100 Mbps Ethernet of the REE testbed (paper §2, Figure 2):
-//! per-node transmit serialisation (bandwidth), propagation latency with
-//! bounded jitter, link partitions, and transient *contention load* — the
-//! paper attributes the only actual-execution-time overhead of FTM
-//! recovery to "network contention during the FTM's recovery, which lasts
-//! for only 0.6–0.7 s" (§5.2). [`Network::inject_load`] reproduces exactly
-//! that effect.
+//! Models the interconnect of the REE testbed (paper §2, Figure 2) as a
+//! **topology** of nodes, switches, and directed links: per-link
+//! latency/jitter/bandwidth/loss, static shortest-path routing computed
+//! at build time (`src/routing.rs`), store-and-forward serialisation on every
+//! bandwidth-bearing hop (concurrent flows on a link queue behind each
+//! other), and per-link state — up/down, degradation, transient load
+//! windows. The paper attributes the only actual-execution-time overhead
+//! of FTM recovery to "network contention during the FTM's recovery,
+//! which lasts for only 0.6–0.7 s" (§5.2); [`Network::inject_load`]
+//! reproduces exactly that effect.
+//!
+//! The historical flat model survives as the degenerate case:
+//! [`Network::new`] builds [`Topology::single_switch`], which reproduces
+//! the flat model's delivery times byte-for-byte (see
+//! `tests/equivalence.rs` and `docs/NETWORK.md`).
 //!
 //! The crate is payload-agnostic: [`Network::send`] computes *when* a
 //! packet arrives; the OS layer owns the event queue and the payload.
@@ -17,7 +25,7 @@
 //! use ree_net::{Network, NetworkConfig, NodeId};
 //! use ree_sim::{SimRng, SimTime};
 //!
-//! let mut net = Network::new(NetworkConfig::ethernet_100mbps(), SimRng::new(7));
+//! let mut net = Network::new(NetworkConfig::ethernet_100mbps(), 4, SimRng::new(7));
 //! let verdict = net.send(SimTime::ZERO, NodeId(0), NodeId(1), 1500);
 //! let at = verdict.delivery_time().expect("link is up");
 //! assert!(at > SimTime::ZERO);
@@ -26,92 +34,39 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod link;
+mod model;
+mod routing;
+mod topology;
+
+pub use link::{LinkId, LinkParams, LinkState};
+pub use model::{NetworkConfig, NodeId, SendVerdict};
+pub use topology::{LinkSpec, Port, SwitchId, Topology, TopologyBuilder};
+
 use ree_sim::{SimDuration, SimRng, SimTime};
-use std::collections::{HashMap, HashSet};
+use routing::RouteTable;
+use std::collections::HashSet;
+use std::sync::Arc;
 
-/// Identifies a node (board/processor) in the simulated cluster.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct NodeId(pub u16);
-
-impl std::fmt::Display for NodeId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "node{}", self.0)
-    }
-}
-
-/// Static parameters of the interconnect model.
-#[derive(Clone, Debug)]
-pub struct NetworkConfig {
-    /// One-way propagation latency added to every packet.
-    pub base_latency: SimDuration,
-    /// Uniform jitter bound; each packet gets `U[0, jitter)` extra delay.
-    pub jitter: SimDuration,
-    /// Link bandwidth in bytes per virtual second (serialisation delay).
-    pub bandwidth_bytes_per_sec: u64,
-    /// Latency for messages a node sends to itself (IPC via loopback).
-    pub loopback_latency: SimDuration,
-    /// Probability that a packet is silently lost (reliable ARMOR
-    /// messaging must mask this with retransmission).
-    pub drop_probability: f64,
-}
-
-impl NetworkConfig {
-    /// The REE testbed's 100 Mbps Ethernet (Figure 2): ~12.5 MB/s, 200 µs
-    /// propagation, mild jitter, no background loss.
-    pub fn ethernet_100mbps() -> Self {
-        NetworkConfig {
-            base_latency: SimDuration::from_micros(200),
-            jitter: SimDuration::from_micros(150),
-            bandwidth_bytes_per_sec: 12_500_000,
-            loopback_latency: SimDuration::from_micros(30),
-            drop_probability: 0.0,
-        }
-    }
-
-    /// A lossy variant for stress-testing the reliable messaging layer.
-    pub fn lossy(drop_probability: f64) -> Self {
-        NetworkConfig { drop_probability, ..Self::ethernet_100mbps() }
-    }
-}
-
-impl Default for NetworkConfig {
-    fn default() -> Self {
-        Self::ethernet_100mbps()
-    }
-}
-
-/// Outcome of handing a packet to the network.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SendVerdict {
-    /// The packet will arrive at the destination at the given instant.
-    Delivered(SimTime),
-    /// The packet was lost (random drop).
-    Dropped,
-    /// Source and destination are partitioned or an endpoint's link is
-    /// administratively down.
-    Partitioned,
-}
-
-impl SendVerdict {
-    /// The delivery instant, if the packet will arrive.
-    pub fn delivery_time(self) -> Option<SimTime> {
-        match self {
-            SendVerdict::Delivered(t) => Some(t),
-            _ => None,
-        }
-    }
+/// The immutable half of a network, shared by all forks of a run.
+#[derive(Debug)]
+struct Statics {
+    topology: Topology,
+    routes: RouteTable,
 }
 
 /// The simulated interconnect.
 ///
-/// Tracks per-node transmit occupancy so concurrent senders experience
-/// serialisation delay, plus transient load windows that model recovery
-/// traffic contention.
+/// Owns the mutable runtime state over an immutable [`Topology`]:
+/// per-link transmit occupancy (so concurrent flows on a link serialise
+/// behind each other), per-link up/down and degradation, administrative
+/// endpoint blocks, and network-wide transient load windows that model
+/// recovery-traffic contention.
 #[derive(Debug, Clone)]
 pub struct Network {
-    config: NetworkConfig,
+    statics: Arc<Statics>,
     rng: SimRng,
-    tx_busy_until: HashMap<NodeId, SimTime>,
+    link_state: Vec<LinkState>,
     down_links: HashSet<(NodeId, NodeId)>,
     down_nodes: HashSet<NodeId>,
     /// (ends_at, slowdown_factor) windows of extra contention.
@@ -122,12 +77,21 @@ pub struct Network {
 }
 
 impl Network {
-    /// Creates a network with the given configuration and random stream.
-    pub fn new(config: NetworkConfig, rng: SimRng) -> Self {
+    /// Creates a network over the degenerate single-switch topology the
+    /// flat `config` describes ([`Topology::single_switch`]), covering
+    /// nodes `0..nodes`.
+    pub fn new(config: NetworkConfig, nodes: u16, rng: SimRng) -> Self {
+        Self::with_topology(Topology::single_switch(nodes, &config), rng)
+    }
+
+    /// Creates a network over an explicit topology.
+    pub fn with_topology(topology: Topology, rng: SimRng) -> Self {
+        let routes = RouteTable::build(&topology);
+        let link_state = topology.links().iter().map(|_| LinkState::fresh()).collect();
         Network {
-            config,
+            statics: Arc::new(Statics { topology, routes }),
             rng,
-            tx_busy_until: HashMap::new(),
+            link_state,
             down_links: HashSet::new(),
             down_nodes: HashSet::new(),
             load_windows: Vec::new(),
@@ -137,50 +101,90 @@ impl Network {
         }
     }
 
-    /// Replaces the jitter/drop random stream (warm-boot forking: each
-    /// forked run re-seeds the network stream so per-run draws are a
-    /// function of the run seed, not of how much traffic boot consumed).
-    /// Link state, transmit occupancy, and traffic counters are kept.
+    /// The topology this network runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.statics.topology
+    }
+
+    /// The static route between two nodes, if they are connected.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Option<&[LinkId]> {
+        self.statics.routes.route(from, to)
+    }
+
+    /// Replaces the jitter/drop random stream and zeroes the traffic
+    /// counters (warm-boot forking: each forked run re-seeds the network
+    /// stream so per-run draws are a function of the run seed, and
+    /// per-run traffic stats must not include boot traffic — the cold
+    /// path reseeds at the same instant, so warm ≡ cold is preserved).
+    /// Link state and transmit occupancy are kept.
     pub fn reseed(&mut self, rng: SimRng) {
         self.rng = rng;
+        self.packets_sent = 0;
+        self.bytes_sent = 0;
+        self.packets_dropped = 0;
     }
 
     /// Computes the delivery time of a `size_bytes` packet sent at `now`
     /// from `from` to `to`.
+    ///
+    /// The packet store-and-forwards along the precomputed static route:
+    /// on every bandwidth-bearing hop it queues behind that link's
+    /// previous transmissions (shared-bandwidth serialisation), then
+    /// crosses with the link's latency. One jitter draw covers the
+    /// route's combined jitter bound, and one loss draw its combined
+    /// drop probability, so RNG consumption is route-independent.
     pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, size_bytes: u64) -> SendVerdict {
+        if from == to {
+            // Loopback is node-local IPC: it never touches a link and is
+            // never partitioned, even while the node's links are down.
+            self.packets_sent += 1;
+            self.bytes_sent += size_bytes;
+            return SendVerdict::Delivered(now + self.statics.topology.loopback_latency());
+        }
         if self.is_partitioned(from, to) {
             return SendVerdict::Partitioned;
         }
-        if self.config.drop_probability > 0.0
-            && from != to
-            && self.rng.chance(self.config.drop_probability)
-        {
+        let statics = Arc::clone(&self.statics);
+        let drop_probability = statics.routes.drop(from, to);
+        if drop_probability > 0.0 && self.rng.chance(drop_probability) {
             self.packets_dropped += 1;
             return SendVerdict::Dropped;
         }
         self.packets_sent += 1;
         self.bytes_sent += size_bytes;
 
-        if from == to {
-            return SendVerdict::Delivered(now + self.config.loopback_latency);
+        // Serialisation: store-and-forward across the route; concurrent
+        // flows on a link queue behind each other.
+        let route = statics.routes.route(from, to).expect("checked by is_partitioned");
+        let mut arrival = now;
+        let mut wire_total = SimDuration::ZERO;
+        for l in route {
+            let spec = &statics.topology.links()[l.0 as usize];
+            if let Some(bw) = spec.params.bandwidth_bytes_per_sec {
+                let state = &mut self.link_state[l.0 as usize];
+                let mut wire = SimDuration::from_secs_f64(size_bytes as f64 / bw as f64);
+                let scale = state.scale(now);
+                if scale != 1.0 {
+                    wire = wire.mul_f64(scale);
+                }
+                let start = if state.busy_until > arrival { state.busy_until } else { arrival };
+                let done = start + wire;
+                state.busy_until = done;
+                wire_total += wire;
+                arrival = done;
+            }
+            arrival += spec.params.latency;
         }
 
-        // Serialisation: packets from one node queue behind each other.
-        let tx_free = *self.tx_busy_until.get(&from).unwrap_or(&SimTime::ZERO);
-        let start = if tx_free > now { tx_free } else { now };
-        let wire = SimDuration::from_secs_f64(
-            size_bytes as f64 / self.config.bandwidth_bytes_per_sec as f64,
-        );
-        let tx_done = start + wire;
-        self.tx_busy_until.insert(from, tx_done);
-
-        let jitter = if self.config.jitter.is_zero() {
+        let jitter_bound = statics.routes.jitter(from, to);
+        let jitter = if jitter_bound.is_zero() {
             SimDuration::ZERO
         } else {
-            self.rng.uniform_duration(SimDuration::ZERO, self.config.jitter)
+            self.rng.uniform_duration(SimDuration::ZERO, jitter_bound)
         };
-        let contention = self.contention_penalty(now, wire + self.config.base_latency);
-        SendVerdict::Delivered(tx_done + self.config.base_latency + jitter + contention)
+        let contention =
+            self.contention_penalty(now, wire_total + statics.routes.latency(from, to));
+        SendVerdict::Delivered(arrival + jitter + contention)
     }
 
     fn contention_penalty(&mut self, now: SimTime, nominal: SimDuration) -> SimDuration {
@@ -193,16 +197,36 @@ impl Network {
         }
     }
 
-    /// Registers transient contention: for `window`, every packet's
-    /// latency is inflated by `slowdown` × its nominal transfer time.
+    /// Registers transient network-wide contention: for `window`, every
+    /// packet's latency is inflated by `slowdown` × its nominal transfer
+    /// time.
     ///
     /// Used to model recovery traffic (checkpoint restore, process-image
-    /// copies) competing with application MPI messages.
+    /// copies) competing with application MPI messages. For contention
+    /// local to one link, see [`Network::inject_link_load`].
     pub fn inject_load(&mut self, now: SimTime, window: SimDuration, slowdown: f64) {
         self.load_windows.push((now + window, slowdown));
     }
 
-    /// Takes a node's link down (packets to/from it are `Partitioned`).
+    /// Registers a transient load window on a single link: for `window`,
+    /// wire time across `link` is inflated by a factor `1 + slowdown`
+    /// (stacking with other active windows on the same link).
+    pub fn inject_link_load(
+        &mut self,
+        link: LinkId,
+        now: SimTime,
+        window: SimDuration,
+        slowdown: f64,
+    ) {
+        if let Some(state) = self.link_state.get_mut(link.0 as usize) {
+            state.load_windows.push((now + window, slowdown));
+        }
+    }
+
+    /// Takes all of a node's incident links down (packets to/from it are
+    /// `Partitioned`; loopback is unaffected). Restoring the node brings
+    /// back only this administrative block — links downed individually
+    /// via [`Network::set_topology_link`] stay down.
     pub fn set_node_down(&mut self, node: NodeId, down: bool) {
         if down {
             self.down_nodes.insert(node);
@@ -211,7 +235,9 @@ impl Network {
         }
     }
 
-    /// Severs or restores the (bidirectional) link between two nodes.
+    /// Severs or restores the (bidirectional) path between two endpoint
+    /// nodes, regardless of topology — the administrative pair block
+    /// partition faults are built from.
     pub fn set_link_down(&mut self, a: NodeId, b: NodeId, down: bool) {
         let key = if a <= b { (a, b) } else { (b, a) };
         if down {
@@ -221,29 +247,60 @@ impl Network {
         }
     }
 
-    /// True if traffic between the two nodes cannot flow.
-    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
-        if self.down_nodes.contains(&a) || self.down_nodes.contains(&b) {
-            return true;
+    /// Takes one directed topology link down or up. Routes crossing a
+    /// downed link report `Partitioned` (static routing — no failover).
+    pub fn set_topology_link(&mut self, link: LinkId, up: bool) {
+        if let Some(state) = self.link_state.get_mut(link.0 as usize) {
+            state.up = up;
         }
+    }
+
+    /// Degrades a directed link: wire time across it is multiplied by
+    /// `factor` (`1.0` restores nominal bandwidth, `4.0` models a link
+    /// at quarter speed).
+    pub fn degrade_link(&mut self, link: LinkId, factor: f64) {
+        if let Some(state) = self.link_state.get_mut(link.0 as usize) {
+            state.degrade = factor;
+        }
+    }
+
+    /// Whether a directed topology link is up.
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.link_state.get(link.0 as usize).map(|s| s.up).unwrap_or(false)
+    }
+
+    /// True if traffic between the two nodes cannot flow: an endpoint's
+    /// links are administratively down, the pair is blocked, there is no
+    /// route, or a link on the static route is down. Loopback (`a == b`)
+    /// is node-local and never partitioned.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
         if a == b {
             return false;
         }
+        if self.down_nodes.contains(&a) || self.down_nodes.contains(&b) {
+            return true;
+        }
         let key = if a <= b { (a, b) } else { (b, a) };
-        self.down_links.contains(&key)
+        if self.down_links.contains(&key) {
+            return true;
+        }
+        match self.statics.routes.route(a, b) {
+            None => true,
+            Some(route) => route.iter().any(|l| !self.link_state[l.0 as usize].up),
+        }
     }
 
-    /// Total packets accepted for delivery.
+    /// Total packets accepted for delivery since the last reseed.
     pub fn packets_sent(&self) -> u64 {
         self.packets_sent
     }
 
-    /// Total payload bytes accepted for delivery.
+    /// Total payload bytes accepted for delivery since the last reseed.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
     }
 
-    /// Total packets randomly dropped.
+    /// Total packets randomly dropped since the last reseed.
     pub fn packets_dropped(&self) -> u64 {
         self.packets_dropped
     }
@@ -257,9 +314,13 @@ mod tests {
         NetworkConfig { jitter: SimDuration::ZERO, ..NetworkConfig::ethernet_100mbps() }
     }
 
+    fn quiet_net() -> Network {
+        Network::new(quiet_config(), 8, SimRng::new(1))
+    }
+
     #[test]
     fn delivery_includes_latency_and_serialisation() {
-        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        let mut net = quiet_net();
         let t = net.send(SimTime::ZERO, NodeId(0), NodeId(1), 12_500_000).delivery_time().unwrap();
         // 1 s of wire time + 200 us latency.
         assert_eq!(t, SimTime::from_micros(1_000_000 + 200));
@@ -267,7 +328,7 @@ mod tests {
 
     #[test]
     fn senders_serialise_on_their_uplink() {
-        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        let mut net = quiet_net();
         let first =
             net.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_250_000).delivery_time().unwrap();
         let second =
@@ -281,15 +342,28 @@ mod tests {
 
     #[test]
     fn loopback_is_fast_and_never_partitioned() {
-        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        let mut net = quiet_net();
         let t = net.send(SimTime::ZERO, NodeId(0), NodeId(0), 1_000_000).delivery_time().unwrap();
         assert_eq!(t, SimTime::from_micros(30));
         assert!(!net.is_partitioned(NodeId(0), NodeId(0)));
     }
 
     #[test]
+    fn downed_node_is_never_partitioned_from_itself() {
+        // Pinned semantics: loopback is node-local IPC, so taking a
+        // node's links down must not cut the node off from itself.
+        let mut net = quiet_net();
+        net.set_node_down(NodeId(2), true);
+        assert!(!net.is_partitioned(NodeId(2), NodeId(2)));
+        let t = net.send(SimTime::ZERO, NodeId(2), NodeId(2), 64).delivery_time();
+        assert_eq!(t, Some(SimTime::from_micros(30)));
+        // Non-loopback traffic is still cut.
+        assert!(net.is_partitioned(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
     fn node_down_partitions_all_traffic() {
-        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        let mut net = quiet_net();
         net.set_node_down(NodeId(1), true);
         assert_eq!(net.send(SimTime::ZERO, NodeId(0), NodeId(1), 100), SendVerdict::Partitioned);
         assert_eq!(net.send(SimTime::ZERO, NodeId(1), NodeId(0), 100), SendVerdict::Partitioned);
@@ -299,7 +373,7 @@ mod tests {
 
     #[test]
     fn link_down_is_bidirectional_and_specific() {
-        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        let mut net = quiet_net();
         net.set_link_down(NodeId(0), NodeId(1), true);
         assert!(net.is_partitioned(NodeId(0), NodeId(1)));
         assert!(net.is_partitioned(NodeId(1), NodeId(0)));
@@ -310,10 +384,10 @@ mod tests {
 
     #[test]
     fn load_window_inflates_latency_then_expires() {
-        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        let mut net = quiet_net();
         let nominal =
             net.send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000).delivery_time().unwrap();
-        let mut net2 = Network::new(quiet_config(), SimRng::new(1));
+        let mut net2 = quiet_net();
         net2.inject_load(SimTime::ZERO, SimDuration::from_secs(1), 2.0);
         let loaded =
             net2.send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000).delivery_time().unwrap();
@@ -328,7 +402,7 @@ mod tests {
 
     #[test]
     fn drops_occur_at_configured_rate() {
-        let mut net = Network::new(NetworkConfig::lossy(0.5), SimRng::new(42));
+        let mut net = Network::new(NetworkConfig::lossy(0.5), 8, SimRng::new(42));
         let mut dropped = 0;
         for _ in 0..1000 {
             if net.send(SimTime::ZERO, NodeId(0), NodeId(1), 100) == SendVerdict::Dropped {
@@ -341,10 +415,134 @@ mod tests {
 
     #[test]
     fn counters_track_traffic() {
-        let mut net = Network::new(quiet_config(), SimRng::new(1));
+        let mut net = quiet_net();
         net.send(SimTime::ZERO, NodeId(0), NodeId(1), 100);
         net.send(SimTime::ZERO, NodeId(0), NodeId(1), 200);
         assert_eq!(net.packets_sent(), 2);
         assert_eq!(net.bytes_sent(), 300);
+    }
+
+    #[test]
+    fn reseed_resets_counters_and_keeps_link_state() {
+        // Regression: counters used to survive reseed, so per-run
+        // traffic stats included boot traffic.
+        let mut net = Network::new(NetworkConfig::lossy(0.9), 8, SimRng::new(3));
+        for _ in 0..50 {
+            net.send(SimTime::ZERO, NodeId(0), NodeId(1), 1000);
+        }
+        net.set_link_down(NodeId(0), NodeId(3), true);
+        assert!(net.packets_sent() + net.packets_dropped() == 50);
+        net.reseed(SimRng::new(99));
+        assert_eq!(net.packets_sent(), 0);
+        assert_eq!(net.bytes_sent(), 0);
+        assert_eq!(net.packets_dropped(), 0);
+        // Link state survives the reseed.
+        assert!(net.is_partitioned(NodeId(0), NodeId(3)));
+    }
+
+    /// Two islands joined by a slow trunk: nodes 0–1 on switch A,
+    /// nodes 2–3 on switch B.
+    fn dumbbell() -> Topology {
+        let mut b = Topology::builder(4);
+        let sa = b.add_switch();
+        let sb = b.add_switch();
+        let uplink = LinkParams::wire(12_500_000, SimDuration::from_micros(100));
+        for n in 0..2 {
+            b.connect(Port::Node(NodeId(n)), Port::Switch(sa), uplink, LinkParams::instant());
+        }
+        for n in 2..4 {
+            b.connect(Port::Node(NodeId(n)), Port::Switch(sb), uplink, LinkParams::instant());
+        }
+        b.connect_symmetric(
+            Port::Switch(sa),
+            Port::Switch(sb),
+            LinkParams::wire(1_250_000, SimDuration::from_micros(500)),
+        );
+        b.build()
+    }
+
+    #[test]
+    fn routes_cross_switches_and_accumulate_latency() {
+        let mut net = Network::with_topology(dumbbell(), SimRng::new(1));
+        // Same island: one serialising uplink (100 µs latency).
+        let local = net.send(SimTime::ZERO, NodeId(0), NodeId(1), 12_500).delivery_time().unwrap();
+        assert_eq!(local, SimTime::from_micros(1000 + 100));
+        // Cross island (from the other node, whose uplink is idle):
+        // uplink (1 ms wire) + trunk (10 ms wire at a tenth the
+        // bandwidth) + 100 µs + 500 µs latency.
+        let far = net.send(SimTime::ZERO, NodeId(1), NodeId(2), 12_500).delivery_time().unwrap();
+        assert_eq!(far, SimTime::from_micros(1000 + 10_000 + 100 + 500));
+    }
+
+    #[test]
+    fn trunk_bandwidth_is_shared_by_flows_from_different_nodes() {
+        let mut net = Network::with_topology(dumbbell(), SimRng::new(1));
+        let first = net.send(SimTime::ZERO, NodeId(0), NodeId(2), 12_500).delivery_time().unwrap();
+        // A different sender still queues behind the first flow on the
+        // shared trunk — the generalisation of per-node tx_busy_until.
+        let second = net.send(SimTime::ZERO, NodeId(1), NodeId(3), 12_500).delivery_time().unwrap();
+        assert!(second > first, "trunk serialises concurrent flows");
+        assert_eq!(second - first, SimDuration::from_micros(10_000));
+    }
+
+    #[test]
+    fn severed_trunk_partitions_islands_only() {
+        let mut net = Network::with_topology(dumbbell(), SimRng::new(1));
+        let topo = net.topology().clone();
+        let trunk =
+            topo.link_between(Port::Switch(SwitchId(0)), Port::Switch(SwitchId(1))).unwrap();
+        net.set_topology_link(trunk, false);
+        assert_eq!(net.send(SimTime::ZERO, NodeId(0), NodeId(2), 100), SendVerdict::Partitioned);
+        // Reverse direction uses the twin link, which is still up.
+        assert!(net.send(SimTime::ZERO, NodeId(2), NodeId(0), 100).delivery_time().is_some());
+        // Intra-island traffic is unaffected.
+        assert!(net.send(SimTime::ZERO, NodeId(0), NodeId(1), 100).delivery_time().is_some());
+        net.set_topology_link(trunk, true);
+        assert!(net.send(SimTime::ZERO, NodeId(0), NodeId(2), 100).delivery_time().is_some());
+    }
+
+    #[test]
+    fn degraded_link_inflates_wire_time() {
+        let mut net = Network::with_topology(dumbbell(), SimRng::new(1));
+        let topo = net.topology().clone();
+        let uplink = topo.link_between(Port::Node(NodeId(0)), Port::Switch(SwitchId(0))).unwrap();
+        let nominal =
+            net.send(SimTime::ZERO, NodeId(0), NodeId(1), 12_500).delivery_time().unwrap();
+        net.degrade_link(uplink, 4.0);
+        let t0 = SimTime::from_secs(10); // past the first send's occupancy
+        let degraded = net.send(t0, NodeId(0), NodeId(1), 12_500).delivery_time().unwrap();
+        assert_eq!(degraded.since(t0), SimDuration::from_micros(4000 + 100));
+        assert!(degraded.since(t0) > nominal.since(SimTime::ZERO));
+    }
+
+    #[test]
+    fn per_link_load_window_inflates_then_expires() {
+        let mut net = Network::with_topology(dumbbell(), SimRng::new(1));
+        let topo = net.topology().clone();
+        let uplink = topo.link_between(Port::Node(NodeId(0)), Port::Switch(SwitchId(0))).unwrap();
+        net.inject_link_load(uplink, SimTime::ZERO, SimDuration::from_secs(1), 1.0);
+        let loaded = net.send(SimTime::ZERO, NodeId(0), NodeId(1), 12_500).delivery_time().unwrap();
+        assert_eq!(loaded, SimTime::from_micros(2000 + 100), "wire time doubles");
+        // Another sender's uplink is unaffected.
+        let other = net.send(SimTime::ZERO, NodeId(1), NodeId(0), 12_500).delivery_time().unwrap();
+        assert_eq!(other, SimTime::from_micros(1000 + 100));
+        // The window expires.
+        let t0 = SimTime::from_secs(20);
+        let after = net.send(t0, NodeId(0), NodeId(1), 12_500).delivery_time().unwrap();
+        assert_eq!(after.since(t0), SimDuration::from_micros(1000 + 100));
+    }
+
+    #[test]
+    fn incident_links_cover_both_directions() {
+        let topo = dumbbell();
+        let links = topo.incident_links(NodeId(0));
+        assert_eq!(links.len(), 2, "uplink + downlink");
+        for l in links {
+            let spec = &topo.links()[l.0 as usize];
+            assert!(
+                spec.from == Port::Node(NodeId(0)) || spec.to == Port::Node(NodeId(0)),
+                "incident link touches the node"
+            );
+        }
     }
 }

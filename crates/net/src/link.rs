@@ -1,0 +1,80 @@
+//! Per-link parameters and mutable runtime state.
+
+use ree_sim::{SimDuration, SimTime};
+
+/// Identifies one *directed* link of a [`crate::Topology`].
+///
+/// Links always come in twin pairs: [`crate::LinkSpec::peer`] names the
+/// reverse direction. Indices are dense (`0..topology.links().len()`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// Static parameters of one directed link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkParams {
+    /// Propagation latency for crossing this link.
+    pub latency: SimDuration,
+    /// Uniform jitter bound this link contributes to a route's total.
+    pub jitter: SimDuration,
+    /// Serialisation bandwidth in bytes per virtual second. `None`
+    /// means the hop forwards without queueing (ideal switch fabric):
+    /// the packet spends no wire time and reserves no transmit slot.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+    /// Probability this link loses the packet.
+    pub drop_probability: f64,
+}
+
+impl LinkParams {
+    /// A hop that forwards instantly: zero latency and jitter, no
+    /// serialisation, no loss. Used for ideal switch egress ports.
+    pub fn instant() -> Self {
+        LinkParams {
+            latency: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: None,
+            drop_probability: 0.0,
+        }
+    }
+
+    /// A serialising link with the given bandwidth and latency, no
+    /// jitter or loss. Builder shorthand for trunks and uplinks.
+    pub fn wire(bandwidth_bytes_per_sec: u64, latency: SimDuration) -> Self {
+        LinkParams {
+            latency,
+            jitter: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: Some(bandwidth_bytes_per_sec),
+            drop_probability: 0.0,
+        }
+    }
+}
+
+/// Mutable per-link runtime state, owned by [`crate::Network`].
+#[derive(Clone, Debug)]
+pub struct LinkState {
+    /// Whether the link carries traffic. A send whose static route
+    /// crosses a downed link is `Partitioned` (no rerouting).
+    pub up: bool,
+    /// Wire-time multiplier: `1.0` is nominal, `4.0` models a link
+    /// degraded to a quarter of its bandwidth.
+    pub degrade: f64,
+    /// Serialisation frontier: when this link's transmitter frees up.
+    pub busy_until: SimTime,
+    /// `(ends_at, slowdown)` transient load windows local to this link;
+    /// active windows inflate wire time by `1 + Σ slowdown`.
+    pub load_windows: Vec<(SimTime, f64)>,
+}
+
+impl LinkState {
+    pub(crate) fn fresh() -> Self {
+        LinkState { up: true, degrade: 1.0, busy_until: SimTime::ZERO, load_windows: Vec::new() }
+    }
+
+    /// Effective wire-time multiplier at `now` (drops expired windows).
+    pub(crate) fn scale(&mut self, now: SimTime) -> f64 {
+        if !self.load_windows.is_empty() {
+            self.load_windows.retain(|(end, _)| *end > now);
+        }
+        let transient: f64 = self.load_windows.iter().map(|(_, f)| f).sum();
+        self.degrade * (1.0 + transient)
+    }
+}

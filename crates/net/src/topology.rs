@@ -1,0 +1,200 @@
+//! Interconnect topology: nodes, switches, and the directed links
+//! between them.
+//!
+//! A [`Topology`] is immutable once built; all mutable per-link state
+//! (up/down, degradation, occupancy) lives in [`crate::Network`]. Links
+//! are always created in twin pairs — one per direction — so routes can
+//! be mirrored exactly ([`LinkSpec::peer`]).
+
+use crate::link::{LinkId, LinkParams};
+use crate::model::{NetworkConfig, NodeId};
+use ree_sim::SimDuration;
+
+/// Identifies a switch (non-endpoint forwarding element) in a topology.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SwitchId(pub u16);
+
+impl std::fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "switch{}", self.0)
+    }
+}
+
+/// An attachment point of a link: a node port or a switch port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Port {
+    /// An endpoint node.
+    Node(NodeId),
+    /// A forwarding switch.
+    Switch(SwitchId),
+}
+
+/// One directed link of the topology.
+#[derive(Clone, Debug)]
+pub struct LinkSpec {
+    /// Transmitting side.
+    pub from: Port,
+    /// Receiving side.
+    pub to: Port,
+    /// Static link parameters.
+    pub params: LinkParams,
+    /// The twin link carrying the reverse direction.
+    pub peer: LinkId,
+}
+
+/// An immutable interconnect graph of nodes, switches, and directed
+/// links, plus the loopback latency for node-local sends.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    nodes: u16,
+    switches: u16,
+    loopback_latency: SimDuration,
+    links: Vec<LinkSpec>,
+}
+
+impl Topology {
+    /// Starts building a topology over `nodes` endpoint nodes.
+    pub fn builder(nodes: u16) -> TopologyBuilder {
+        TopologyBuilder {
+            topology: Topology {
+                nodes,
+                switches: 0,
+                loopback_latency: SimDuration::from_micros(30),
+                links: Vec::new(),
+            },
+        }
+    }
+
+    /// The degenerate topology [`crate::Network::new`] builds from a
+    /// flat [`NetworkConfig`]: every node hangs off a single ideal
+    /// switch. The uplink (node → switch) carries the configured
+    /// bandwidth, latency, jitter, and loss; the downlink (switch →
+    /// node) forwards instantly. A node-to-node send therefore costs
+    /// exactly one serialisation on the sender's uplink plus the base
+    /// latency — byte-for-byte the historical flat model.
+    pub fn single_switch(nodes: u16, config: &NetworkConfig) -> Topology {
+        let mut b = Topology::builder(nodes).loopback_latency(config.loopback_latency);
+        let sw = b.add_switch();
+        for n in 0..nodes {
+            b.connect(
+                Port::Node(NodeId(n)),
+                Port::Switch(sw),
+                LinkParams {
+                    latency: config.base_latency,
+                    jitter: config.jitter,
+                    bandwidth_bytes_per_sec: Some(config.bandwidth_bytes_per_sec),
+                    drop_probability: config.drop_probability,
+                },
+                LinkParams::instant(),
+            );
+        }
+        b.build()
+    }
+
+    /// Number of endpoint nodes.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// Number of switches.
+    pub fn switches(&self) -> u16 {
+        self.switches
+    }
+
+    /// Latency for a node's sends to itself.
+    pub fn loopback_latency(&self) -> SimDuration {
+        self.loopback_latency
+    }
+
+    /// All directed links, indexed by [`LinkId`].
+    pub fn links(&self) -> &[LinkSpec] {
+        &self.links
+    }
+
+    /// The directed link from `from` to `to`, if one exists.
+    pub fn link_between(&self, from: Port, to: Port) -> Option<LinkId> {
+        self.links.iter().position(|l| l.from == from && l.to == to).map(|i| LinkId(i as u32))
+    }
+
+    /// Every directed link with `node` at either end (the set
+    /// `fail_node` takes down).
+    pub fn incident_links(&self, node: NodeId) -> Vec<LinkId> {
+        let port = Port::Node(node);
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.from == port || l.to == port)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect()
+    }
+
+    /// Total vertex count (nodes then switches) for routing.
+    pub(crate) fn vertices(&self) -> usize {
+        self.nodes as usize + self.switches as usize
+    }
+
+    /// Dense vertex index of a port (nodes first, then switches).
+    pub(crate) fn vertex(&self, port: Port) -> usize {
+        match port {
+            Port::Node(NodeId(n)) => n as usize,
+            Port::Switch(SwitchId(s)) => self.nodes as usize + s as usize,
+        }
+    }
+}
+
+/// Incrementally assembles a [`Topology`].
+#[derive(Clone, Debug)]
+pub struct TopologyBuilder {
+    topology: Topology,
+}
+
+impl TopologyBuilder {
+    /// Sets the node-local loopback latency (default 30 µs).
+    pub fn loopback_latency(mut self, latency: SimDuration) -> Self {
+        self.topology.loopback_latency = latency;
+        self
+    }
+
+    /// Adds a switch and returns its id.
+    pub fn add_switch(&mut self) -> SwitchId {
+        let id = SwitchId(self.topology.switches);
+        self.topology.switches += 1;
+        id
+    }
+
+    /// Connects two ports with a twin pair of directed links: `forward`
+    /// parameterises `a → b`, `backward` parameterises `b → a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port references a node or switch out of range.
+    pub fn connect(&mut self, a: Port, b: Port, forward: LinkParams, backward: LinkParams) {
+        self.check(a);
+        self.check(b);
+        let fwd = LinkId(self.topology.links.len() as u32);
+        let bwd = LinkId(fwd.0 + 1);
+        self.topology.links.push(LinkSpec { from: a, to: b, params: forward, peer: bwd });
+        self.topology.links.push(LinkSpec { from: b, to: a, params: backward, peer: fwd });
+    }
+
+    /// Connects two ports symmetrically (same parameters both ways).
+    pub fn connect_symmetric(&mut self, a: Port, b: Port, params: LinkParams) {
+        self.connect(a, b, params, params);
+    }
+
+    fn check(&self, port: Port) {
+        match port {
+            Port::Node(NodeId(n)) => {
+                assert!(n < self.topology.nodes, "node{n} out of range");
+            }
+            Port::Switch(SwitchId(s)) => {
+                assert!(s < self.topology.switches, "switch{s} out of range");
+            }
+        }
+    }
+
+    /// Finalises the topology.
+    pub fn build(self) -> Topology {
+        self.topology
+    }
+}

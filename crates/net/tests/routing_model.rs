@@ -1,0 +1,132 @@
+//! Property-based checks of the routing model over randomly generated
+//! chain topologies (a line of switches, nodes hung off arbitrary
+//! switches): delivery time is monotone in packet size, reverse routes
+//! mirror forward routes via link twins, and severing a trunk (the
+//! min-cut of a chain) partitions exactly the node pairs whose route
+//! crossed it.
+
+use proptest::prelude::*;
+use ree_net::{LinkParams, Network, NodeId, Port, SendVerdict, SwitchId, Topology};
+use ree_sim::{SimDuration, SimRng, SimTime};
+
+/// A line of `switches` switches with a serialising trunk between each
+/// consecutive pair; node `n` hangs off switch `assign[n] % switches`.
+/// Always connected.
+fn chain_topology(assign: &[u16], switches: u16, trunk_latency_us: u64) -> Topology {
+    let mut b = Topology::builder(assign.len() as u16);
+    let sws: Vec<SwitchId> = (0..switches).map(|_| b.add_switch()).collect();
+    let uplink = LinkParams::wire(12_500_000, SimDuration::from_micros(100));
+    for (n, &s) in assign.iter().enumerate() {
+        b.connect(
+            Port::Node(NodeId(n as u16)),
+            Port::Switch(sws[(s % switches) as usize]),
+            uplink,
+            LinkParams::instant(),
+        );
+    }
+    let trunk = LinkParams::wire(1_250_000, SimDuration::from_micros(trunk_latency_us));
+    for w in sws.windows(2) {
+        b.connect_symmetric(Port::Switch(w[0]), Port::Switch(w[1]), trunk);
+    }
+    b.build()
+}
+
+proptest! {
+    /// With zero jitter, a bigger packet never arrives before a smaller
+    /// one sent from the same fresh network state: every hop's wire time
+    /// is non-decreasing in size and latency is size-independent.
+    #[test]
+    fn delivery_time_is_monotone_in_size(
+        assign in proptest::collection::vec(0u16..4, 2..8),
+        switches in 1u16..4,
+        trunk_latency_us in 1u64..2_000,
+        from in 0u16..8, to in 0u16..8,
+        small in 1u64..1_000_000,
+        extra in 0u64..1_000_000,
+    ) {
+        let n = assign.len() as u16;
+        let (from, to) = (NodeId(from % n), NodeId(to % n));
+        let topology = chain_topology(&assign, switches, trunk_latency_us);
+        let fresh = Network::with_topology(topology, SimRng::new(1));
+        let t_small = fresh.clone().send(SimTime::ZERO, from, to, small).delivery_time();
+        let t_large = fresh.clone().send(SimTime::ZERO, from, to, small + extra).delivery_time();
+        let (t_small, t_large) = (t_small.unwrap(), t_large.unwrap());
+        prop_assert!(
+            t_large >= t_small,
+            "size {} delivered at {:?} but size {} at {:?}",
+            small, t_small, small + extra, t_large,
+        );
+    }
+
+    /// The reverse route of every connected pair walks the same vertices
+    /// back through each link's twin, in reverse order.
+    #[test]
+    fn routes_are_symmetric_via_twins(
+        assign in proptest::collection::vec(0u16..4, 2..8),
+        switches in 1u16..4,
+        trunk_latency_us in 1u64..2_000,
+    ) {
+        let topology = chain_topology(&assign, switches, trunk_latency_us);
+        let net = Network::with_topology(topology.clone(), SimRng::new(1));
+        let n = assign.len() as u16;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let forward = net.route(NodeId(a), NodeId(b))
+                    .expect("chain topologies are connected");
+                let backward = net.route(NodeId(b), NodeId(a))
+                    .expect("reverse pair is connected too");
+                let mirrored: Vec<_> = forward
+                    .iter()
+                    .rev()
+                    .map(|l| topology.links()[l.0 as usize].peer)
+                    .collect();
+                prop_assert_eq!(
+                    backward, &mirrored[..],
+                    "route {}->{} is not the twin mirror of {}->{}", b, a, a, b,
+                );
+            }
+        }
+    }
+
+    /// Severing one trunk (both directions) is a min-cut of the chain:
+    /// exactly the pairs on opposite sides report `Partitioned`, and
+    /// every same-side pair still delivers.
+    #[test]
+    fn severed_min_cut_partitions_exactly_the_crossing_pairs(
+        assign in proptest::collection::vec(0u16..4, 2..8),
+        switches in 2u16..4,
+        trunk_latency_us in 1u64..2_000,
+        cut in 0u16..3,
+    ) {
+        let cut = cut % (switches - 1);
+        let topology = chain_topology(&assign, switches, trunk_latency_us);
+        let mut net = Network::with_topology(topology.clone(), SimRng::new(1));
+        let forward = topology
+            .link_between(Port::Switch(SwitchId(cut)), Port::Switch(SwitchId(cut + 1)))
+            .expect("trunk exists");
+        let backward = topology.links()[forward.0 as usize].peer;
+        net.set_topology_link(forward, false);
+        net.set_topology_link(backward, false);
+        let side = |n: usize| (assign[n] % switches) <= cut;
+        for a in 0..assign.len() {
+            for b in 0..assign.len() {
+                if a == b {
+                    continue;
+                }
+                let verdict =
+                    net.send(SimTime::ZERO, NodeId(a as u16), NodeId(b as u16), 100);
+                if side(a) != side(b) {
+                    prop_assert_eq!(
+                        verdict, SendVerdict::Partitioned,
+                        "{}->{} crosses the severed trunk", a, b,
+                    );
+                } else {
+                    prop_assert!(
+                        verdict.delivery_time().is_some(),
+                        "{}->{} stays on one side yet got {:?}", a, b, verdict,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -12,7 +12,7 @@ use crate::process::{ExitStatus, HeapHit, HeapTarget, Message, Payload, Pid, Pro
 use crate::ptable::ProcTable;
 use crate::storage::{RamDisk, RemoteFs};
 use crate::trace::{Trace, TraceDetail, TraceEvent, TraceKind};
-use ree_net::{Network, NetworkConfig, NodeId, SendVerdict};
+use ree_net::{Network, NetworkConfig, NodeId, SendVerdict, Topology};
 use ree_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use std::sync::Arc;
 
@@ -98,8 +98,13 @@ impl std::fmt::Debug for SpawnSpec {
 pub struct ClusterConfig {
     /// Number of nodes (the paper uses 4 and 6).
     pub nodes: usize,
-    /// Interconnect model.
+    /// Interconnect model, used as a degenerate single-switch topology
+    /// when no explicit `topology` is given.
     pub net: NetworkConfig,
+    /// Explicit interconnect topology (switches, per-link parameters);
+    /// `None` builds [`Topology::single_switch`] from `net`, which
+    /// reproduces the historical flat model byte-for-byte.
+    pub topology: Option<Topology>,
     /// Master seed; all stochastic behaviour derives from it.
     pub seed: u64,
     /// Per-node RAM-disk capacity in bytes.
@@ -120,6 +125,7 @@ impl ClusterConfig {
         ClusterConfig {
             nodes: 4,
             net: NetworkConfig::ethernet_100mbps(),
+            topology: None,
             seed,
             ramdisk_capacity: 2 << 20,
             wipe_ramdisk_on_node_failure: true,
@@ -237,8 +243,20 @@ impl Cluster {
             .collect();
         let mut trace = Trace::new();
         trace.set_enabled(config.trace_enabled);
+        let net = match &config.topology {
+            Some(topology) => {
+                assert!(
+                    topology.nodes() as usize >= config.nodes,
+                    "topology covers {} nodes but the cluster has {}",
+                    topology.nodes(),
+                    config.nodes
+                );
+                Network::with_topology(topology.clone(), net_rng)
+            }
+            None => Network::new(config.net.clone(), config.nodes as u16, net_rng),
+        };
         Cluster {
-            net: Network::new(config.net.clone(), net_rng),
+            net,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             nodes,
@@ -293,6 +311,11 @@ impl Cluster {
     /// Direct network access (for load injection in recovery paths).
     pub fn network_mut(&mut self) -> &mut Network {
         &mut self.net
+    }
+
+    /// Read-only network access (traffic counters, topology, routes).
+    pub fn network(&self) -> &Network {
+        &self.net
     }
 
     /// Forks an independent RNG stream (for injectors).
@@ -476,8 +499,10 @@ impl Cluster {
         Some(hit)
     }
 
-    /// Crashes an entire node: all processes killed, link down, RAM disk
-    /// optionally wiped.
+    /// Crashes an entire node: all processes killed, every incident
+    /// link taken down ([`Network::set_node_down`]), RAM disk optionally
+    /// wiped. Loopback on the failed node is unaffected (nothing is
+    /// left running to use it).
     pub fn fail_node(&mut self, node: NodeId) {
         self.trace.push(self.now, None, TraceKind::Injection, TraceDetail::NodeFailed(node));
         let victims: Vec<Pid> = self.procs_on_node(node).to_vec();

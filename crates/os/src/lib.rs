@@ -42,5 +42,9 @@ pub use process::{
 pub use storage::{DiskError, RamDisk, RemoteFs};
 pub use trace::{Trace, TraceDetail, TraceEvent, TraceKind, TraceRecord};
 
-// Re-export the node identifier so most consumers only need ree-os.
-pub use ree_net::NodeId;
+// Re-export the interconnect vocabulary so most consumers only need
+// ree-os: node identity plus the topology-construction surface
+// (scenarios place workloads on explicit topologies).
+pub use ree_net::{
+    LinkId, LinkParams, Network, NetworkConfig, NodeId, Port, SwitchId, Topology, TopologyBuilder,
+};

@@ -15,6 +15,7 @@ fn main() {
         target: Target::ExecArmor,
         model: ErrorModel::Sigstop,
         timeout: SimTime::from_secs(320),
+        net_faults: vec![],
     };
     println!("SIGSTOP campaign against the Execution ARMORs (12 runs):");
     let mut recovered = 0;

@@ -18,6 +18,7 @@ fn exec_armor_hangs_can_induce_correlated_app_restarts() {
         target: Target::ExecArmor,
         model: ErrorModel::Sigstop,
         timeout: SimTime::from_secs(400),
+        net_faults: vec![],
     };
     let results = Campaign::new(&plan).runs(40).seed(4242).collect();
     let injected = results.iter().filter(|r| r.injections > 0).count();
@@ -36,6 +37,7 @@ fn sigstop_correlates_more_than_sigint() {
         target: Target::ExecArmor,
         model,
         timeout: SimTime::from_secs(400),
+        net_faults: vec![],
     };
     let stop = Campaign::new(&mk(ErrorModel::Sigstop)).runs(60).seed(991).collect();
     let int = Campaign::new(&mk(ErrorModel::Sigint)).runs(60).seed(992).collect();
@@ -91,6 +93,7 @@ fn blocked_sift_calls_pause_and_resume_the_application() {
         target: Target::ExecArmor,
         model: ErrorModel::Sigstop,
         timeout: SimTime::from_secs(400),
+        net_faults: vec![],
     };
     // Over a few runs, completed ones must show a modest slowdown, not a
     // runaway.
