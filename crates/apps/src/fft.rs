@@ -71,8 +71,11 @@ fn csub(a: Complex, b: Complex) -> Complex {
 #[derive(Debug)]
 pub struct FftPlan {
     n: usize,
-    /// `bitrev[i]` is the bit-reversed index of `i` (swap when `i < bitrev[i]`).
-    bitrev: Vec<u32>,
+    /// Bit-reversal permutation as explicit swap pairs `(i, j)` with
+    /// `i < j` — only the elements that actually move, so the permutation
+    /// loop runs `n/2 - ~√n` iterations with no branch, instead of `n`
+    /// iterations testing `i < bitrev[i]`.
+    swaps: Vec<(u32, u32)>,
     /// Forward twiddles, all stages flattened: the stage with butterfly
     /// span `len` (half `h = len/2`) occupies `fwd[h - 1 .. 2 * h - 1]`,
     /// entry `k` holding `exp(-2πik/len)`.
@@ -80,6 +83,12 @@ pub struct FftPlan {
     /// Inverse twiddles, same layout, `exp(+2πik/len)`.
     inv: Vec<Complex>,
 }
+
+/// Butterfly lane width for [`FftPlan::process`]: stages with at least
+/// this many butterflies per chunk run in fixed-trip-count blocks that
+/// the compiler unrolls and vectorises. 4 complex values = one 512-bit
+/// lane pair on AVX2 (4×2 f64 registers).
+const LANES: usize = 4;
 
 impl FftPlan {
     /// Precomputes a plan for `n`-point transforms.
@@ -90,8 +99,14 @@ impl FftPlan {
     pub fn new(n: usize) -> FftPlan {
         assert!(n.is_power_of_two(), "fft length {n} is not a power of two");
         let bits = n.trailing_zeros();
-        let bitrev: Vec<u32> = (0..n)
-            .map(|i| if n <= 1 { 0 } else { (i as u32).reverse_bits() >> (32 - bits) })
+        let swaps: Vec<(u32, u32)> = (0..n)
+            .filter_map(|i| {
+                if n <= 1 {
+                    return None;
+                }
+                let j = (i as u32).reverse_bits() >> (32 - bits);
+                ((i as u32) < j).then_some((i as u32, j))
+            })
             .collect();
         // One twiddle per butterfly across all stages: 1 + 2 + … + n/2 = n - 1.
         let mut fwd = Vec::with_capacity(n.saturating_sub(1));
@@ -106,7 +121,7 @@ impl FftPlan {
             }
             len <<= 1;
         }
-        FftPlan { n, bitrev, fwd, inv }
+        FftPlan { n, swaps, fwd, inv }
     }
 
     /// The transform size this plan serves.
@@ -143,39 +158,120 @@ impl FftPlan {
     ///
     /// `inverse` selects the inverse transform (scaled by `1/n`).
     ///
+    /// Every output element is produced by exactly the same sequence of
+    /// floating-point operations as the straightforward scalar loop
+    /// (`process_generic`), so results are bit-identical across the
+    /// unrolled 8-point path, the lane-blocked path, and the scalar
+    /// path — including on non-finite inputs, which injected bit flips
+    /// produce. In particular no twiddle multiply is ever algebraically
+    /// simplified: `cmul(x, (1.0, -0.0))` differs from `x` when `x` is
+    /// infinite or NaN.
+    ///
     /// # Panics
     ///
     /// Panics if `data.len() != self.size()`.
     pub fn process(&self, data: &mut [Complex], inverse: bool) {
+        if self.n == 8 {
+            // The texture filters transform millions of 8-point rows per
+            // campaign; a straight-line kernel keeps them in registers.
+            self.process8(data, inverse);
+        } else {
+            self.process_generic(data, inverse);
+        }
+    }
+
+    /// The structured (non-unrolled) kernel every size runs through,
+    /// except the sizes with dedicated straight-line paths. Public to the
+    /// crate's tests so bit-equivalence with the specialised paths can be
+    /// asserted directly.
+    #[doc(hidden)]
+    pub fn process_generic(&self, data: &mut [Complex], inverse: bool) {
         let n = self.n;
         assert_eq!(data.len(), n, "plan is for {n}-point transforms");
         if n <= 1 {
             return;
         }
-        for i in 0..n {
-            let j = self.bitrev[i] as usize;
-            if i < j {
-                data.swap(i, j);
-            }
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
         }
         let twiddles = if inverse { &self.inv } else { &self.fwd };
         let mut len = 2;
         while len <= n {
             let half = len / 2;
             let stage = &twiddles[half - 1..2 * half - 1];
-            for chunk in data.chunks_exact_mut(len) {
-                let (lo, hi) = chunk.split_at_mut(half);
-                for i in 0..half {
-                    let u = lo[i];
-                    let v = cmul(hi[i], stage[i]);
-                    lo[i] = cadd(u, v);
-                    hi[i] = csub(u, v);
+            if half < LANES {
+                for chunk in data.chunks_exact_mut(len) {
+                    let (lo, hi) = chunk.split_at_mut(half);
+                    for i in 0..half {
+                        let u = lo[i];
+                        let v = cmul(hi[i], stage[i]);
+                        lo[i] = cadd(u, v);
+                        hi[i] = csub(u, v);
+                    }
+                }
+            } else {
+                // `half` is a power of two ≥ LANES, so the lane blocks
+                // tile the stage exactly (no remainder loop). The fixed
+                // trip count and bounds-check-free fixed-size blocks are
+                // what lets the compiler emit SIMD here.
+                for chunk in data.chunks_exact_mut(len) {
+                    let (lo, hi) = chunk.split_at_mut(half);
+                    for ((lo_b, hi_b), w_b) in lo
+                        .chunks_exact_mut(LANES)
+                        .zip(hi.chunks_exact_mut(LANES))
+                        .zip(stage.chunks_exact(LANES))
+                    {
+                        for l in 0..LANES {
+                            let u = lo_b[l];
+                            let v = cmul(hi_b[l], w_b[l]);
+                            lo_b[l] = cadd(u, v);
+                            hi_b[l] = csub(u, v);
+                        }
+                    }
                 }
             }
             len <<= 1;
         }
         if inverse {
             let scale = 1.0 / n as f64;
+            for x in data.iter_mut() {
+                x.0 *= scale;
+                x.1 *= scale;
+            }
+        }
+    }
+
+    /// Fully unrolled 8-point transform: the same swaps and butterflies
+    /// as `process_generic`, in the same order, as straight-line code.
+    fn process8(&self, data: &mut [Complex], inverse: bool) {
+        assert_eq!(data.len(), 8, "plan is for 8-point transforms");
+        #[inline(always)]
+        fn bf(data: &mut [Complex], a: usize, b: usize, w: Complex) {
+            let u = data[a];
+            let v = cmul(data[b], w);
+            data[a] = cadd(u, v);
+            data[b] = csub(u, v);
+        }
+        // Bit-reversal of 0..8 moves exactly two pairs.
+        data.swap(1, 4);
+        data.swap(3, 6);
+        let tw = if inverse { &self.inv } else { &self.fwd };
+        // Stage len=2 (twiddle tw[0]), then len=4 (tw[1..3]), then
+        // len=8 (tw[3..7]) — the flattened `h-1..2h-1` layout.
+        bf(data, 0, 1, tw[0]);
+        bf(data, 2, 3, tw[0]);
+        bf(data, 4, 5, tw[0]);
+        bf(data, 6, 7, tw[0]);
+        bf(data, 0, 2, tw[1]);
+        bf(data, 1, 3, tw[2]);
+        bf(data, 4, 6, tw[1]);
+        bf(data, 5, 7, tw[2]);
+        bf(data, 0, 4, tw[3]);
+        bf(data, 1, 5, tw[4]);
+        bf(data, 2, 6, tw[5]);
+        bf(data, 3, 7, tw[6]);
+        if inverse {
+            let scale = 1.0 / 8.0;
             for x in data.iter_mut() {
                 x.0 *= scale;
                 x.1 *= scale;
@@ -261,36 +357,68 @@ pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
 ///
 /// Panics if `size` is not a power of two or `data.len() != size*size`.
 pub fn fft2d(data: &mut [Complex], size: usize, inverse: bool) {
-    let plan = FftPlan::for_size(size);
-    let mut col = vec![(0.0, 0.0); size];
-    fft2d_with(&plan, data, inverse, &mut col);
+    fft2d_with(&FftPlan::for_size(size), data, inverse);
 }
 
-/// [`fft2d`] driven by a caller-held plan and column scratch buffer —
-/// the allocation-free form the tiled filter pipeline uses (one scratch
-/// per [`crate::filters::FilterScratch`], reused across every tile).
+/// Transpose block side: 8 complex values per row = 128 bytes = two
+/// cache lines, so a block pair stays resident while it is exchanged.
+const TRANSPOSE_BLOCK: usize = 8;
+
+/// In-place transpose of a row-major `size`×`size` matrix, walked in
+/// cache-sized blocks.
+fn transpose(data: &mut [Complex], size: usize) {
+    let b = TRANSPOSE_BLOCK;
+    let mut rb = 0;
+    while rb < size {
+        let r_end = (rb + b).min(size);
+        // Diagonal block: swap its strict upper triangle.
+        for r in rb..r_end {
+            for c in (r + 1)..r_end {
+                data.swap(r * size + c, c * size + r);
+            }
+        }
+        // Off-diagonal block pairs.
+        let mut cb = rb + b;
+        while cb < size {
+            let c_end = (cb + b).min(size);
+            for r in rb..r_end {
+                for c in cb..c_end {
+                    data.swap(r * size + c, c * size + r);
+                }
+            }
+            cb += b;
+        }
+        rb += b;
+    }
+}
+
+/// [`fft2d`] driven by a caller-held plan — the allocation-free form the
+/// tiled filter pipeline uses.
+///
+/// The column pass runs as transpose → contiguous row transforms →
+/// transpose back, instead of gathering each column through a strided
+/// scratch buffer: the transforms then stream cache lines linearly, and
+/// the blocked transpose touches each line once. Each column still
+/// receives the identical 1-D transform on identical values, so the
+/// result is bit-exact with the gather/scatter formulation (asserted in
+/// `crates/apps/tests/fft_plan.rs`).
 ///
 /// # Panics
 ///
-/// Panics if `data.len() != plan.size()²` or `col.len() != plan.size()`.
-pub fn fft2d_with(plan: &FftPlan, data: &mut [Complex], inverse: bool, col: &mut [Complex]) {
+/// Panics if `data.len() != plan.size()²`.
+pub fn fft2d_with(plan: &FftPlan, data: &mut [Complex], inverse: bool) {
     let size = plan.size();
     assert_eq!(data.len(), size * size, "image must be size*size");
-    assert_eq!(col.len(), size, "column scratch must be one side long");
     // Rows.
     for row in data.chunks_mut(size) {
         plan.process(row, inverse);
     }
-    // Columns (gather, transform, scatter).
-    for c in 0..size {
-        for r in 0..size {
-            col[r] = data[r * size + c];
-        }
-        plan.process(col, inverse);
-        for r in 0..size {
-            data[r * size + c] = col[r];
-        }
+    // Columns, as rows of the transpose.
+    transpose(data, size);
+    for row in data.chunks_mut(size) {
+        plan.process(row, inverse);
     }
+    transpose(data, size);
 }
 
 /// Power (squared magnitude) of a spectrum element.
@@ -396,5 +524,75 @@ mod tests {
         let mut one = vec![(3.5, -1.0)];
         fft(&mut one, false);
         assert_eq!(one, vec![(3.5, -1.0)]);
+    }
+
+    /// Deterministic pseudo-random doubles for bit-exactness checks.
+    fn lcg_signal(n: usize, mut state: u64) -> Vec<Complex> {
+        (0..n)
+            .map(|_| {
+                let mut next = || {
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((state >> 11) as f64 / (1u64 << 53) as f64) * 100.0 - 50.0
+                };
+                (next(), next())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unrolled_8_point_is_bit_exact_with_generic() {
+        let plan = FftPlan::new(8);
+        for seed in 0..64u64 {
+            for inverse in [false, true] {
+                let signal = lcg_signal(8, seed + 1);
+                let mut unrolled = signal.clone();
+                let mut generic = signal;
+                plan.process8(&mut unrolled, inverse);
+                plan.process_generic(&mut generic, inverse);
+                assert_eq!(unrolled, generic, "seed {seed} inverse {inverse}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_8_point_matches_generic_on_non_finite_inputs() {
+        // Injected bit flips can produce ±∞/NaN mid-tile; the specialised
+        // path must propagate them through the identical FP expressions.
+        let plan = FftPlan::new(8);
+        for (poison_idx, poison) in
+            [(0, f64::INFINITY), (3, f64::NEG_INFINITY), (5, f64::NAN), (7, f64::MAX)]
+        {
+            for inverse in [false, true] {
+                let mut signal = lcg_signal(8, 99);
+                signal[poison_idx].0 = poison;
+                let mut unrolled = signal.clone();
+                let mut generic = signal;
+                plan.process8(&mut unrolled, inverse);
+                plan.process_generic(&mut generic, inverse);
+                // Compare bit patterns so NaN positions must agree too.
+                let bits = |v: &[Complex]| -> Vec<(u64, u64)> {
+                    v.iter().map(|c| (c.0.to_bits(), c.1.to_bits())).collect()
+                };
+                assert_eq!(bits(&unrolled), bits(&generic), "poison at {poison_idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution_and_layout() {
+        for size in [1usize, 2, 4, 8, 16, 32] {
+            let original: Vec<Complex> =
+                (0..size * size).map(|i| (i as f64, -(i as f64))).collect();
+            let mut data = original.clone();
+            transpose(&mut data, size);
+            for r in 0..size {
+                for c in 0..size {
+                    assert_eq!(data[c * size + r], original[r * size + c]);
+                }
+            }
+            transpose(&mut data, size);
+            assert_eq!(data, original);
+        }
     }
 }

@@ -12,9 +12,10 @@
 //! column scratch inside `fft2d`, and — per spectrum bin — a `sqrt` plus
 //! a libm `atan2` to decide band membership. Band membership depends
 //! only on `(tile size, filter)`, so it is now precomputed once into a
-//! boolean **band mask** and cached (see [`FilterScratch`]); the tile
-//! and column buffers live in a scratch pool reused across every tile of
-//! a call (and across calls, for callers that hold a scratch). The mask
+//! **band mask** — span-encoded for branch-free energy sums — and
+//! cached (see [`FilterScratch`]); the tile buffer lives in a scratch
+//! pool reused across every tile of a call (and across calls, for
+//! callers that hold a scratch). The mask
 //! itself is built with a polynomial `atan2` approximation
 //! ([`fast_atan2`], max error < 2e-5 rad); compile with the `exact-trig`
 //! feature to build masks with libm `atan2` instead. The two agree on
@@ -128,12 +129,44 @@ fn build_band_mask(size: usize, filter: usize, exact: bool) -> Vec<bool> {
     mask
 }
 
+/// A band mask run-length encoded as contiguous `[start, end)` index
+/// spans over the row-major spectrum. The energy accumulation iterates
+/// spans of contiguous bins instead of testing a boolean per bin, which
+/// drops the per-bin branch and mask load from the hot loop; summation
+/// still proceeds in ascending bin order, so the total is bit-identical
+/// to the masked form (asserted by `span_energy_is_bit_exact`).
+#[derive(Debug)]
+struct BandMask {
+    spans: Vec<(u32, u32)>,
+}
+
+impl BandMask {
+    fn from_bins(bins: &[bool]) -> BandMask {
+        let mut spans = Vec::new();
+        let mut start = None;
+        for (i, &in_band) in bins.iter().enumerate() {
+            match (in_band, start) {
+                (true, None) => start = Some(i as u32),
+                (false, Some(s)) => {
+                    spans.push((s, i as u32));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            spans.push((s, bins.len() as u32));
+        }
+        BandMask { spans }
+    }
+}
+
 /// Sorted `((size, filter), mask)` registry entries.
-type MaskRegistry = Vec<((usize, usize), Arc<[bool]>)>;
+type MaskRegistry = Vec<((usize, usize), Arc<BandMask>)>;
 
 /// Fetches (building on first use) the cached orientation mask for one
 /// `(size, filter)` pair.
-fn band_mask(size: usize, filter: usize) -> Arc<[bool]> {
+fn band_mask(size: usize, filter: usize) -> Arc<BandMask> {
     debug_assert!(size <= MAX_TILE_PX, "mask size {size} beyond the proven fast/exact bound");
     thread_local! {
         /// Sorted mask registry — at most a handful of entries per
@@ -146,7 +179,8 @@ fn band_mask(size: usize, filter: usize) -> Arc<[bool]> {
             Ok(i) => Arc::clone(&reg[i].1),
             Err(i) => {
                 let exact = cfg!(feature = "exact-trig");
-                let mask: Arc<[bool]> = build_band_mask(size, filter, exact).into();
+                let bins = build_band_mask(size, filter, exact);
+                let mask = Arc::new(BandMask::from_bins(&bins));
                 reg.insert(i, ((size, filter), Arc::clone(&mask)));
                 mask
             }
@@ -154,14 +188,14 @@ fn band_mask(size: usize, filter: usize) -> Arc<[bool]> {
     })
 }
 
-/// Reusable per-tile working state: the FFT plan for the tile size, the
-/// tile spectrum buffer, and the column scratch — everything
-/// `filter_tiles` needs, allocated once and reused for every tile.
+/// Reusable per-tile working state: the FFT plan for the tile size and
+/// the tile spectrum buffer — everything `filter_tiles` needs, allocated
+/// once and reused for every tile. (The 2-D FFT's column pass runs via
+/// in-place transposes, so no column scratch is needed.)
 #[derive(Clone, Debug)]
 pub struct FilterScratch {
     plan: Arc<FftPlan>,
     buf: Vec<Complex>,
-    col: Vec<Complex>,
 }
 
 impl FilterScratch {
@@ -175,11 +209,7 @@ impl FilterScratch {
     pub fn new(tile_px: usize) -> FilterScratch {
         assert!(tile_px.is_power_of_two(), "tile size must be a power of two");
         assert!(tile_px <= MAX_TILE_PX, "tile size {tile_px} exceeds MAX_TILE_PX {MAX_TILE_PX}");
-        FilterScratch {
-            plan: FftPlan::for_size(tile_px),
-            buf: vec![(0.0, 0.0); tile_px * tile_px],
-            col: vec![(0.0, 0.0); tile_px],
-        }
+        FilterScratch { plan: FftPlan::for_size(tile_px), buf: vec![(0.0, 0.0); tile_px * tile_px] }
     }
 
     /// Tile side length this scratch serves.
@@ -238,7 +268,7 @@ pub fn filter_tiles_px(
                 *dst = (px, 0.0);
             }
         }
-        fft2d_with(&scratch.plan, &mut scratch.buf, false, &mut scratch.col);
+        fft2d_with(&scratch.plan, &mut scratch.buf, false);
         out.push((tile, oriented_energy(&scratch.buf, &mask)));
     }
     out
@@ -246,10 +276,13 @@ pub fn filter_tiles_px(
 
 /// Sums spectral power over the filter's precomputed orientation band
 /// (the DC term is excluded by the mask) and compresses with `ln(1+x)`.
-fn oriented_energy(spectrum: &[Complex], mask: &[bool]) -> f64 {
+/// Accumulates span by span in ascending bin order — the identical
+/// addition sequence as a per-bin masked loop, without the per-bin
+/// branch.
+fn oriented_energy(spectrum: &[Complex], mask: &BandMask) -> f64 {
     let mut total = 0.0;
-    for (c, &in_band) in spectrum.iter().zip(mask) {
-        if in_band {
+    for &(start, end) in &mask.spans {
+        for c in &spectrum[start as usize..end as usize] {
             total += power(*c);
         }
     }
@@ -362,6 +395,31 @@ mod tests {
                     build_band_mask(size, filter, true),
                     "size {size} filter {filter}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn span_energy_is_bit_exact() {
+        // The span encoding must reproduce the per-bin masked sum
+        // bit-for-bit for every supported (size, filter) pair.
+        let sizes = (1..).map(|e| 1usize << e).take_while(|&s| s <= 64);
+        for size in sizes {
+            for filter in 0..NUM_FILTERS {
+                let bins = build_band_mask(size, filter, true);
+                let mask = BandMask::from_bins(&bins);
+                let spectrum: Vec<Complex> = (0..size * size)
+                    .map(|i| ((i as f64 * 0.7).sin() * 9.0, (i as f64 * 1.3).cos() * 4.0))
+                    .collect();
+                let mut reference = 0.0;
+                for (c, &in_band) in spectrum.iter().zip(&bins) {
+                    if in_band {
+                        reference += power(*c);
+                    }
+                }
+                let reference = (1.0 + reference).ln();
+                let got = oriented_energy(&spectrum, &mask);
+                assert_eq!(got.to_bits(), reference.to_bits(), "size {size} filter {filter}");
             }
         }
     }

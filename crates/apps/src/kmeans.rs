@@ -46,18 +46,45 @@ pub fn kmeans(vectors: &[f64], dim: usize, k: usize, max_iters: usize) -> Cluste
     // NaN-tolerant comparisons throughout: corrupted inputs (injected
     // bit flips can produce NaN/inf) must yield a wrong clustering, not
     // a crash — the paper's app fails by "detectably incorrect output".
-    let first =
-        (0..n).min_by(|&a, &b| dist2(row(a), &mean).total_cmp(&dist2(row(b), &mean))).unwrap();
+    //
+    // The selection loops below are manual rewrites of `min_by`/`max_by`
+    // that evaluate each distance once instead of re-deriving the
+    // accumulator's key on every comparison. Tie semantics replicate the
+    // iterator adapters exactly — `min_by` keeps the *first* minimum
+    // (replace only on `Less`), `max_by` keeps the *last* maximum
+    // (replace on anything but `Less`) — so the selected indices, and
+    // with them the whole clustering, are bit-identical.
+    use std::cmp::Ordering;
+    let mut first = 0usize;
+    let mut first_d = dist2(row(0), &mean);
+    for i in 1..n {
+        let d = dist2(row(i), &mean);
+        if d.total_cmp(&first_d) == Ordering::Less {
+            first = i;
+            first_d = d;
+        }
+    }
     let mut centres = vec![first];
+    // Distance from each vector to its nearest chosen centre, maintained
+    // incrementally: the same `fold(f64::MAX, f64::min)` chain as
+    // recomputing over all centres, one `min` link per new centre.
+    let mut near: Vec<f64> =
+        (0..n).map(|i| f64::min(f64::MAX, dist2(row(i), row(first)))).collect();
     while centres.len() < k {
-        let next = (0..n)
-            .max_by(|&a, &b| {
-                let da = centres.iter().map(|&c| dist2(row(a), row(c))).fold(f64::MAX, f64::min);
-                let db = centres.iter().map(|&c| dist2(row(b), row(c))).fold(f64::MAX, f64::min);
-                da.total_cmp(&db)
-            })
-            .unwrap();
+        let mut next = 0usize;
+        let mut next_d = near[0];
+        for (i, &d) in near.iter().enumerate().skip(1) {
+            if d.total_cmp(&next_d) != Ordering::Less {
+                next = i;
+                next_d = d;
+            }
+        }
         centres.push(next);
+        if centres.len() < k {
+            for (i, nd) in near.iter_mut().enumerate() {
+                *nd = f64::min(*nd, dist2(row(i), row(next)));
+            }
+        }
     }
     let mut centroids: Vec<f64> = centres.iter().flat_map(|&c| row(c).to_vec()).collect();
 
@@ -65,15 +92,20 @@ pub fn kmeans(vectors: &[f64], dim: usize, k: usize, max_iters: usize) -> Cluste
     let mut iterations = 0;
     for _ in 0..max_iters {
         iterations += 1;
-        // Assign.
+        // Assign: k distance evaluations per vector (the adapter form
+        // cost 2(k-1) — both sides of every comparison).
         let mut changed = false;
         for (i, label) in labels.iter_mut().enumerate() {
-            let best = (0..k)
-                .min_by(|&a, &b| {
-                    dist2(row(i), &centroids[a * dim..(a + 1) * dim])
-                        .total_cmp(&dist2(row(i), &centroids[b * dim..(b + 1) * dim]))
-                })
-                .unwrap();
+            let v = row(i);
+            let mut best = 0usize;
+            let mut best_d = dist2(v, &centroids[..dim]);
+            for c in 1..k {
+                let d = dist2(v, &centroids[c * dim..(c + 1) * dim]);
+                if d.total_cmp(&best_d) == Ordering::Less {
+                    best = c;
+                    best_d = d;
+                }
+            }
             if *label != best {
                 *label = best;
                 changed = true;

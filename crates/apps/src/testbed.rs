@@ -207,6 +207,11 @@ impl Scenario {
     pub fn boot_snapshot(&self, until: SimTime) -> BootSnapshot {
         let mut running = self.start();
         running.run_until_done(until);
+        // Freeze the boot-time trace records into the shared prefix so
+        // each fork's clone is a refcount bump, not a deep copy. Readers
+        // see the identical sequence, so warm and cold runs still render
+        // byte-for-byte the same.
+        running.cluster.trace_mut().freeze();
         BootSnapshot { running, booted_to: until }
     }
 }
@@ -262,6 +267,26 @@ impl std::fmt::Debug for BootSnapshot {
     }
 }
 
+/// Memoised `scc/alldone` probe for per-event completion predicates.
+///
+/// The returned closure re-reads the remote file system only when its
+/// content [`version`](ree_os::RemoteFs::version) has moved — a u64
+/// compare per event instead of a path lookup. The probed value can
+/// only change when the table mutates, so the answer sequence is
+/// identical to probing every event.
+fn all_done_memo() -> impl FnMut(&Cluster) -> bool {
+    let mut seen = u64::MAX;
+    let mut done = false;
+    move |c: &Cluster| {
+        let fs = c.remote_fs_ref();
+        if fs.version() != seen {
+            seen = fs.version();
+            done = fs.peek("scc/alldone").is_some();
+        }
+        done
+    }
+}
+
 /// A live (or finished) scenario execution.
 #[derive(Clone)]
 pub struct Running {
@@ -277,9 +302,8 @@ impl Running {
     /// horizon passes (false).
     pub fn run_until_done(&mut self, horizon: SimTime) -> bool {
         let jobs = self.jobs;
-        self.cluster.run_until_pred(horizon, |c| {
-            c.remote_fs_ref().peek("scc/alldone").is_some() && jobs > 0
-        })
+        let mut done = all_done_memo();
+        self.cluster.run_until_pred(horizon, |c| done(c) && jobs > 0)
     }
 
     /// Runs for a fixed horizon regardless of completion.
@@ -297,9 +321,8 @@ impl Running {
         mut pred: impl FnMut(&Cluster) -> bool,
     ) -> bool {
         let jobs = self.jobs;
-        self.cluster.run_until_pred(horizon, |c| {
-            (c.remote_fs_ref().peek("scc/alldone").is_some() && jobs > 0) || pred(c)
-        });
+        let mut done = all_done_memo();
+        self.cluster.run_until_pred(horizon, |c| (done(c) && jobs > 0) || pred(c));
         self.all_done()
     }
 
@@ -318,16 +341,16 @@ impl Running {
     /// the interval between failure detection and target restart (§4.2's
     /// recovery-time definition).
     pub fn recovery_times(&self) -> Vec<SimDuration> {
-        let recs = self.cluster.trace().records();
-        let completions: Vec<(usize, SimTime)> = recs
-            .iter()
+        let trace = self.cluster.trace();
+        let completions: Vec<(usize, SimTime)> = trace
+            .records()
             .enumerate()
             .filter(|(_, r)| r.event == Some(ree_os::TraceEvent::RecoveryCompleted))
             .map(|(i, r)| (i, r.time))
             .collect();
         let mut out = Vec::new();
         let mut c = 0;
-        for (i, r) in recs.iter().enumerate() {
+        for (i, r) in trace.records().enumerate() {
             if !r.event.map(|e| e.is_failure_detection()).unwrap_or(false) {
                 continue;
             }

@@ -4,7 +4,7 @@
 //! size — the plan registry serves all of them from one cache.
 
 use proptest::prelude::*;
-use ree_apps::fft::{fft, fft_unplanned, Complex, FftPlan};
+use ree_apps::fft::{fft, fft2d_with, fft_unplanned, Complex, FftPlan};
 use ree_sim::SimRng;
 
 /// Tolerance for planned-vs-unplanned agreement. The two kernels differ
@@ -63,6 +63,26 @@ fn plan_can_be_built_directly_without_the_registry() {
     assert!(max_abs_diff(&a, &b) < TOL);
 }
 
+/// Reference 2-D transform built purely from `fft_unplanned`: per-row
+/// passes, then each column gathered into a scratch vector, transformed,
+/// and scattered back — the strided layout the transpose-blocked kernel
+/// replaced.
+fn fft2d_reference(data: &mut [Complex], size: usize, inverse: bool) {
+    for row in data.chunks_exact_mut(size) {
+        fft_unplanned(row, inverse);
+    }
+    let mut col = vec![(0.0, 0.0); size];
+    for c in 0..size {
+        for r in 0..size {
+            col[r] = data[r * size + c];
+        }
+        fft_unplanned(&mut col, inverse);
+        for r in 0..size {
+            data[r * size + c] = col[r];
+        }
+    }
+}
+
 proptest! {
     /// For every power-of-two size up to 2¹⁰ and any seed, the planned
     /// kernel agrees with the recurrence kernel and the inverse
@@ -80,5 +100,31 @@ proptest! {
 
         fft(&mut planned, true);
         prop_assert!(max_abs_diff(&planned, &signal) < TOL);
+    }
+
+    /// The transpose-blocked 2-D kernel agrees with the strided
+    /// `fft_unplanned` reference for every supported tile size — both
+    /// directions — and the inverse round-trips the forward transform.
+    /// Covers tiles below, at, and above the transpose block width.
+    #[test]
+    fn tiled_fft2d_matches_unplanned_over_all_tile_sizes(exp in 0u32..=6, seed in any::<u64>()) {
+        let size = 1usize << exp;
+        let signal = random_signal(size * size, seed);
+        let plan = FftPlan::for_size(size);
+
+        for inverse in [false, true] {
+            let mut tiled = signal.clone();
+            let mut reference = signal.clone();
+            fft2d_with(&plan, &mut tiled, inverse);
+            fft2d_reference(&mut reference, size, inverse);
+            let diff = max_abs_diff(&tiled, &reference);
+            prop_assert!(diff < TOL, "size {size} inverse {inverse}: diff {diff}");
+        }
+
+        let mut data = signal.clone();
+        fft2d_with(&plan, &mut data, false);
+        fft2d_with(&plan, &mut data, true);
+        let diff = max_abs_diff(&data, &signal);
+        prop_assert!(diff < TOL, "size {size}: 2-D round-trip diff {diff}");
     }
 }

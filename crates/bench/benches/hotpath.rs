@@ -61,7 +61,7 @@ fn hotpath(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            if trace.records().len() >= 300_000 {
+            if trace.len() >= 300_000 {
                 trace.clear();
             }
             trace.push(
@@ -78,7 +78,7 @@ fn hotpath(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            if trace.records().len() >= 300_000 {
+            if trace.len() >= 300_000 {
                 trace.clear();
             }
             trace.push_event(
@@ -103,6 +103,45 @@ fn hotpath(c: &mut Criterion) {
             );
         }
         b.iter(|| black_box(trace.render().len()));
+    });
+
+    group.bench_function("snapshot_fork", |b| {
+        // The per-run cost a warm campaign pays before injecting
+        // anything: fork the boot snapshot (CoW storage and frozen
+        // trace make this a deep copy of live state only) and reseed.
+        let plan = ree_inject::RunPlan {
+            scenario: ree_apps::Scenario::single_texture(11),
+            target: ree_inject::Target::App,
+            model: ree_inject::ErrorModel::Register,
+            timeout: SimTime::from_secs(220),
+            net_faults: vec![],
+        };
+        let snapshot = plan.boot_snapshot();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(snapshot.fork(seed))
+        });
+    });
+
+    group.bench_function("fork_cow_write", |b| {
+        // First storage write after a fork: the one write that pays the
+        // copy-on-write unsharing of the remote file table.
+        let plan = ree_inject::RunPlan {
+            scenario: ree_apps::Scenario::single_texture(11),
+            target: ree_inject::Target::App,
+            model: ree_inject::ErrorModel::Register,
+            timeout: SimTime::from_secs(220),
+            net_faults: vec![],
+        };
+        let snapshot = plan.boot_snapshot();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut run = snapshot.fork(seed);
+            run.cluster.remote_fs().write("bench/cow", vec![0xA5; 64]);
+            black_box(run.cluster.remote_fs_ref().peek("bench/cow").map(<[u8]>::len))
+        });
     });
 
     group.bench_function("ckpt_encode_dirty", |b| {

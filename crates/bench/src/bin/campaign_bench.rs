@@ -4,7 +4,13 @@
 //! PR-over-PR comparison.
 //!
 //! Usage: `campaign_bench [--runs N] [--seed S] [--out PATH] [--quiet]
-//! [--baseline PATH] [--strict]`
+//! [--baseline PATH] [--strict] [--only LABELS]`
+//!
+//! `--only` takes a comma-separated list of single-thread sweep labels
+//! (e.g. `--only register`), runs just those, and exits without writing
+//! JSON — the profiling mode: wrap the binary in `gprofng collect app`
+//! and the profile covers exactly the sweep under study instead of the
+//! whole suite.
 //!
 //! `--baseline` compares this invocation's register-sweep runs/sec
 //! against a previously committed `BENCH_campaign.json` and prints a
@@ -46,6 +52,22 @@ use std::time::Instant;
 fn plan(model: ErrorModel, seed: u64) -> RunPlan {
     RunPlan {
         scenario: ree_apps::Scenario::single_texture(seed),
+        target: Target::App,
+        model,
+        timeout: SimTime::from_secs(220),
+        net_faults: vec![],
+    }
+}
+
+/// The register plan with event tracing disabled — what a pure
+/// throughput campaign (no trace-derived diagnostics) pays. Forks of a
+/// no-trace snapshot skip the trace buffer entirely, so the gap between
+/// this and `register` prices the tracing subsystem.
+fn notrace_plan(model: ErrorModel, seed: u64) -> RunPlan {
+    let mut scenario = ree_apps::Scenario::single_texture(seed);
+    scenario.trace = false;
+    RunPlan {
+        scenario,
         target: Target::App,
         model,
         timeout: SimTime::from_secs(220),
@@ -267,7 +289,38 @@ fn main() {
     let note = get("--note").unwrap_or_default();
     let quiet = args.iter().any(|a| a == "--quiet");
 
+    // Profiling mode: run only the named single-thread sweeps, no JSON.
+    if let Some(only) = get("--only") {
+        for label in only.split(',') {
+            let sweep = match label {
+                "register" => sweep_warm("register", &plan(ErrorModel::Register, seed), runs, seed),
+                "register_notrace" => sweep_warm(
+                    "register_notrace",
+                    &notrace_plan(ErrorModel::Register, seed),
+                    runs,
+                    seed,
+                ),
+                "sigint" => sweep_warm("sigint", &plan(ErrorModel::Sigint, seed), runs, seed),
+                "partition" => sweep_warm("partition", &partition_plan(seed), runs, seed),
+                "register_cold" => {
+                    sweep_cold("register_cold", &plan(ErrorModel::Register, seed), runs, seed)
+                }
+                "sigint_cold" => {
+                    sweep_cold("sigint_cold", &plan(ErrorModel::Sigint, seed), runs, seed)
+                }
+                other => {
+                    eprintln!("::error::unknown sweep label {other:?} for --only");
+                    std::process::exit(2);
+                }
+            };
+            eprintln!("{}", json_sweep(&sweep));
+        }
+        return;
+    }
+
     let register = sweep_warm("register", &plan(ErrorModel::Register, seed), runs, seed);
+    let register_notrace =
+        sweep_warm("register_notrace", &notrace_plan(ErrorModel::Register, seed), runs, seed);
     let sigint = sweep_warm("sigint", &plan(ErrorModel::Sigint, seed), runs, seed);
     let partition = sweep_warm("partition", &partition_plan(seed), runs, seed);
     let register_cold = sweep_cold("register_cold", &plan(ErrorModel::Register, seed), runs, seed);
@@ -294,12 +347,13 @@ fn main() {
         "{{\n  \"workload\": \"single_texture 4-node testbed, Target::App\",\n  \
          \"note\": \"{}\",\n  \
          \"runs_per_sweep\": {runs},\n  \"seed\": {seed},\n  \
-         \"single_thread\": [\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \
+         \"single_thread\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \
          \"parallel_register\": {{\"runs\": {runs}, \"total_secs\": {parallel_secs:.3}, \
          \"runs_per_sec\": {parallel_rps:.2}}},\n  \
          \"adaptive\": [\n    {},\n    {}\n  ]\n}}\n",
         json_escape(&note),
         json_sweep(&register),
+        json_sweep(&register_notrace),
         json_sweep(&sigint),
         json_sweep(&partition),
         json_sweep(&register_cold),

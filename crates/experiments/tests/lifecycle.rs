@@ -11,9 +11,7 @@ fn texture_app_completes_under_sift() {
     let done = run.run_until_done(SimTime::from_secs(300));
     if !done {
         // Dump trace tail for debugging.
-        for r in
-            run.cluster.trace().records().iter().rev().take(60).collect::<Vec<_>>().iter().rev()
-        {
+        for r in run.cluster.trace().records().rev().take(60).collect::<Vec<_>>().iter().rev() {
             eprintln!("{} {:?} {}", r.time, r.pid, r.detail);
         }
     }

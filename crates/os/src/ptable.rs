@@ -33,7 +33,6 @@ struct Slot<T> {
 }
 
 /// Generational-slab process table with node and name indexes.
-#[derive(Clone)]
 pub(crate) struct ProcTable<T> {
     slots: Vec<Option<Slot<T>>>,
     free: Vec<u32>,
@@ -45,6 +44,30 @@ pub(crate) struct ProcTable<T> {
     by_name: HashMap<Arc<str>, Vec<Pid>>,
     next_pid: u64,
     len: usize,
+}
+
+/// Cloning deep-copies every entry (warm-boot snapshot forking) while
+/// preserving the slab vectors' capacity: the snapshot's table sits at
+/// its boot-time high-water mark and forked runs spawn recovery
+/// processes past the current length, so a `len`-sized clone would
+/// re-grow on every run.
+impl<T: Clone> Clone for ProcTable<T> {
+    fn clone(&self) -> Self {
+        fn presized<T: Clone>(v: &[T], capacity: usize) -> Vec<T> {
+            let mut out = Vec::with_capacity(capacity);
+            out.extend_from_slice(v);
+            out
+        }
+        ProcTable {
+            slots: presized(&self.slots, self.slots.capacity()),
+            free: presized(&self.free, self.free.capacity()),
+            by_pid: presized(&self.by_pid, self.by_pid.capacity()),
+            by_node: self.by_node.clone(),
+            by_name: self.by_name.clone(),
+            next_pid: self.next_pid,
+            len: self.len,
+        }
+    }
 }
 
 impl<T> ProcTable<T> {

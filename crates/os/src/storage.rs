@@ -5,8 +5,59 @@
 //! disk on each node serves as stable storage"), plus a remote file system
 //! on a Sun workstation holding program executables, application input and
 //! output data.
+//!
+//! Both stores share their contents copy-on-write between snapshot forks:
+//! cloning a store bumps one refcount, and the first write after a fork
+//! clones only the entry table (path boxes plus per-file refcount bumps),
+//! never the stored bytes — file contents are immutable chunks replaced
+//! wholesale on write. Entries are kept sorted by path, so enumeration
+//! order is deterministic regardless of insert order (the previous
+//! `HashMap` representation leaked its arbitrary iteration order, the
+//! same class of bug as the process-table `find_by_name` fix).
 
-use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sorted path → contents table shared copy-on-write between forks.
+#[derive(Debug, Clone, Default)]
+struct FileMap {
+    /// Sorted by path; contents are immutable once stored.
+    entries: Vec<(Box<str>, Arc<Vec<u8>>)>,
+}
+
+impl FileMap {
+    fn idx(&self, path: &str) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(p, _)| p.as_ref().cmp(path))
+    }
+
+    fn get(&self, path: &str) -> Option<&Arc<Vec<u8>>> {
+        self.idx(path).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Inserts or replaces; returns the previous contents if any.
+    fn insert(&mut self, path: &str, data: Arc<Vec<u8>>) -> Option<Arc<Vec<u8>>> {
+        match self.idx(path) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, data)),
+            Err(i) => {
+                self.entries.insert(i, (path.into(), data));
+                None
+            }
+        }
+    }
+
+    fn remove(&mut self, path: &str) -> Option<Arc<Vec<u8>>> {
+        self.idx(path).ok().map(|i| self.entries.remove(i).1)
+    }
+
+    fn paths(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(p, _)| p.as_ref())
+    }
+}
+
+/// Recovers owned bytes from a possibly-shared chunk without copying when
+/// this store held the only reference.
+fn unwrap_bytes(chunk: Arc<Vec<u8>>) -> Vec<u8> {
+    Arc::try_unwrap(chunk).unwrap_or_else(|shared| (*shared).clone())
+}
 
 /// A node-local RAM disk emulating non-volatile memory.
 ///
@@ -14,6 +65,8 @@ use std::collections::HashMap;
 /// checkpoint back) but, mirroring the testbed, are lost if the node
 /// itself is wiped — tolerating node failures requires checkpoints in
 /// centralized storage (paper §3.4).
+///
+/// Cloning is O(1): forks share the file table until one of them writes.
 ///
 /// # Examples
 ///
@@ -25,7 +78,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RamDisk {
-    files: HashMap<String, Vec<u8>>,
+    files: Arc<FileMap>,
     capacity: usize,
     used: usize,
     writes: u64,
@@ -64,7 +117,13 @@ impl RamDisk {
 
     /// Creates a RAM disk with an explicit byte capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        RamDisk { files: HashMap::new(), capacity, used: 0, writes: 0, bytes_written: 0 }
+        RamDisk {
+            files: Arc::new(FileMap::default()),
+            capacity,
+            used: 0,
+            writes: 0,
+            bytes_written: 0,
+        }
     }
 
     /// Writes (creating or replacing) a file.
@@ -74,7 +133,7 @@ impl RamDisk {
     /// Returns [`DiskError::Full`] if the write would exceed capacity; the
     /// previous contents of the file are preserved in that case.
     pub fn write(&mut self, path: &str, data: Vec<u8>) -> Result<(), DiskError> {
-        let existing = self.files.get(path).map_or(0, Vec::len);
+        let existing = self.files.get(path).map_or(0, |d| d.len());
         let new_used = self.used - existing + data.len();
         if new_used > self.capacity {
             return Err(DiskError::Full {
@@ -85,31 +144,34 @@ impl RamDisk {
         self.writes += 1;
         self.bytes_written += data.len() as u64;
         self.used = new_used;
-        self.files.insert(path.to_owned(), data);
+        Arc::make_mut(&mut self.files).insert(path, Arc::new(data));
         Ok(())
     }
 
     /// Reads a file's contents, if present.
     pub fn read(&self, path: &str) -> Option<&[u8]> {
-        self.files.get(path).map(Vec::as_slice)
+        self.files.get(path).map(|d| d.as_slice())
     }
 
     /// Removes a file; returns its contents if it existed.
     pub fn remove(&mut self, path: &str) -> Option<Vec<u8>> {
-        let data = self.files.remove(path)?;
+        // Probe before `make_mut` so removing a missing path never
+        // unshares a forked table.
+        self.files.get(path)?;
+        let data = Arc::make_mut(&mut self.files).remove(path)?;
         self.used -= data.len();
-        Some(data)
+        Some(unwrap_bytes(data))
     }
 
     /// True if the file exists.
     pub fn exists(&self, path: &str) -> bool {
-        self.files.contains_key(path)
+        self.files.get(path).is_some()
     }
 
     /// Erases everything (models a node wipe / power loss on volatile
-    /// portions).
+    /// portions). Forks sharing the old contents are unaffected.
     pub fn wipe(&mut self) {
-        self.files.clear();
+        self.files = Arc::new(FileMap::default());
         self.used = 0;
     }
 
@@ -128,9 +190,9 @@ impl RamDisk {
         self.bytes_written
     }
 
-    /// Iterates over stored paths.
+    /// Iterates over stored paths in sorted order.
     pub fn paths(&self) -> impl Iterator<Item = &str> {
-        self.files.keys().map(String::as_str)
+        self.files.paths()
     }
 }
 
@@ -138,12 +200,14 @@ impl RamDisk {
 ///
 /// Visible to every node; holds executables, input images, application
 /// status files, and output products. Unlike [`RamDisk`] it has no
-/// capacity limit and survives any cluster failure.
+/// capacity limit and survives any cluster failure. Cloning is O(1) —
+/// forks share the file table copy-on-write.
 #[derive(Debug, Clone, Default)]
 pub struct RemoteFs {
-    files: HashMap<String, Vec<u8>>,
+    files: Arc<FileMap>,
     reads: u64,
     writes: u64,
+    version: u64,
 }
 
 impl RemoteFs {
@@ -152,31 +216,44 @@ impl RemoteFs {
         Self::default()
     }
 
+    /// Content-mutation counter: bumped on every write and successful
+    /// remove, never by reads. Pollers (e.g. a per-event completion
+    /// predicate) can memoise a lookup against this and re-probe only
+    /// when the table actually changed.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Writes (creating or replacing) a file.
     pub fn write(&mut self, path: &str, data: Vec<u8>) {
         self.writes += 1;
-        self.files.insert(path.to_owned(), data);
+        self.version += 1;
+        Arc::make_mut(&mut self.files).insert(path, Arc::new(data));
     }
 
     /// Reads a file's contents, if present.
     pub fn read(&mut self, path: &str) -> Option<&[u8]> {
         self.reads += 1;
-        self.files.get(path).map(Vec::as_slice)
+        self.files.get(path).map(|d| d.as_slice())
     }
 
     /// Reads without bumping access counters (for assertions in tests).
     pub fn peek(&self, path: &str) -> Option<&[u8]> {
-        self.files.get(path).map(Vec::as_slice)
+        self.files.get(path).map(|d| d.as_slice())
     }
 
     /// Removes a file; returns its contents if it existed.
     pub fn remove(&mut self, path: &str) -> Option<Vec<u8>> {
-        self.files.remove(path)
+        // Probe before `make_mut` so removing a missing path never
+        // unshares a forked table.
+        self.files.get(path)?;
+        self.version += 1;
+        Arc::make_mut(&mut self.files).remove(path).map(unwrap_bytes)
     }
 
     /// True if the file exists.
     pub fn exists(&self, path: &str) -> bool {
-        self.files.contains_key(path)
+        self.files.get(path).is_some()
     }
 
     /// Number of read operations served.
@@ -189,9 +266,9 @@ impl RemoteFs {
         self.writes
     }
 
-    /// Iterates over stored paths.
+    /// Iterates over stored paths in sorted order.
     pub fn paths(&self) -> impl Iterator<Item = &str> {
-        self.files.keys().map(String::as_str)
+        self.files.paths()
     }
 }
 
@@ -255,5 +332,66 @@ mod tests {
     fn disk_error_displays() {
         let e = DiskError::Full { requested: 5, available: 2 };
         assert!(e.to_string().contains("5 bytes"));
+    }
+
+    #[test]
+    fn enumeration_order_is_sorted_regardless_of_insert_order() {
+        let mut a = RamDisk::new();
+        for p in ["ckpt/ftm", "app/out", "zeta", "app/in"] {
+            a.write(p, vec![1]).unwrap();
+        }
+        let mut b = RamDisk::new();
+        for p in ["zeta", "app/in", "app/out", "ckpt/ftm"] {
+            b.write(p, vec![1]).unwrap();
+        }
+        let pa: Vec<&str> = a.paths().collect();
+        let pb: Vec<&str> = b.paths().collect();
+        assert_eq!(pa, pb);
+        assert_eq!(pa, vec!["app/in", "app/out", "ckpt/ftm", "zeta"]);
+
+        let mut fs1 = RemoteFs::new();
+        let mut fs2 = RemoteFs::new();
+        for p in ["b", "a", "c"] {
+            fs1.write(p, vec![]);
+        }
+        for p in ["c", "b", "a"] {
+            fs2.write(p, vec![]);
+        }
+        assert_eq!(fs1.paths().collect::<Vec<_>>(), fs2.paths().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cow_write_after_fork_leaves_parent_untouched() {
+        let mut parent = RamDisk::new();
+        parent.write("ckpt/ftm", vec![1, 2, 3]).unwrap();
+        parent.write("ckpt/hb", vec![4]).unwrap();
+
+        let mut fork = parent.clone();
+        fork.write("ckpt/ftm", vec![9, 9]).unwrap();
+        fork.remove("ckpt/hb");
+        fork.write("new", vec![7]).unwrap();
+
+        assert_eq!(parent.read("ckpt/ftm"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(parent.read("ckpt/hb"), Some(&[4u8][..]));
+        assert!(!parent.exists("new"));
+        assert_eq!(parent.used(), 4);
+        assert_eq!(fork.read("ckpt/ftm"), Some(&[9u8, 9][..]));
+        assert!(!fork.exists("ckpt/hb"));
+    }
+
+    #[test]
+    fn cow_fork_of_fork_is_independent() {
+        let mut root = RemoteFs::new();
+        root.write("a", vec![1]);
+        let mut child = root.clone();
+        child.write("a", vec![2]);
+        let mut grandchild = child.clone();
+        grandchild.write("a", vec![3]);
+        grandchild.write("b", vec![4]);
+
+        assert_eq!(root.peek("a"), Some(&[1u8][..]));
+        assert_eq!(child.peek("a"), Some(&[2u8][..]));
+        assert_eq!(grandchild.peek("a"), Some(&[3u8][..]));
+        assert!(!child.exists("b"));
     }
 }

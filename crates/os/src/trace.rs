@@ -562,9 +562,19 @@ pub struct TraceRecord {
 }
 
 /// An in-memory, bounded trace buffer with O(1) typed-event queries.
-#[derive(Clone, Debug)]
+///
+/// Record storage is split into an immutable shared **prefix** and a
+/// mutable **tail**. [`Trace::freeze`] moves everything recorded so far
+/// into the `Arc`'d prefix, after which cloning the trace — the per-run
+/// snapshot fork — bumps a refcount instead of deep-copying the boot
+/// records. Readers never see the seam: queries, iteration, and
+/// rendering present one ordered sequence.
+#[derive(Debug)]
 pub struct Trace {
-    records: Vec<TraceRecord>,
+    /// Records frozen at snapshot time, shared between forks.
+    prefix: Option<Arc<[TraceRecord]>>,
+    /// Records appended since the last freeze.
+    tail: Vec<TraceRecord>,
     counters: [u64; TraceEvent::COUNT],
     enabled: bool,
     cap: usize,
@@ -577,16 +587,57 @@ impl Default for Trace {
     }
 }
 
+impl Clone for Trace {
+    fn clone(&self) -> Self {
+        // Preserve the tail's capacity: a freshly frozen trace has an
+        // empty tail whose capacity still reflects the boot-time record
+        // volume, and each forked run appends a comparable number of
+        // records. `Vec::clone` would start the fork at zero capacity
+        // and re-grow through every doubling on every run.
+        let mut tail = Vec::with_capacity(self.tail.capacity());
+        tail.extend_from_slice(&self.tail);
+        Trace {
+            prefix: self.prefix.clone(),
+            tail,
+            counters: self.counters,
+            enabled: self.enabled,
+            cap: self.cap,
+            dropped: self.dropped,
+        }
+    }
+}
+
 impl Trace {
     /// Creates an enabled trace with a generous default cap.
     pub fn new() -> Self {
         Trace {
-            records: Vec::new(),
+            prefix: None,
+            tail: Vec::new(),
             counters: [0; TraceEvent::COUNT],
             enabled: true,
             cap: 400_000,
             dropped: 0,
         }
+    }
+
+    fn prefix_slice(&self) -> &[TraceRecord] {
+        self.prefix.as_deref().unwrap_or(&[])
+    }
+
+    /// Freezes everything recorded so far into the shared immutable
+    /// prefix. Subsequent [`Clone`]s share it by refcount, so forking a
+    /// booted snapshot stops deep-copying the boot records. Repeated
+    /// freezes concatenate. Purely an ownership change — every reader
+    /// sees the same ordered sequence before and after.
+    pub fn freeze(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        let prefix: Arc<[TraceRecord]> = match self.prefix.take() {
+            None => self.tail.drain(..).collect(),
+            Some(old) => old.iter().cloned().chain(self.tail.drain(..)).collect(),
+        };
+        self.prefix = Some(prefix);
     }
 
     /// Enables or disables recording (campaigns disable it for speed).
@@ -638,26 +689,36 @@ impl Trace {
         if let Some(ev) = event {
             self.counters[ev.index()] += 1;
         }
-        if self.records.len() >= self.cap {
+        if self.len() >= self.cap {
             self.dropped += 1;
             return;
         }
-        self.records.push(TraceRecord { time, pid, kind, event, detail });
+        self.tail.push(TraceRecord { time, pid, kind, event, detail });
     }
 
-    /// All records, in order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// All records, in order (frozen prefix first, then the live tail).
+    pub fn records(&self) -> impl DoubleEndedIterator<Item = &TraceRecord> + Clone + '_ {
+        self.prefix_slice().iter().chain(self.tail.iter())
+    }
+
+    /// Number of stored records (excluding any dropped at capacity).
+    pub fn len(&self) -> usize {
+        self.prefix_slice().len() + self.tail.len()
+    }
+
+    /// True if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Records of one category.
     pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceRecord> {
-        self.records.iter().filter(move |r| r.kind == kind)
+        self.records().filter(move |r| r.kind == kind)
     }
 
     /// Records carrying one typed event, in order.
     pub fn of_event(&self, event: TraceEvent) -> impl Iterator<Item = &TraceRecord> {
-        self.records.iter().filter(move |r| r.event == Some(event))
+        self.records().filter(move |r| r.event == Some(event))
     }
 
     /// True if the event occurred at least once — O(1).
@@ -675,19 +736,19 @@ impl Trace {
     /// O(n) and renders each record — classification paths use
     /// [`Trace::any`] instead).
     pub fn contains(&self, needle: &str) -> bool {
-        self.records.iter().any(|r| detail_contains(&r.detail, needle))
+        self.records().any(|r| detail_contains(&r.detail, needle))
     }
 
     /// First record whose rendered detail contains `needle`.
     pub fn find(&self, needle: &str) -> Option<&TraceRecord> {
-        self.records.iter().find(|r| detail_contains(&r.detail, needle))
+        self.records().find(|r| detail_contains(&r.detail, needle))
     }
 
     /// Count of records whose rendered detail contains `needle`
     /// (debugging; O(n) — classification paths use [`Trace::count_of`]
     /// instead).
     pub fn count(&self, needle: &str) -> usize {
-        self.records.iter().filter(|r| detail_contains(&r.detail, needle)).count()
+        self.records().filter(|r| detail_contains(&r.detail, needle)).count()
     }
 
     /// Renders the whole trace as text, one record per line — the
@@ -695,7 +756,7 @@ impl Trace {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for r in &self.records {
+        for r in self.records() {
             let _ = match r.pid {
                 Some(pid) => writeln!(out, "{} {} {:?} {}", r.time, pid, r.kind, r.detail),
                 None => writeln!(out, "{} - {:?} {}", r.time, r.kind, r.detail),
@@ -712,9 +773,10 @@ impl Trace {
         self.dropped
     }
 
-    /// Clears all records and counters.
+    /// Clears all records and counters (including any frozen prefix).
     pub fn clear(&mut self) {
-        self.records.clear();
+        self.prefix = None;
+        self.tail.clear();
         self.counters = [0; TraceEvent::COUNT];
         self.dropped = 0;
     }
@@ -729,7 +791,7 @@ mod tests {
         let mut t = Trace::new();
         t.push(SimTime::ZERO, Some(Pid(1)), TraceKind::Lifecycle, "spawn ftm");
         t.push(SimTime::from_secs(1), None, TraceKind::Injection, "SIGINT into ftm");
-        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.len(), 2);
         assert!(t.contains("SIGINT"));
         assert_eq!(t.count("ftm"), 2);
         assert_eq!(t.of_kind(TraceKind::Injection).count(), 1);
@@ -780,7 +842,7 @@ mod tests {
                 format!("{i}"),
             );
         }
-        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 3);
         // The typed counter sees every occurrence, not just stored ones.
         assert_eq!(t.count_of(TraceEvent::AppTerminated), 5);
@@ -795,7 +857,7 @@ mod tests {
         t.set_enabled(false);
         t.push(SimTime::ZERO, None, TraceKind::App, "x");
         t.push_event(SimTime::ZERO, None, TraceKind::App, TraceEvent::AppStarted, "y");
-        assert!(t.records().is_empty());
+        assert!(t.is_empty());
         assert!(!t.any(TraceEvent::AppStarted));
         assert!(!t.is_enabled());
     }
@@ -807,10 +869,72 @@ mod tests {
         for i in 0..5 {
             t.push(SimTime::ZERO, None, TraceKind::App, format!("{i}"));
         }
-        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 3);
         t.clear();
         assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn freeze_is_invisible_to_readers() {
+        let mut frozen = Trace::new();
+        let mut plain = Trace::new();
+        for t in [&mut frozen, &mut plain] {
+            t.push(SimTime::ZERO, Some(Pid(1)), TraceKind::Lifecycle, "spawn ftm");
+            t.push_event(
+                SimTime::from_secs(1),
+                None,
+                TraceKind::Recovery,
+                TraceEvent::RecoveryCompleted,
+                "recovered ftm",
+            );
+        }
+        frozen.freeze();
+        frozen.freeze(); // idempotent on an empty tail
+        for t in [&mut frozen, &mut plain] {
+            t.push(SimTime::from_secs(2), None, TraceKind::App, "post-freeze");
+        }
+        assert_eq!(frozen.render(), plain.render());
+        assert_eq!(frozen.len(), plain.len());
+        assert_eq!(frozen.count_of(TraceEvent::RecoveryCompleted), 1);
+        assert_eq!(frozen.of_kind(TraceKind::App).count(), 1);
+        assert_eq!(frozen.find("spawn").unwrap().pid, Some(Pid(1)));
+        // Reverse iteration crosses the prefix/tail seam.
+        let last = frozen.records().next_back().unwrap();
+        assert_eq!(last.time, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn forks_of_a_frozen_trace_are_independent() {
+        let mut parent = Trace::new();
+        parent.push(SimTime::ZERO, None, TraceKind::App, "boot");
+        parent.freeze();
+        let rendered = parent.render();
+
+        let mut fork = parent.clone();
+        fork.push(SimTime::from_secs(5), None, TraceKind::Injection, "flip");
+        assert_eq!(fork.len(), 2);
+        // The parent snapshot never sees the fork's appends.
+        assert_eq!(parent.render(), rendered);
+        assert_eq!(parent.len(), 1);
+
+        let mut refork = parent.clone();
+        refork.clear();
+        assert!(refork.is_empty());
+        assert_eq!(parent.len(), 1);
+    }
+
+    #[test]
+    fn cap_counts_across_the_freeze_seam() {
+        let mut t = Trace::new();
+        t.cap = 3;
+        t.push(SimTime::ZERO, None, TraceKind::App, "a");
+        t.push(SimTime::ZERO, None, TraceKind::App, "b");
+        t.freeze();
+        t.push(SimTime::ZERO, None, TraceKind::App, "c");
+        t.push(SimTime::ZERO, None, TraceKind::App, "overflow");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 1);
     }
 
     #[test]

@@ -346,7 +346,7 @@ fn deterministic_replay_same_seed_same_trace() {
         c.run_until(SimTime::from_secs(2));
         c.send_signal(probe, Signal::Int);
         c.run_until(SimTime::from_secs(4));
-        c.trace().records().iter().map(|r| format!("{} {}", r.time, r.detail)).collect()
+        c.trace().records().map(|r| format!("{} {}", r.time, r.detail)).collect()
     }
     assert_eq!(run(77), run(77));
     assert_ne!(run(77), run(78));

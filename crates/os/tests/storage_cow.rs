@@ -1,0 +1,146 @@
+//! Copy-on-write law tests for the storage layer: forking a disk (a
+//! plain `Clone`) must give a logically independent copy no matter how
+//! either side is mutated afterwards — writes after a fork never leak
+//! into the parent, and forks of forks are pairwise independent.
+//!
+//! These are the semantic guarantees the warm-boot campaign path leans
+//! on: every run forks the boot snapshot's `RamDisk`/`RemoteFs`, and a
+//! single shared byte would corrupt every subsequent run of the sweep.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ree_os::{RamDisk, RemoteFs};
+use std::collections::BTreeMap;
+
+/// One storage mutation, drawn from a small path universe so removes
+/// and overwrites actually collide with earlier writes.
+#[derive(Clone, Debug)]
+enum Op {
+    Write { path: usize, len: usize, fill: u8 },
+    Remove { path: usize },
+}
+
+const PATHS: [&str; 6] = ["a", "b/c", "b/d", "ckpt/0", "ckpt/1", "scc/alldone"];
+
+fn op_strategy() -> BoxedStrategy<Op> {
+    prop_oneof![
+        (0usize..PATHS.len(), 0usize..48, any::<u8>()).prop_map(|(path, len, fill)| Op::Write {
+            path,
+            len,
+            fill
+        }),
+        (0usize..PATHS.len()).prop_map(|path| Op::Remove { path }),
+    ]
+    .boxed()
+}
+
+/// In-memory model of what a disk should contain after a sequence of ops.
+type Model = BTreeMap<&'static str, Vec<u8>>;
+
+fn apply_remote(fs: &mut RemoteFs, model: &mut Model, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Write { path, len, fill } => {
+                fs.write(PATHS[path], vec![fill; len]);
+                model.insert(PATHS[path], vec![fill; len]);
+            }
+            Op::Remove { path } => {
+                let got = fs.remove(PATHS[path]);
+                assert_eq!(got, model.remove(PATHS[path]), "remove {}", PATHS[path]);
+            }
+        }
+    }
+}
+
+fn apply_ram(disk: &mut RamDisk, model: &mut Model, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Write { path, len, fill } => {
+                if disk.write(PATHS[path], vec![fill; len]).is_ok() {
+                    model.insert(PATHS[path], vec![fill; len]);
+                }
+            }
+            Op::Remove { path } => {
+                let got = disk.remove(PATHS[path]);
+                assert_eq!(got, model.remove(PATHS[path]), "remove {}", PATHS[path]);
+            }
+        }
+    }
+}
+
+fn assert_remote_matches(fs: &RemoteFs, model: &Model, who: &str) {
+    let paths: Vec<&str> = fs.paths().collect();
+    let expect: Vec<&str> = model.keys().copied().collect();
+    assert_eq!(paths, expect, "{who}: path sets diverge");
+    for (path, bytes) in model {
+        assert_eq!(fs.peek(path), Some(bytes.as_slice()), "{who}: contents of {path}");
+    }
+}
+
+fn assert_ram_matches(disk: &RamDisk, model: &Model, who: &str) {
+    let paths: Vec<&str> = disk.paths().collect();
+    let expect: Vec<&str> = model.keys().copied().collect();
+    assert_eq!(paths, expect, "{who}: path sets diverge");
+    for (path, bytes) in model {
+        assert_eq!(disk.read(path), Some(bytes.as_slice()), "{who}: contents of {path}");
+    }
+}
+
+proptest! {
+    /// RemoteFs: mutating a fork never changes the parent, mutating the
+    /// parent never changes the fork, and a fork of a fork is
+    /// independent of both — under arbitrary interleaved write/remove
+    /// sequences, each side always matches its own sequential model.
+    #[test]
+    fn remote_fs_forks_are_independent(
+        setup in vec(op_strategy(), 0..24),
+        child_ops in vec(op_strategy(), 0..24),
+        grandchild_ops in vec(op_strategy(), 0..24),
+        parent_ops in vec(op_strategy(), 0..24),
+    ) {
+        let mut parent = RemoteFs::new();
+        let mut parent_model = Model::new();
+        apply_remote(&mut parent, &mut parent_model, &setup);
+
+        let mut child = parent.clone();
+        let mut child_model = parent_model.clone();
+        apply_remote(&mut child, &mut child_model, &child_ops);
+
+        let mut grandchild = child.clone();
+        let mut grandchild_model = child_model.clone();
+        apply_remote(&mut grandchild, &mut grandchild_model, &grandchild_ops);
+
+        // The parent mutates *after* both forks were taken.
+        apply_remote(&mut parent, &mut parent_model, &parent_ops);
+
+        assert_remote_matches(&parent, &parent_model, "parent");
+        assert_remote_matches(&child, &child_model, "child");
+        assert_remote_matches(&grandchild, &grandchild_model, "grandchild");
+    }
+
+    /// RamDisk: the same fork-independence laws, including capacity
+    /// accounting staying per-fork.
+    #[test]
+    fn ram_disk_forks_are_independent(
+        setup in vec(op_strategy(), 0..24),
+        child_ops in vec(op_strategy(), 0..24),
+        parent_ops in vec(op_strategy(), 0..24),
+    ) {
+        let mut parent = RamDisk::new();
+        let mut parent_model = Model::new();
+        apply_ram(&mut parent, &mut parent_model, &setup);
+
+        let mut child = parent.clone();
+        let mut child_model = parent_model.clone();
+        apply_ram(&mut child, &mut child_model, &child_ops);
+        apply_ram(&mut parent, &mut parent_model, &parent_ops);
+
+        assert_ram_matches(&parent, &parent_model, "parent");
+        assert_ram_matches(&child, &child_model, "child");
+
+        // Used-byte accounting must agree with each side's own model.
+        let expect_used = |m: &Model| m.values().map(Vec::len).sum::<usize>();
+        prop_assert_eq!(parent.used(), expect_used(&parent_model));
+        prop_assert_eq!(child.used(), expect_used(&child_model));
+    }
+}

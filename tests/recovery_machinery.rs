@@ -127,7 +127,7 @@ fn deterministic_replay_of_a_full_sift_run() {
         let mut run = scenario.start();
         run.run_until_done(SimTime::from_secs(300));
         let t = run.job_times(0).unwrap();
-        (t.perceived(), t.actual(), run.cluster.trace().records().len())
+        (t.perceived(), t.actual(), run.cluster.trace().len())
     };
     assert_eq!(run_once(71), run_once(71));
     assert_ne!(run_once(71).2, 0);
