@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! Usage: `repro [--quick] [--seed N]
-//! <table1..table12|table4a|fig6..fig10|fig6a|partition|all>`
+//! <table1..table12|table4a|fig6..fig10|fig6a|partition|mc|mc-selftest|all>`
 //!
 //! `table4a` and `fig6a` are the adaptive (confidence-targeted)
 //! variants of table4 and fig6: each cell runs until its recovery-rate
@@ -10,7 +10,7 @@
 //! (recovery rate vs partition duration), also adaptive.
 
 use ree_experiments::{
-    fig9, figures, partition, table10, table11, table3, table4, table5, table6, table7, table8,
+    fig9, figures, mc, partition, table10, table11, table3, table4, table5, table6, table7, table8,
     Effort,
 };
 
@@ -73,11 +73,13 @@ fn main() {
         "fig9" => print!("{}", fig9::run(seed).render()),
         "fig10" => print!("{}", figures::fig10(seed).render()),
         "partition" => print!("{}", partition::run(effort, seed).render()),
+        "mc" => print!("{}", mc::run(effort, seed)),
+        "mc-selftest" => print!("{}", mc::selftest(effort, seed)),
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
                 "usage: repro [--quick] [--seed N] \
-                 <table1..table12|table4a|fig6..fig10|fig6a|partition|all>"
+                 <table1..table12|table4a|fig6..fig10|fig6a|partition|mc|mc-selftest|all>"
             );
             std::process::exit(2);
         }

@@ -10,6 +10,7 @@
 mod effort;
 pub mod fig9;
 pub mod figures;
+pub mod mc;
 pub mod partition;
 pub mod table10;
 pub mod table11;

@@ -105,6 +105,19 @@ impl<'p> Campaign<'p> {
         self
     }
 
+    /// The plan this campaign runs — read access for extension
+    /// terminals defined outside this crate (e.g. `ree-mc`'s
+    /// `model_check`).
+    pub fn plan(&self) -> &RunPlan {
+        self.plan
+    }
+
+    /// The first seed ([`seed`](Campaign::seed)); run `i` uses
+    /// `seed0 + i`.
+    pub fn seed0(&self) -> u64 {
+        self.seed0
+    }
+
     /// Runs the campaign and returns every [`RunResult`] in seed order.
     pub fn collect(&self) -> Vec<RunResult> {
         self.fold(Vec::with_capacity(self.runs as usize), |v, r| v.push(r))

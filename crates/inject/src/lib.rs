@@ -71,11 +71,22 @@
 //! and partitions, triggered at fixed instants or off the run's first
 //! failure detection (partition-during-recovery). See [`netfault`] and
 //! `docs/NETWORK.md`.
+//!
+//! # Bounded model checking
+//!
+//! Where a campaign *samples* injection instants and targets, the
+//! `ree-mc` crate *enumerates* them ([`activation_instants`],
+//! [`candidate_targets`]) and systematically explores bounded
+//! perturbations of same-instant event delivery around each, reusing
+//! this crate's classification pipeline ([`classify_target_state`],
+//! [`classify_system_failure`], [`conclude_run`]) so an explored branch
+//! is judged exactly like a campaign run. See `docs/MODELCHECK.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;
+mod branch;
 mod builder;
 mod campaign;
 mod model;
@@ -83,6 +94,7 @@ pub mod netfault;
 mod runner;
 
 pub use adaptive::{AdaptiveReport, Arm, ArmReport, CiMetric, StoppingRule};
+pub use branch::{activation_instants, candidate_targets};
 pub use builder::{Campaign, CampaignSpec};
 pub use campaign::Aggregate;
 #[allow(deprecated)]
@@ -93,6 +105,6 @@ pub use campaign::{
 pub use model::{ErrorModel, FailureClass, SystemFailure, Target};
 pub use netfault::{NetFault, NetFaultKind, NetFaultTrigger};
 pub use runner::{
-    execute, execute_full, execute_warm, execute_warm_full, verify_outputs, RunGeometry, RunPlan,
-    RunResult,
+    classify_system_failure, classify_target_state, conclude_run, execute, execute_full,
+    execute_warm, execute_warm_full, verify_outputs, RunGeometry, RunPlan, RunResult,
 };

@@ -276,3 +276,148 @@ impl<'p> NetFaultDriver<'p> {
         self.phase[i] = Phase::Done;
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ree_apps::{Scenario, TextureParams};
+    use ree_os::{Pid, Signal, TraceRecord};
+    use ree_sift::JobSpec;
+
+    /// The model checker's 2-node shrunk texture setup: small enough
+    /// that debug-mode trigger tests stay fast.
+    fn tiny_scenario(seed: u64) -> Scenario {
+        let mut s = Scenario::single_texture(seed);
+        s.nodes = 2;
+        s.texture = TextureParams {
+            image_px: 32,
+            tile_px: 8,
+            clusters: 2,
+            images: 1,
+            load_time: SimDuration::from_secs(1),
+            filter_time: SimDuration::from_secs(4),
+            cluster_time: SimDuration::from_secs(3),
+            write_time: SimDuration::from_secs(1),
+            pi_period: SimDuration::from_secs(10),
+        };
+        s.jobs = vec![JobSpec {
+            app: "texture".into(),
+            ranks: 2,
+            nodes: vec![0, 1],
+            submit_at: SimDuration::from_secs(5),
+        }];
+        s
+    }
+
+    /// Lowest-pid live application rank (re-resolved after recoveries).
+    fn app_pid(running: &Running) -> Pid {
+        let c = &running.cluster;
+        let mut pids: Vec<Pid> = c
+            .all_procs()
+            .into_iter()
+            .filter(|p| c.name_of(*p).map(|n| n.starts_with("texture-")).unwrap_or(false))
+            .collect();
+        pids.sort_unstable();
+        *pids.first().expect("an application rank is alive")
+    }
+
+    fn is_imposition(r: &TraceRecord) -> bool {
+        r.kind == TraceKind::Injection
+            && match &r.detail {
+                TraceDetail::Custom(s) => s.contains("net fault imposed"),
+                TraceDetail::Static(s) => s.contains("net fault imposed"),
+                _ => false,
+            }
+    }
+
+    fn imposition_times(running: &Running) -> Vec<SimTime> {
+        running.cluster.trace().records().filter(|r| is_imposition(r)).map(|r| r.time).collect()
+    }
+
+    fn detection_times(running: &Running) -> Vec<SimTime> {
+        running
+            .cluster
+            .trace()
+            .records()
+            .filter(|r| r.event.map(|e| e.is_failure_detection()).unwrap_or(false))
+            .map(|r| r.time)
+            .collect()
+    }
+
+    /// `OnRecoveryStart` with zero delay must impose the fault at the
+    /// detection instant itself — not one driver hop later.
+    #[test]
+    fn zero_delay_trigger_imposes_at_the_detection_instant() {
+        let mut running = tiny_scenario(3).start();
+        running.run_until(SimTime::from_secs(9));
+        let faults =
+            [NetFault::partition_on_recovery(vec![vec![0], vec![1]], SimDuration::from_secs(2))];
+        let mut driver = NetFaultDriver::new(&faults);
+        // Baseline the driver on the healthy run, then induce a failure.
+        let now = running.cluster.now();
+        driver.run(&mut running, now);
+        running.cluster.send_signal(app_pid(&running), Signal::Int);
+        driver.run(&mut running, SimTime::from_secs(120));
+        assert_eq!(driver.applied(), 1);
+        let detections = detection_times(&running);
+        assert!(!detections.is_empty(), "the kill must be detected");
+        assert_eq!(imposition_times(&running), vec![detections[0]]);
+    }
+
+    /// A recovery trigger fires once, off the FIRST detection; later
+    /// detections in the same run must not re-arm or re-impose anything.
+    /// Pin also that *every* waiting fault arms on that first detection
+    /// (delays measured from it, not from per-fault detections).
+    #[test]
+    fn recovery_triggers_arm_once_on_the_first_detection() {
+        let mut running = tiny_scenario(4).start();
+        running.run_until(SimTime::from_secs(9));
+        let faults = [
+            NetFault {
+                kind: NetFaultKind::Link { a: 0, b: 1 },
+                trigger: NetFaultTrigger::OnRecoveryStart { delay: SimDuration::ZERO },
+                duration: SimDuration::from_secs(1),
+            },
+            NetFault {
+                kind: NetFaultKind::Link { a: 0, b: 1 },
+                trigger: NetFaultTrigger::OnRecoveryStart { delay: SimDuration::from_secs(3) },
+                duration: SimDuration::from_secs(1),
+            },
+        ];
+        let mut driver = NetFaultDriver::new(&faults);
+        let now = running.cluster.now();
+        driver.run(&mut running, now);
+        running.cluster.send_signal(app_pid(&running), Signal::Int);
+        driver.run(&mut running, SimTime::from_secs(15));
+        // A second, consecutive detection from a fresh kill.
+        running.cluster.send_signal(app_pid(&running), Signal::Int);
+        driver.run(&mut running, SimTime::from_secs(120));
+        let detections = detection_times(&running);
+        assert!(detections.len() >= 2, "need consecutive detections, got {detections:?}");
+        assert_eq!(driver.applied(), 2, "each fault imposed exactly once");
+        let imposed = imposition_times(&running);
+        assert_eq!(imposed.len(), 2);
+        assert_eq!(imposed[0], detections[0]);
+        assert_eq!(
+            imposed[1],
+            detections[0] + SimDuration::from_secs(3),
+            "delay measured from the first detection, not a later one"
+        );
+    }
+
+    /// A waiting trigger whose window closes without any detection (a
+    /// fault-free run) must never fire, and must not keep the run from
+    /// completing.
+    #[test]
+    fn waiting_trigger_never_fires_without_a_detection() {
+        let mut running = tiny_scenario(5).start();
+        let faults =
+            [NetFault::partition_on_recovery(vec![vec![0], vec![1]], SimDuration::from_secs(5))];
+        let mut driver = NetFaultDriver::new(&faults);
+        let done = driver.run(&mut running, SimTime::from_secs(120));
+        assert!(done, "fault-free run completes");
+        assert_eq!(driver.applied(), 0, "no detection, no imposition");
+        assert!(imposition_times(&running).is_empty());
+        assert!(detection_times(&running).is_empty());
+    }
+}

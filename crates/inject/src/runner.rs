@@ -158,6 +158,25 @@ pub fn execute_warm_full(
     run_seeded(plan, geometry, snapshot.fork(seed), seed)
 }
 
+/// Classifies and packages a run the caller drove manually — the
+/// `ree-mc` interleaving explorer's terminal. Runs the remaining events
+/// deterministically out to completion or `plan.timeout`, then applies
+/// exactly the classification pipeline [`execute`] uses: Table 6 target
+/// state for `watched`, output verification, system-failure attribution,
+/// timing extraction. The plan must carry no network faults —
+/// interleaved exploration composes with the process-level models only.
+pub fn conclude_run(
+    plan: &RunPlan,
+    seed: u64,
+    running: Running,
+    injections: u32,
+    watched: Option<Pid>,
+) -> (RunResult, Running) {
+    assert!(plan.net_faults.is_empty(), "manually-driven runs do not support network fault plans");
+    let mut net_driver = NetFaultDriver::new(&plan.net_faults);
+    finish_run(plan, seed, running, injections, None, None, watched, &mut net_driver)
+}
+
 /// The seed-dependent part of a run: everything after the (seed-
 /// independent) boot. `running` arrives at the snapshot instant with its
 /// streams already re-seeded from `seed`.
@@ -374,8 +393,15 @@ fn resolve_target(running: &Running, target: &Target, rng: &mut SimRng) -> Optio
     Some(candidates[rng.index(candidates.len())])
 }
 
-/// Classifies the watched process's current condition (Table 6 columns).
-fn classify_target_state(running: &Running, pid: Pid, model: &ErrorModel) -> Option<FailureClass> {
+/// Classifies the watched process's current condition (Table 6 columns):
+/// stopped → hang, exited → by exit status, still running cleanly →
+/// `None`. Public so external drivers (the `ree-mc` interleaving
+/// explorer) classify manually-driven runs identically to [`execute`].
+pub fn classify_target_state(
+    running: &Running,
+    pid: Pid,
+    model: &ErrorModel,
+) -> Option<FailureClass> {
     let cluster = &running.cluster;
     if cluster.is_stopped(pid) {
         return Some(FailureClass::Hang);
@@ -461,7 +487,10 @@ pub fn verify_outputs(running: &Running, scenario: &Scenario) -> Verdict {
     worst
 }
 
-fn classify_system_failure(running: &Running) -> SystemFailure {
+/// Attributes a non-completed run to the first SIFT phase that failed
+/// (§4.2's system-failure taxonomy), from the trace and job-times
+/// records. Public for the same reason as [`classify_target_state`].
+pub fn classify_system_failure(running: &Running) -> SystemFailure {
     let trace = running.cluster.trace();
     let times = running.job_times(0);
     let submitted = times.as_ref().map(|t| t.submitted.is_some()).unwrap_or(false);

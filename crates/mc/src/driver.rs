@@ -1,0 +1,405 @@
+//! The bounded DFS over fault placements and same-instant delivery
+//! orders, with convergence pruning and counterexample extraction.
+
+use crate::hash::state_digest;
+use ree_apps::verify::Verdict;
+use ree_apps::Running;
+use ree_inject::{
+    activation_instants, candidate_targets, conclude_run, ErrorModel, FailureClass, RunPlan,
+    SystemFailure,
+};
+use ree_os::{HeapTarget, Pid, Signal};
+use ree_sim::{EventHandle, SimTime};
+use std::collections::HashSet;
+
+/// Exploration bounds: together they fix the (finite) execution tree the
+/// checker covers exhaustively.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct McBounds {
+    /// Candidate fault-activation instants sampled from the plan's
+    /// injection window ([`activation_instants`] grid size).
+    pub instants: usize,
+    /// Cap on candidate target processes per instant, in ascending pid
+    /// order ([`candidate_targets`]).
+    pub max_targets: usize,
+    /// Maximum delivery-order branch nodes along any single path; past
+    /// this depth the run continues in default `(time, seq)` order.
+    pub max_depth: usize,
+    /// Only branch at instants with at most this many simultaneously
+    /// ready events; wider ready sets fire in default order.
+    pub max_ready: usize,
+    /// Global budget of non-default forks across the whole exploration;
+    /// exhausting it degrades remaining branch nodes to default order
+    /// (reported via [`McReport::budget_exhausted`]).
+    pub max_branches: u64,
+    /// Sabotage recovery (drop every post-injection respawn wake-up) to
+    /// prove the checker reports escapes. The `planted-bug` cargo
+    /// feature forces this on regardless.
+    pub plant: bool,
+}
+
+impl McBounds {
+    /// Smallest useful exploration — the CI smoke tier.
+    pub fn smoke() -> Self {
+        McBounds {
+            instants: 2,
+            max_targets: 2,
+            max_depth: 2,
+            max_ready: 2,
+            max_branches: 64,
+            plant: false,
+        }
+    }
+
+    /// Default tier for local runs of the `mc` repro target.
+    pub fn quick() -> Self {
+        McBounds {
+            instants: 4,
+            max_targets: 3,
+            max_depth: 3,
+            max_ready: 3,
+            max_branches: 256,
+            plant: false,
+        }
+    }
+
+    /// The deep tier: overnight-style exhaustive sweeps.
+    pub fn paper() -> Self {
+        McBounds {
+            instants: 8,
+            max_targets: 4,
+            max_depth: 4,
+            max_ready: 4,
+            max_branches: 2048,
+            plant: false,
+        }
+    }
+
+    fn plant_effective(&self) -> bool {
+        self.plant || cfg!(feature = "planted-bug")
+    }
+}
+
+/// A replayable escape: a bounded execution in which the injected error
+/// was **not** recovered (the run missed completion or produced
+/// incorrect output). `(plan, counterexample, bounds)` deterministically
+/// reproduces it via [`replay`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Counterexample {
+    /// The fork seed the exploration ran under.
+    pub seed: u64,
+    /// Fault-activation instant (one of [`McReport::instants`]).
+    pub instant: SimTime,
+    /// Injected process.
+    pub target: Pid,
+    /// Its process-table name at injection time.
+    pub target_name: String,
+    /// Delivery-order choice taken at each successive branch node along
+    /// the escaping path; positions past the end mean the default
+    /// (first) choice.
+    pub schedule: Vec<usize>,
+    /// Table 6 failure class induced in the target, if any.
+    pub induced: Option<FailureClass>,
+    /// System-failure phase when the run missed completion.
+    pub system_failure: Option<SystemFailure>,
+    /// Output verdict of the escaping run.
+    pub output: Verdict,
+}
+
+/// What a [`model_check`] exploration covered and found.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct McReport {
+    /// The activation-instant grid explored.
+    pub instants: Vec<SimTime>,
+    /// Terminal executions classified (complete root-to-leaf paths).
+    pub explored: u64,
+    /// Branch nodes encountered (instants with 2+ admissible orders).
+    pub branch_nodes: u64,
+    /// Non-default forks taken (clone + alternate delivery order).
+    pub forks: u64,
+    /// Subtrees skipped because their canonical state digest was
+    /// already explored.
+    pub pruned: u64,
+    /// Deepest branch nesting reached along any path.
+    pub deepest: usize,
+    /// Injection attempts that found no matching target state (e.g. a
+    /// heap model before the app allocated) — skipped, not explored.
+    pub sterile: u64,
+    /// Respawn wake-ups discarded by the planted bug (zero on a healthy
+    /// build).
+    pub discarded: u64,
+    /// True if `max_branches` ran out before the tree was fully covered.
+    pub budget_exhausted: bool,
+    /// Terminal executions in which the system recovered the injection
+    /// (or the error never manifested and the run still completed).
+    pub recovered: u64,
+    /// Escapes found, in DFS order.
+    pub escapes: Vec<Counterexample>,
+}
+
+impl std::fmt::Display for McReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "explored {} executions ({} branch nodes, {} forks, deepest {})",
+            self.explored, self.branch_nodes, self.forks, self.deepest
+        )?;
+        writeln!(
+            f,
+            "pruned {} converged subtrees; {} sterile injection points{}",
+            self.pruned,
+            self.sterile,
+            if self.budget_exhausted { "; branch budget exhausted" } else { "" }
+        )?;
+        if self.discarded > 0 {
+            writeln!(f, "planted bug discarded {} recovery wake-ups", self.discarded)?;
+        }
+        write!(f, "recovered {} / escapes {}", self.recovered, self.escapes.len())?;
+        for c in &self.escapes {
+            write!(
+                f,
+                "\n  escape: at {:?} pid={:?} ({}) schedule={:?} induced={:?} failure={:?} output={:?}",
+                c.instant,
+                c.target,
+                c.target_name,
+                c.schedule,
+                c.induced,
+                c.system_failure,
+                c.output
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Exhaustively explores the bounded execution tree of `plan`:
+/// for each activation instant × candidate target, injects one error
+/// and DFS-explores every admissible same-instant delivery order within
+/// `bounds`, classifying each terminal execution with the campaign
+/// pipeline ([`conclude_run`]). Pure function of `(plan, seed, bounds)`.
+///
+/// Single-injection semantics: unlike a repeating campaign protocol,
+/// every explored execution carries exactly one successfully placed
+/// error — the tree enumerates *where* and *in which delivery order*,
+/// not *how many*.
+pub fn model_check(plan: &RunPlan, seed: u64, bounds: &McBounds) -> McReport {
+    assert!(
+        plan.net_faults.is_empty(),
+        "model checking composes with process-level error models only"
+    );
+    plan.scenario.warm_inputs();
+    let geometry = plan.geometry();
+    let snapshot = plan.scenario.boot_snapshot(geometry.snapshot_at);
+    let instants = activation_instants(plan, bounds.instants);
+    let mut x = Explorer {
+        plan,
+        seed,
+        bounds: bounds.clone(),
+        plant: bounds.plant_effective(),
+        seen: HashSet::new(),
+        report: McReport { instants: instants.clone(), ..McReport::default() },
+    };
+    for &instant in &instants {
+        let mut base = snapshot.fork(seed);
+        base.run_until(instant);
+        if base.all_done() || base.cluster.now() >= plan.timeout {
+            continue;
+        }
+        for pid in candidate_targets(&base, &plan.target, bounds.max_targets) {
+            let mut root = base.clone();
+            if !inject_once(&mut root, &plan.model, pid) {
+                x.report.sterile += 1;
+                continue;
+            }
+            let name = root.cluster.name_of(pid).unwrap_or("?").to_string();
+            x.explore(root, instant, pid, &name, 0, Vec::new());
+        }
+    }
+    x.report
+}
+
+/// Deterministically re-executes a counterexample under the same bounds
+/// it was found with and returns the run's classification. On a healthy
+/// build (same bounds, `plant` off) the same schedule should recover.
+pub fn replay(plan: &RunPlan, cex: &Counterexample, bounds: &McBounds) -> ree_inject::RunResult {
+    assert!(plan.net_faults.is_empty(), "counterexamples carry no network faults");
+    plan.scenario.warm_inputs();
+    let geometry = plan.geometry();
+    let snapshot = plan.scenario.boot_snapshot(geometry.snapshot_at);
+    let mut running = snapshot.fork(cex.seed);
+    running.run_until(cex.instant);
+    assert!(
+        inject_once(&mut running, &plan.model, cex.target),
+        "counterexample target no longer injectable; plan/seed mismatch?"
+    );
+    let plant = bounds.plant_effective();
+    let mut depth = 0usize;
+    let mut next_choice = 0usize;
+    loop {
+        if running.all_done() {
+            break;
+        }
+        let Some(next) = running.cluster.next_event_time() else { break };
+        if next > plan.timeout {
+            break;
+        }
+        if plant {
+            if let Some(h) = ready_start(&running) {
+                running.cluster.discard_event(h);
+                continue;
+            }
+        }
+        let choices = running.cluster.step_choices();
+        if choices.len() >= 2 && choices.len() <= bounds.max_ready && depth < bounds.max_depth {
+            let i = cex.schedule.get(next_choice).copied().unwrap_or(0).min(choices.len() - 1);
+            next_choice += 1;
+            depth += 1;
+            running.cluster.step_with(choices[i]).expect("ready choice fires");
+        } else {
+            running.cluster.step();
+        }
+    }
+    conclude_run(plan, cex.seed, running, 1, Some(cex.target)).0
+}
+
+struct Explorer<'p> {
+    plan: &'p RunPlan,
+    seed: u64,
+    bounds: McBounds,
+    plant: bool,
+    seen: HashSet<u64>,
+    report: McReport,
+}
+
+impl Explorer<'_> {
+    /// Runs one post-injection execution to a terminal, branching (by
+    /// forking `running`) at every admissible multi-ready instant within
+    /// the bounds. `schedule` is the branch-choice path taken so far.
+    fn explore(
+        &mut self,
+        mut running: Running,
+        instant: SimTime,
+        target: Pid,
+        target_name: &str,
+        mut depth: usize,
+        mut schedule: Vec<usize>,
+    ) {
+        loop {
+            // Terminals: every job reported completion, the world went
+            // quiescent, or nothing remains before the timeout.
+            if running.all_done() {
+                return self.terminal(running, instant, target, target_name, schedule);
+            }
+            let Some(next) = running.cluster.next_event_time() else {
+                return self.terminal(running, instant, target, target_name, schedule);
+            };
+            if next > self.plan.timeout {
+                return self.terminal(running, instant, target, target_name, schedule);
+            }
+            // Planted bug: silently lose every recovery wake-up.
+            if self.plant {
+                if let Some(h) = ready_start(&running) {
+                    running.cluster.discard_event(h);
+                    self.report.discarded += 1;
+                    continue;
+                }
+            }
+            let n = running.cluster.step_choices().len();
+            let branchable = n >= 2 && n <= self.bounds.max_ready && depth < self.bounds.max_depth;
+            if !branchable {
+                running.cluster.step();
+                continue;
+            }
+            // Branch node. Prune if an identical canonical state was
+            // already expanded — its subtree is this subtree.
+            if !self.seen.insert(state_digest(&running.cluster)) {
+                self.report.pruned += 1;
+                return;
+            }
+            self.report.branch_nodes += 1;
+            self.report.deepest = self.report.deepest.max(depth + 1);
+            for i in 1..n {
+                if self.report.forks >= self.bounds.max_branches {
+                    self.report.budget_exhausted = true;
+                    break;
+                }
+                self.report.forks += 1;
+                let mut fork = running.clone();
+                // Handles are queue-scoped: re-derive the ready set on
+                // the fork (clone preserves `(time, seq)` order, so
+                // index `i` addresses the same event).
+                let h = fork.cluster.step_choices()[i];
+                fork.cluster.step_with(h).expect("ready choice fires");
+                let mut s = schedule.clone();
+                s.push(i);
+                self.explore(fork, instant, target, target_name, depth + 1, s);
+            }
+            // The default order continues in place, without a clone.
+            schedule.push(0);
+            depth += 1;
+            let h = running.cluster.step_choices()[0];
+            running.cluster.step_with(h).expect("ready choice fires");
+        }
+    }
+
+    fn terminal(
+        &mut self,
+        running: Running,
+        instant: SimTime,
+        target: Pid,
+        target_name: &str,
+        schedule: Vec<usize>,
+    ) {
+        self.report.explored += 1;
+        let (result, _) = conclude_run(self.plan, self.seed, running, 1, Some(target));
+        if result.recovered() {
+            self.report.recovered += 1;
+        } else {
+            // Canonical form: trailing default choices carry no
+            // information (replay pads with 0).
+            let mut schedule = schedule;
+            while schedule.last() == Some(&0) {
+                schedule.pop();
+            }
+            self.report.escapes.push(Counterexample {
+                seed: self.seed,
+                instant,
+                target,
+                target_name: target_name.to_string(),
+                schedule,
+                induced: result.induced,
+                system_failure: result.system_failure,
+                output: result.output,
+            });
+        }
+    }
+}
+
+/// Places one error per the model; false if the target had no matching
+/// state to corrupt (mirrors the campaign runner's placement).
+fn inject_once(running: &mut Running, model: &ErrorModel, pid: Pid) -> bool {
+    match model {
+        ErrorModel::Sigint => {
+            running.cluster.send_signal(pid, Signal::Int);
+            true
+        }
+        ErrorModel::Sigstop => {
+            running.cluster.send_signal(pid, Signal::Stop);
+            true
+        }
+        ErrorModel::Register => running.cluster.inject_register(pid).is_some(),
+        ErrorModel::TextSegment => running.cluster.inject_text(pid).is_some(),
+        ErrorModel::Heap => running.cluster.inject_heap(pid, &HeapTarget::Any).is_some(),
+        ErrorModel::HeapSingle(target) => running.cluster.inject_heap(pid, target).is_some(),
+    }
+}
+
+/// First ready event (in default order) that is a process-start wake-up
+/// — what the planted bug loses.
+fn ready_start(running: &Running) -> Option<EventHandle> {
+    running
+        .cluster
+        .step_choices()
+        .into_iter()
+        .find(|&h| running.cluster.event_label(h) == Some("start"))
+}

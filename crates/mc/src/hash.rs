@@ -1,0 +1,65 @@
+//! Canonical state digests for convergence pruning.
+//!
+//! Two explored branches that reach byte-identical cluster states have
+//! identical futures, so the DFS only needs to continue from one of
+//! them. The digest feeds [`ree_os::Cluster::write_state_digest`] — the
+//! canonical serialisation of everything behaviour-relevant (clock, rng
+//! stream positions, process table, storage, network, pending events
+//! with rank-renumbered sequence numbers) — through a fixed FNV-1a
+//! hasher, so digests are stable across builds and platforms (the std
+//! `DefaultHasher` makes no such promise).
+
+use ree_os::Cluster;
+use std::hash::Hasher;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a: tiny, allocation-free, and deterministic by
+/// construction — no per-process key material.
+#[derive(Clone, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Digest of a cluster's canonical state, as pruned on by the DFS.
+pub fn state_digest(cluster: &Cluster) -> u64 {
+    let mut h = Fnv64::default();
+    cluster.write_state_digest(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a test vectors.
+        let digest = |s: &str| {
+            let mut h = Fnv64::default();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(digest(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest("foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,73 @@
+//! # ree-mc — bounded model checking of fault interleavings
+//!
+//! A seeded campaign run *samples* one execution per seed: one
+//! injection instant, one target, one (default) delivery order for
+//! simultaneous events. This crate instead *enumerates* a bounded
+//! execution tree and covers it exhaustively:
+//!
+//! - **Fault placement** — a deterministic grid of activation instants
+//!   over the plan's injection window × every matching target process
+//!   ([`ree_inject::activation_instants`],
+//!   [`ree_inject::candidate_targets`]).
+//! - **Delivery order** — at every instant where 2+ events are ready
+//!   simultaneously, each admissible order is a distinct branch
+//!   ([`ree_os::Cluster::step_choices`] /
+//!   [`ree_os::Cluster::step_with`]); the simulator's default
+//!   `(time, seq)` order is just branch 0.
+//!
+//! Each branch **forks** the snapshot (the same copy-on-write warm-boot
+//! clone campaigns use per seed) and continues independently. Branches
+//! whose canonical post-step state digest was already expanded are
+//! **pruned** — identical state, identical future. Terminal executions
+//! are classified by the campaign pipeline ([`ree_inject::conclude_run`])
+//! so an explored branch is judged exactly like a campaign run; any
+//! branch the SIFT environment fails to recover is reported as a
+//! replayable [`Counterexample`].
+//!
+//! Everything is a pure function of `(plan, seed, bounds)` — two
+//! invocations produce byte-identical reports, which CI checks.
+//! Semantics, soundness caveats, and the counterexample format are
+//! documented in `docs/MODELCHECK.md`.
+//!
+//! ```
+//! use ree_mc::{McBounds, ModelCheck};
+//! use ree_inject::Campaign;
+//!
+//! let plan = ree_mc::presets::two_node_sigint_plan(7);
+//! let bounds = McBounds { instants: 1, max_targets: 1, ..McBounds::smoke() };
+//! let report = Campaign::new(&plan).seed(7).model_check(&bounds);
+//! assert!(report.explored >= 1);
+//! assert!(report.escapes.is_empty(), "healthy build recovers every branch");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+pub mod hash;
+pub mod presets;
+
+pub use driver::{model_check, replay, Counterexample, McBounds, McReport};
+
+use ree_inject::{Campaign, CampaignSpec};
+
+/// Extension terminal turning a configured [`Campaign`] (or
+/// [`CampaignSpec`]) into a bounded exhaustive exploration instead of a
+/// seeded sample: same plan, same seed, systematically explored.
+pub trait ModelCheck {
+    /// Exhaustively explores this campaign's plan within `bounds`; see
+    /// [`model_check`].
+    fn model_check(&self, bounds: &McBounds) -> McReport;
+}
+
+impl ModelCheck for Campaign<'_> {
+    fn model_check(&self, bounds: &McBounds) -> McReport {
+        model_check(self.plan(), self.seed0(), bounds)
+    }
+}
+
+impl ModelCheck for CampaignSpec {
+    fn model_check(&self, bounds: &McBounds) -> McReport {
+        model_check(&self.plan, self.seed0, bounds)
+    }
+}

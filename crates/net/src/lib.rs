@@ -304,6 +304,43 @@ impl Network {
     pub fn packets_dropped(&self) -> u64 {
         self.packets_dropped
     }
+
+    /// Feeds every piece of mutable network state into `h`, in a
+    /// canonical order (set-valued state is sorted first, so two
+    /// networks that behave identically hash identically regardless of
+    /// insertion history). Includes the jitter/drop RNG position: two
+    /// states that look alike but will draw different futures must not
+    /// collide in a model checker's convergence-prune set. The immutable
+    /// topology/route statics are excluded — all forks of one run share
+    /// them by construction.
+    pub fn write_state_digest(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.rng.state().hash(h);
+        for state in &self.link_state {
+            state.up.hash(h);
+            state.degrade.to_bits().hash(h);
+            state.busy_until.hash(h);
+            state.load_windows.len().hash(h);
+            for (end, slow) in &state.load_windows {
+                end.hash(h);
+                slow.to_bits().hash(h);
+            }
+        }
+        let mut links: Vec<(NodeId, NodeId)> = self.down_links.iter().copied().collect();
+        links.sort_unstable();
+        links.hash(h);
+        let mut nodes: Vec<NodeId> = self.down_nodes.iter().copied().collect();
+        nodes.sort_unstable();
+        nodes.hash(h);
+        self.load_windows.len().hash(h);
+        for (end, slow) in &self.load_windows {
+            end.hash(h);
+            slow.to_bits().hash(h);
+        }
+        self.packets_sent.hash(h);
+        self.bytes_sent.hash(h);
+        self.packets_dropped.hash(h);
+    }
 }
 
 #[cfg(test)]

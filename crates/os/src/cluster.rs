@@ -13,7 +13,7 @@ use crate::ptable::ProcTable;
 use crate::storage::{RamDisk, RemoteFs};
 use crate::trace::{Trace, TraceDetail, TraceEvent, TraceKind};
 use ree_net::{Network, NetworkConfig, NodeId, SendVerdict, Topology};
-use ree_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use ree_sim::{EventHandle, EventQueue, SimDuration, SimRng, SimTime};
 use std::sync::Arc;
 
 /// Identifies a pending timer (for cancellation).
@@ -563,6 +563,70 @@ impl Cluster {
         self.now
     }
 
+    /// Handles of every event that could legally fire next — all events
+    /// scheduled for the earliest pending instant, in deterministic
+    /// `(time, seq)` order. [`Cluster::step`] always fires the first;
+    /// a model checker branches over the full set, because same-instant
+    /// delivery order is a modelling choice, not a causal one. Empty
+    /// when the cluster is quiescent.
+    pub fn step_choices(&self) -> Vec<EventHandle> {
+        self.queue.ready_handles()
+    }
+
+    /// Executes the specific pending event addressed by `handle`, which
+    /// must be one of the current [`Cluster::step_choices`]. Handles for
+    /// later instants (which would break causality), stale handles, and
+    /// handles minted by another cluster's queue are rejected with
+    /// `None`, leaving the cluster untouched.
+    pub fn step_with(&mut self, handle: EventHandle) -> Option<SimTime> {
+        let time = self.queue.time_of(handle)?;
+        if Some(time) != self.queue.peek_time() {
+            return None;
+        }
+        let (time, ev) = self.queue.pop_at(handle).expect("handle verified live");
+        self.now = time;
+        self.dispatch(ev);
+        Some(time)
+    }
+
+    /// Time of the next pending event without executing it, or `None`
+    /// when quiescent.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Short static label of a pending event (e.g. `"start"`,
+    /// `"deliver"`, `"timer"`), or `None` for stale/foreign handles.
+    /// Lets fault-model tooling pick branch victims by event class
+    /// without exposing the private event type.
+    pub fn event_label(&self, handle: EventHandle) -> Option<&'static str> {
+        self.queue.get(handle).map(|ev| match ev {
+            OsEvent::Start { .. } => "start",
+            OsEvent::Deliver { .. } => "deliver",
+            OsEvent::Timer { .. } => "timer",
+            OsEvent::WorkChunk { .. } => "work",
+            OsEvent::SignalEv { .. } => "signal",
+            OsEvent::ChildExit { .. } => "child-exit",
+        })
+    }
+
+    /// Discards a pending event without dispatching it — the sabotage
+    /// primitive for model-checker self-tests: dropping an OS wakeup
+    /// models a lost event the recovery protocols must survive. The
+    /// drop is recorded in the trace. Returns the event's scheduled
+    /// time, or `None` for stale/foreign handles.
+    pub fn discard_event(&mut self, handle: EventHandle) -> Option<SimTime> {
+        let label = self.event_label(handle)?;
+        let (time, _ev) = self.queue.pop_at(handle)?;
+        self.trace.push(
+            self.now,
+            None,
+            TraceKind::Injection,
+            TraceDetail::Custom(format!("event omitted: {label}").into_boxed_str()),
+        );
+        Some(time)
+    }
+
     /// Runs until `pred` holds (checked after each event) or the horizon
     /// passes. Returns `true` if the predicate was satisfied.
     pub fn run_until_pred<F: FnMut(&Cluster) -> bool>(
@@ -588,6 +652,112 @@ impl Cluster {
             self.now = horizon;
         }
         false
+    }
+
+    // ------------------------------------------------------------------
+    // State digest
+    // ------------------------------------------------------------------
+
+    /// Feeds a canonical encoding of every piece of mutable cluster
+    /// state into `h`, so two clusters that will behave identically
+    /// hash identically and two that have diverged (almost surely) do
+    /// not. This is the convergence-pruning primitive for bounded model
+    /// checking: branches whose digests collide are explored once.
+    ///
+    /// Canonicalisation rules:
+    ///
+    /// * **Pending events** are hashed in `(time, seq)` firing order
+    ///   with seqs **rank-renumbered** (0, 1, 2, … in firing order):
+    ///   only the *relative* order of seqs affects future pops, so two
+    ///   states reached by different interleavings — whose absolute seq
+    ///   counters differ — still converge.
+    /// * **RNG streams** (cluster, machine, network) hash by position:
+    ///   equal visible state with diverged randomness must not prune.
+    /// * **Behaviour state** (`Box<dyn Process>`) is opaque; it is
+    ///   approximated by the trace's typed-event counters plus every
+    ///   storage effect (RAM-disk and remote-FS contents). A behaviour
+    ///   divergence invisible to all three could in principle collide —
+    ///   accepted and documented in `docs/MODELCHECK.md`.
+    pub fn write_state_digest(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.now.hash(h);
+        self.rng.state().hash(h);
+        self.machine_rng.state().hash(h);
+        self.net.write_state_digest(h);
+        // Nodes: liveness plus full RAM-disk contents (sorted by path
+        // by construction).
+        self.nodes.len().hash(h);
+        for node in &self.nodes {
+            node.alive.hash(h);
+            node.ramdisk.used().hash(h);
+            for path in node.ramdisk.paths() {
+                path.hash(h);
+                node.ramdisk.read(path).hash(h);
+            }
+        }
+        // Remote FS: contents plus the version/read/write counters the
+        // completion probes key on.
+        self.remote_fs.version().hash(h);
+        self.remote_fs.reads().hash(h);
+        self.remote_fs.writes().hash(h);
+        for path in self.remote_fs.paths() {
+            path.hash(h);
+            self.remote_fs.peek(path).hash(h);
+        }
+        // Process table, ascending pid (deterministic already).
+        let pids = self.procs.all_pids();
+        pids.len().hash(h);
+        for pid in pids {
+            let entry = self.procs.get(pid).expect("live pid");
+            pid.hash(h);
+            self.procs.name_of(pid).expect("live pid").hash(h);
+            entry.kind.hash(h);
+            self.procs.node_of(pid).expect("live pid").hash(h);
+            entry.parent.hash(h);
+            entry.stopped.hash(h);
+            entry.deaf.hash(h);
+            entry.spawned_at.hash(h);
+            entry.stash.len().hash(h);
+            for ev in &entry.stash {
+                hash_event_fingerprint(ev, h);
+            }
+            let mut timers = entry.live_timers.clone();
+            timers.sort_unstable();
+            timers.hash(h);
+            let mut works: Vec<(u64, u64, SimDuration)> =
+                entry.works.iter().map(|(id, w)| (*id, w.tag, w.remaining)).collect();
+            works.sort_unstable();
+            works.hash(h);
+            entry.machine.has_pending_corruption().hash(h);
+            entry.machine.corrupted_text_sites().hash(h);
+            entry.machine.activations().hash(h);
+            entry.machine.faults_activated().hash(h);
+        }
+        // Graveyard (exit history) and id counters.
+        self.graveyard.len().hash(h);
+        for slot in &self.graveyard {
+            match slot {
+                None => h.write_u8(0),
+                Some((t, status)) => {
+                    h.write_u8(1);
+                    t.hash(h);
+                    hash_exit_status(status, h);
+                }
+            }
+        }
+        self.next_timer.hash(h);
+        self.next_work.hash(h);
+        // Behaviour-state proxy: what the environment has observed.
+        self.trace.counters().hash(h);
+        // Pending events in firing order, seqs rank-renumbered.
+        let mut pending: Vec<(SimTime, u64, &OsEvent)> = self.queue.iter_pending().collect();
+        pending.sort_unstable_by_key(|&(t, s, _)| (t, s));
+        pending.len().hash(h);
+        for (rank, (time, _seq, ev)) in pending.into_iter().enumerate() {
+            time.hash(h);
+            rank.hash(h);
+            hash_event_fingerprint(ev, h);
+        }
     }
 
     fn dispatch(&mut self, ev: OsEvent) {
@@ -853,6 +1023,69 @@ impl Cluster {
                     );
                 }
             }
+        }
+    }
+}
+
+/// Hashes an event's identity — variant tag, pids, labels, ids — but not
+/// its opaque payload. Two pending `Deliver`s that agree on sender,
+/// receiver, and protocol label hash alike even if their payloads were
+/// computed differently; the payload divergence surfaces through the
+/// storage/trace state it came from.
+fn hash_event_fingerprint(ev: &OsEvent, h: &mut impl std::hash::Hasher) {
+    use std::hash::Hash;
+    match ev {
+        OsEvent::Start { pid } => {
+            h.write_u8(0);
+            pid.hash(h);
+        }
+        OsEvent::Deliver { to, from, label, .. } => {
+            h.write_u8(1);
+            to.hash(h);
+            from.hash(h);
+            label.hash(h);
+        }
+        OsEvent::Timer { pid, timer_id, tag } => {
+            h.write_u8(2);
+            pid.hash(h);
+            timer_id.hash(h);
+            tag.hash(h);
+        }
+        OsEvent::WorkChunk { pid, work_id } => {
+            h.write_u8(3);
+            pid.hash(h);
+            work_id.hash(h);
+        }
+        OsEvent::SignalEv { pid, sig } => {
+            h.write_u8(4);
+            pid.hash(h);
+            sig.hash(h);
+        }
+        OsEvent::ChildExit { parent, child, status } => {
+            h.write_u8(5);
+            parent.hash(h);
+            child.hash(h);
+            hash_exit_status(status, h);
+        }
+    }
+}
+
+/// Hashes an [`ExitStatus`] (which has no `Hash` impl of its own because
+/// it carries a free-form abort reason).
+fn hash_exit_status(status: &ExitStatus, h: &mut impl std::hash::Hasher) {
+    use std::hash::Hash;
+    match status {
+        ExitStatus::Exited(code) => {
+            h.write_u8(0);
+            code.hash(h);
+        }
+        ExitStatus::Killed(sig) => {
+            h.write_u8(1);
+            sig.hash(h);
+        }
+        ExitStatus::Aborted(reason) => {
+            h.write_u8(2);
+            reason.hash(h);
         }
     }
 }

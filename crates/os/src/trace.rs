@@ -773,6 +773,14 @@ impl Trace {
         self.dropped
     }
 
+    /// The full typed-event counter table, indexed by [`TraceEvent`]
+    /// discriminant. This is the trace's O(1) behavioural summary —
+    /// state digests hash it as a cheap proxy for "what has the SIFT
+    /// environment observed so far" without touching record storage.
+    pub fn counters(&self) -> &[u64; TraceEvent::COUNT] {
+        &self.counters
+    }
+
     /// Clears all records and counters (including any frozen prefix).
     pub fn clear(&mut self) {
         self.prefix = None;

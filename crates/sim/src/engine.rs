@@ -142,6 +142,32 @@ impl<W: World> Engine<W> {
         Some(time)
     }
 
+    /// Handles of every event that could legally fire next: all events
+    /// scheduled for the earliest pending instant, in deterministic
+    /// `(time, seq)` order. A model checker branches here — [`Engine::step`]
+    /// always fires the first, but same-instant delivery order is a
+    /// modelling choice, not a causal one. Empty when quiescent.
+    pub fn step_choices(&self) -> Vec<EventHandle> {
+        self.sched.queue.ready_handles()
+    }
+
+    /// Executes the specific pending event addressed by `handle`, which
+    /// must be one of the current [`Engine::step_choices`] — firing an
+    /// event scheduled *later* than the earliest pending instant would
+    /// break causality, so such handles (and stale or foreign ones) are
+    /// rejected with `None` and the engine is left untouched.
+    pub fn step_with(&mut self, handle: EventHandle) -> Option<SimTime> {
+        let time = self.sched.queue.time_of(handle)?;
+        if Some(time) != self.sched.queue.peek_time() {
+            return None;
+        }
+        let (time, ev) = self.sched.queue.pop_at(handle).expect("handle verified live");
+        self.sched.now = time;
+        self.steps += 1;
+        self.world.handle(ev, &mut self.sched);
+        Some(time)
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.sched.now
@@ -231,6 +257,36 @@ mod tests {
         e.seed(SimTime::ZERO, 4); // fires at 0, chains once more at 1 s
         assert_eq!(e.run_until(SimTime::from_secs(100)), SimTime::from_secs(1));
         assert_eq!(e.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn step_with_explores_alternate_same_instant_orders() {
+        struct Log(Vec<u32>);
+        impl World for Log {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, _sched: &mut Scheduler<u32>) {
+                self.0.push(ev);
+            }
+        }
+        let mut e = Engine::new(Log(vec![]));
+        let t = SimTime::from_secs(1);
+        e.seed(t, 10);
+        e.seed(t, 11);
+        let h_later = e.seed(SimTime::from_secs(2), 12);
+        let choices = e.step_choices();
+        assert_eq!(choices.len(), 2, "only the earliest instant is ready");
+        // Causality guard: the later event cannot be forced ahead.
+        assert_eq!(e.step_with(h_later), None);
+        assert!(e.world().0.is_empty());
+        // Fire the ready set in reverse order — legal, and observable.
+        assert_eq!(e.step_with(choices[1]), Some(t));
+        assert_eq!(e.step_with(choices[0]), Some(t));
+        // A consumed choice handle is stale.
+        assert_eq!(e.step_with(choices[0]), None);
+        assert_eq!(e.step(), Some(SimTime::from_secs(2)));
+        assert_eq!(e.world().0, vec![11, 10, 12]);
+        assert_eq!(e.steps(), 3);
+        assert!(e.step_choices().is_empty());
     }
 
     #[test]

@@ -16,26 +16,46 @@
 //! occupant.
 
 use crate::time::SimTime;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide queue-identity counter. Validity of a handle is tied to
+/// the exact queue instance that minted it, so every queue — including
+/// every clone — gets a fresh identity. Only uniqueness matters here,
+/// never the numeric value, so the allocation order of concurrent forks
+/// cannot perturb simulation behaviour.
+static NEXT_QUEUE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_queue_id() -> u64 {
+    NEXT_QUEUE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
 ///
-/// Packs the slab slot index and the slot's generation; a handle whose
-/// event already fired (or was cancelled) no longer matches the slot's
-/// generation and is rejected.
+/// Carries the identity of the queue that minted it plus the slab slot
+/// index and the slot's generation. A handle whose event already fired
+/// (or was cancelled) no longer matches the slot's generation and is
+/// rejected; a handle presented to a *different* queue — including a
+/// clone of the minting queue — is rejected by the queue identity.
+/// Without the identity check, two clones that independently recycle
+/// the same slot mint indistinguishable handles, and a handle from one
+/// clone could cancel an unrelated event in the other.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct EventHandle(u64);
+pub struct EventHandle {
+    queue: u64,
+    packed: u64,
+}
 
 impl EventHandle {
-    fn new(index: u32, gen: u32) -> Self {
-        EventHandle(u64::from(gen) << 32 | u64::from(index))
+    fn new(queue: u64, index: u32, gen: u32) -> Self {
+        EventHandle { queue, packed: u64::from(gen) << 32 | u64::from(index) }
     }
 
     fn index(self) -> u32 {
-        self.0 as u32
+        self.packed as u32
     }
 
     fn gen(self) -> u32 {
-        (self.0 >> 32) as u32
+        (self.packed >> 32) as u32
     }
 }
 
@@ -85,6 +105,8 @@ impl HeapEntry {
 /// assert_eq!(q.pop().unwrap().2, "sooner");
 /// ```
 pub struct EventQueue<E> {
+    /// This queue's identity; embedded in every handle it mints.
+    id: u64,
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
     /// Min-heap of `(time, seq, slot)` entries, ordered by `(time, seq)`.
@@ -93,12 +115,14 @@ pub struct EventQueue<E> {
 }
 
 /// Cloning a queue clones every pending event (warm-boot snapshot
-/// forking); handles issued by the original remain valid against the
-/// clone because slot indices, generations, and heap layout are copied
-/// verbatim. Capacity is preserved too: the snapshot's vectors sit at
-/// their boot-time high-water mark and every forked run schedules past
-/// the current length immediately, so a `len`-sized clone would re-grow
-/// through the same doublings on every run.
+/// forking). The clone gets a **fresh queue identity**, so handles
+/// minted by the original are rejected by the clone and vice versa:
+/// after the fork the two queues recycle slots independently, and a
+/// pre-fork handle could otherwise cancel an unrelated occupant of the
+/// same slot on the other side. Capacity is preserved: the snapshot's
+/// vectors sit at their boot-time high-water mark and every forked run
+/// schedules past the current length immediately, so a `len`-sized
+/// clone would re-grow through the same doublings on every run.
 impl<E: Clone> Clone for EventQueue<E> {
     fn clone(&self) -> Self {
         fn presized<T: Clone>(v: &[T], capacity: usize) -> Vec<T> {
@@ -107,6 +131,7 @@ impl<E: Clone> Clone for EventQueue<E> {
             out
         }
         EventQueue {
+            id: fresh_queue_id(),
             slots: presized(&self.slots, self.slots.capacity()),
             free: presized(&self.free, self.free.capacity()),
             heap: presized(&self.heap, self.heap.capacity()),
@@ -124,7 +149,13 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { slots: Vec::new(), free: Vec::new(), heap: Vec::new(), next_seq: 0 }
+        EventQueue {
+            id: fresh_queue_id(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
+            next_seq: 0,
+        }
     }
 
     /// Writes `entry` into heap position `pos` and records the position.
@@ -220,23 +251,30 @@ impl<E> EventQueue<E> {
         self.heap.push(HeapEntry { time, seq, slot });
         self.slots[slot as usize].pos = pos as u32;
         self.sift_up(pos);
-        EventHandle::new(slot, self.slots[slot as usize].gen)
+        EventHandle::new(self.id, slot, self.slots[slot as usize].gen)
+    }
+
+    /// Returns the heap position of a live event this queue minted a
+    /// handle for, or `None` if the handle is stale or foreign.
+    #[inline]
+    fn live_pos(&self, handle: EventHandle) -> Option<usize> {
+        if handle.queue != self.id {
+            return None;
+        }
+        let slot = self.slots.get(handle.index() as usize)?;
+        if slot.gen != handle.gen() || slot.pos == FREE {
+            return None;
+        }
+        Some(slot.pos as usize)
     }
 
     /// Cancels a previously scheduled event in O(log n). Returns `true`
     /// only if the event was still pending — cancelling an event that
     /// already fired (or was already cancelled) is a no-op reporting
-    /// `false`.
+    /// `false`, as is presenting a handle minted by a different queue
+    /// (e.g. the pre-fork original of a cloned queue).
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        let idx = handle.index();
-        let Some(slot) = self.slots.get(idx as usize) else { return false };
-        if slot.gen != handle.gen() || slot.pos == FREE {
-            return false;
-        }
-        let pos = slot.pos as usize;
-        self.remove_at(pos);
-        self.release(idx);
-        true
+        self.pop_at(handle).is_some()
     }
 
     /// Removes and returns the earliest live event as `(time, handle, event)`.
@@ -245,13 +283,74 @@ impl<E> EventQueue<E> {
         let gen = self.slots[slot as usize].gen;
         self.remove_root();
         let ev = self.release(slot);
-        Some((time, EventHandle::new(slot, gen), ev))
+        Some((time, EventHandle::new(self.id, slot, gen), ev))
+    }
+
+    /// Removes and returns a *specific* live event by handle, as
+    /// `(time, event)` — the choice-point primitive: a model checker
+    /// picks one of several same-instant events to fire first instead of
+    /// always taking the `(time, seq)` minimum. Returns `None` for
+    /// stale or foreign handles; the queue is untouched in that case.
+    pub fn pop_at(&mut self, handle: EventHandle) -> Option<(SimTime, E)> {
+        let pos = self.live_pos(handle)?;
+        let time = self.heap[pos].time;
+        self.remove_at(pos);
+        let ev = self.release(handle.index());
+        Some((time, ev))
     }
 
     /// Time of the earliest live event without removing it — O(1), and
     /// borrows the queue immutably.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.first().map(|entry| entry.time)
+    }
+
+    /// Scheduled time of a specific live event, or `None` for stale or
+    /// foreign handles.
+    pub fn time_of(&self, handle: EventHandle) -> Option<SimTime> {
+        self.live_pos(handle).map(|pos| self.heap[pos].time)
+    }
+
+    /// Borrows a specific live event, or `None` for stale/foreign handles.
+    pub fn get(&self, handle: EventHandle) -> Option<&E> {
+        let pos = self.live_pos(handle)?;
+        self.slots[self.heap[pos].slot as usize].event.as_ref()
+    }
+
+    /// Handles of every event scheduled for the earliest pending
+    /// instant, in deterministic `(time, seq)` pop order — the set of
+    /// events [`EventQueue::pop`] could legally fire next under a
+    /// relaxed same-instant ordering. Empty when the queue is empty;
+    /// a singleton when the next instant has exactly one event.
+    pub fn ready_handles(&self) -> Vec<EventHandle> {
+        let Some(first) = self.heap.first() else { return Vec::new() };
+        let t = first.time;
+        let mut ready: Vec<(u64, EventHandle)> = self
+            .heap
+            .iter()
+            .filter(|entry| entry.time == t)
+            .map(|entry| {
+                let slot = entry.slot;
+                (entry.seq, EventHandle::new(self.id, slot, self.slots[slot as usize].gen))
+            })
+            .collect();
+        ready.sort_unstable_by_key(|&(seq, _)| seq);
+        ready.into_iter().map(|(_, h)| h).collect()
+    }
+
+    /// Iterates over every pending event as `(time, seq, event)`.
+    ///
+    /// Order is **heap order**, not firing order — callers that need a
+    /// canonical view (e.g. state hashing) must sort by `(time, seq)`.
+    /// `seq` values are only meaningful relative to each other.
+    pub fn iter_pending(&self) -> impl Iterator<Item = (SimTime, u64, &E)> {
+        self.heap.iter().map(|entry| {
+            let ev = self.slots[entry.slot as usize]
+                .event
+                .as_ref()
+                .expect("heap entry points at occupied slot");
+            (entry.time, entry.seq, ev)
+        })
     }
 
     /// Number of live (non-cancelled) events.
@@ -443,6 +542,80 @@ mod tests {
         assert!(!q.cancel(h1));
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().2, "b");
+    }
+
+    #[test]
+    fn cross_clone_handles_are_rejected() {
+        // Regression: before handles carried a queue identity, a handle
+        // minted by the original could address the *same slot index* in
+        // a clone. Once both sides independently recycle that slot the
+        // generations can re-align, and the foreign handle would cancel
+        // an unrelated event.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "b");
+        let mut q2 = q.clone();
+        // Both queues now mint slot 1 with the same generation.
+        let hc = q.schedule(SimTime::from_secs(2), "c");
+        let hd = q2.schedule(SimTime::from_secs(2), "d");
+        assert!(!q2.cancel(hc), "foreign handle must not cancel in the clone");
+        assert_eq!(q2.len(), 2, "clone's own event must survive the foreign cancel");
+        assert!(!q.cancel(hd), "foreign handle must not cancel in the original");
+        assert!(q.cancel(hc), "handle stays valid against its minting queue");
+        assert!(q2.cancel(hd), "handle stays valid against its minting queue");
+        assert_eq!(q2.pop().unwrap().2, "b");
+        // Lookups are gated the same way as cancellation.
+        let he = q.schedule(SimTime::from_secs(3), "e");
+        assert!(q2.get(he).is_none());
+        assert!(q2.time_of(he).is_none());
+        assert!(q2.pop_at(he).is_none());
+    }
+
+    #[test]
+    fn ready_handles_cover_the_earliest_instant_in_pop_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule(SimTime::from_secs(5), 99);
+        let h0 = q.schedule(t, 0);
+        let h1 = q.schedule(t, 1);
+        let h2 = q.schedule(t, 2);
+        assert_eq!(q.ready_handles(), vec![h0, h1, h2]);
+        // Cancelling the seq-minimum re-elects the next in seq order.
+        assert!(q.cancel(h0));
+        assert_eq!(q.ready_handles(), vec![h1, h2]);
+        // pop_at can fire a non-minimum ready event out of seq order.
+        assert_eq!(q.pop_at(h2), Some((t, 2)));
+        assert_eq!(q.ready_handles(), vec![h1]);
+        assert_eq!(q.pop().unwrap().2, 1);
+        assert_eq!(q.ready_handles().len(), 1, "later instant becomes ready");
+        assert_eq!(q.pop().unwrap().2, 99);
+        assert!(q.ready_handles().is_empty());
+    }
+
+    #[test]
+    fn pop_at_matches_pop_for_the_minimum_and_rejects_stale() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.get(h), Some(&"a"));
+        assert_eq!(q.time_of(h), Some(SimTime::from_secs(1)));
+        assert_eq!(q.pop_at(h), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(q.pop_at(h), None, "second pop_at of same handle fails");
+        assert!(q.get(h).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().2, "b");
+    }
+
+    #[test]
+    fn iter_pending_enumerates_all_live_events() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_secs(2), "dead");
+        q.schedule(SimTime::from_secs(1), "x");
+        q.schedule(SimTime::from_secs(3), "y");
+        q.cancel(h);
+        let mut seen: Vec<(SimTime, u64, &str)> =
+            q.iter_pending().map(|(t, s, e)| (t, s, *e)).collect();
+        seen.sort_unstable_by_key(|&(t, s, _)| (t, s));
+        assert_eq!(seen, vec![(SimTime::from_secs(1), 1, "x"), (SimTime::from_secs(3), 2, "y")]);
     }
 
     #[test]

@@ -40,6 +40,15 @@ impl SimRng {
         SimRng { s }
     }
 
+    /// The raw xoshiro256++ state words — a stable fingerprint of the
+    /// stream's position. Two generators with equal state produce
+    /// identical futures, so state digests (e.g. model-checker
+    /// convergence hashing) can include this to distinguish runs whose
+    /// visible state matches but whose randomness has diverged.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Derives an independent substream tagged by `tag`.
     ///
     /// Forking lets each subsystem (network, per-process machine model,

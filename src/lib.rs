@@ -11,6 +11,7 @@ pub use ree_apps as apps;
 pub use ree_armor as armor;
 pub use ree_experiments as experiments;
 pub use ree_inject as inject;
+pub use ree_mc as mc;
 pub use ree_mpi as mpi;
 pub use ree_net as net;
 pub use ree_os as os;
