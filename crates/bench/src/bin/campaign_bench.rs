@@ -44,7 +44,15 @@
 //! recovery rate, 512-run budget) and records how many runs the
 //! stopping rule actually needed next to the fixed 512-run spend it
 //! replaces.
+//!
+//! The `distributed_register` section re-runs the register sweep across
+//! a supervised worker pool (2 and 4 subprocesses; this binary
+//! re-executes itself as the workers) so the worker-pool overhead vs
+//! the single-process baseline is tracked from the first distributed
+//! PR. Each entry asserts the distributed aggregate byte-matches the
+//! in-process `Campaign` fold before recording throughput.
 
+use ree_dist::{distribute, DistOptions};
 use ree_inject::{execute_warm, Campaign, ErrorModel, NetFault, RunPlan, StoppingRule, Target};
 use ree_sim::{SimDuration, SimTime};
 use std::time::Instant;
@@ -230,6 +238,51 @@ fn json_adaptive(s: &AdaptiveSweep) -> String {
     )
 }
 
+/// One distributed register sweep: the same plan and seeds as the
+/// single-process `register` sweep, executed by a supervised pool of
+/// `workers` subprocesses and byte-checked against the in-process
+/// aggregate before the throughput is recorded.
+struct DistSweep {
+    workers: usize,
+    runs: u32,
+    total_secs: f64,
+    identical: bool,
+    requeued: u64,
+    fallback_runs: u64,
+}
+
+fn sweep_dist(plan: &RunPlan, runs: u32, seed0: u64, workers: usize) -> DistSweep {
+    let expected = Campaign::new(plan).runs(runs).seed(seed0).aggregate();
+    let t0 = Instant::now();
+    let report =
+        distribute(plan, runs, seed0, &DistOptions::new(workers)).expect("register plan validates");
+    let total_secs = t0.elapsed().as_secs_f64();
+    DistSweep {
+        workers,
+        runs,
+        total_secs,
+        identical: report.completed() && report.aggregate == expected,
+        requeued: report.ledger.requeued,
+        fallback_runs: report.ledger.fallback_runs,
+    }
+}
+
+fn json_dist(s: &DistSweep) -> String {
+    format!(
+        "{{\"label\": \"register_dist_{}w\", \"workers\": {}, \"runs\": {}, \
+         \"total_secs\": {:.3}, \"runs_per_sec\": {:.2}, \"identical\": {}, \
+         \"requeued\": {}, \"fallback_runs\": {}}}",
+        s.workers,
+        s.workers,
+        s.runs,
+        s.total_secs,
+        f64::from(s.runs) / s.total_secs.max(1e-9),
+        s.identical,
+        s.requeued,
+        s.fallback_runs,
+    )
+}
+
 /// Extracts the register sweep's `runs_per_sec` from a committed
 /// `BENCH_campaign.json` without a JSON parser dependency: finds the
 /// `"label": "register"` entry and reads the next `"runs_per_sec":`
@@ -280,6 +333,8 @@ fn compare_with_baseline(path: &str, measured: &Sweep, strict: bool) {
 }
 
 fn main() {
+    // A ree-dist supervisor spawn: become a worker and never return.
+    ree_dist::run_worker_if_spawned();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get =
         |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
@@ -343,6 +398,22 @@ fn main() {
     let adaptive_sigint =
         sweep_adaptive("adaptive_sigint", &plan(ErrorModel::Sigint, seed), 512, seed);
 
+    // Distributed register sweeps: worker-pool overhead vs the
+    // single-process baseline, byte-checked before recording.
+    let dist_plan = plan(ErrorModel::Register, seed);
+    let dist_2w = sweep_dist(&dist_plan, runs, seed, 2);
+    let dist_4w = sweep_dist(&dist_plan, runs, seed, 4);
+    for d in [&dist_2w, &dist_4w] {
+        if !d.identical {
+            eprintln!(
+                "::error::distributed register sweep ({} workers) diverged from the \
+                 single-process aggregate",
+                d.workers
+            );
+            std::process::exit(1);
+        }
+    }
+
     let json = format!(
         "{{\n  \"workload\": \"single_texture 4-node testbed, Target::App\",\n  \
          \"note\": \"{}\",\n  \
@@ -350,6 +421,7 @@ fn main() {
          \"single_thread\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ],\n  \
          \"parallel_register\": {{\"runs\": {runs}, \"total_secs\": {parallel_secs:.3}, \
          \"runs_per_sec\": {parallel_rps:.2}}},\n  \
+         \"distributed_register\": [\n    {},\n    {}\n  ],\n  \
          \"adaptive\": [\n    {},\n    {}\n  ]\n}}\n",
         json_escape(&note),
         json_sweep(&register),
@@ -358,6 +430,8 @@ fn main() {
         json_sweep(&partition),
         json_sweep(&register_cold),
         json_sweep(&sigint_cold),
+        json_dist(&dist_2w),
+        json_dist(&dist_4w),
         json_adaptive(&adaptive_register),
         json_adaptive(&adaptive_sigint),
     );

@@ -1,0 +1,17 @@
+//! Standalone worker binary for `ree-dist`'s own integration tests
+//! (`env!("CARGO_BIN_EXE_ree-dist-worker")`) and for deployments that
+//! prefer a dedicated worker executable over self-re-exec.
+//!
+//! It does nothing unless spawned with the worker environment set; run
+//! standalone it prints a usage note and exits non-zero.
+
+fn main() {
+    ree_dist::run_worker_if_spawned();
+    eprintln!(
+        "ree-dist-worker: not spawned as a worker (set {} / {}); \
+         this binary is launched by a ree-dist supervisor, not by hand",
+        ree_dist::worker::ENV_WORKER_ID,
+        ree_dist::worker::ENV_INCARNATION,
+    );
+    std::process::exit(2);
+}

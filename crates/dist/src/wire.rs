@@ -1,0 +1,834 @@
+//! Message encoding for the supervisor ↔ worker protocol.
+//!
+//! One [`Msg`] per frame (see [`crate::frame`]). The payload codec is
+//! hand-rolled over the vendored `bytes` buffer types: big-endian
+//! integers, `f64` as IEEE bit patterns (`to_bits`/`from_bits`, so
+//! results survive the wire bit-exactly), strings as length-prefixed
+//! UTF-8, `SimTime`/`SimDuration` as their microsecond counts
+//! (lossless — they are `u64` microseconds internally). Decoding is
+//! fully fallible: a malformed payload yields a typed [`WireError`],
+//! never a panic, because the bytes crossed a process boundary and the
+//! peer may have been chaos-injected.
+//!
+//! The codec round-trips the whole [`RunPlan`] (scenario, workload
+//! parameters, jobs, optional interconnect topology, network-fault
+//! plans) and the whole [`RunResult`] — the supervisor folds decoded
+//! results through the exact same seed-ordered `Aggregate::accept`
+//! fold a single-process campaign uses, which is what makes the
+//! distributed aggregate byte-identical rather than merely close.
+
+use bytes::{BufMut, BytesMut};
+use ree_apps::{OtisParams, PipelineParams, Scenario, TextureParams, Verdict};
+use ree_inject::netfault::{NetFault, NetFaultKind, NetFaultTrigger};
+use ree_inject::{ErrorModel, FailureClass, RunPlan, RunResult, SystemFailure, Target};
+use ree_net::{LinkId, LinkParams, LinkSpec, NodeId, Port, SwitchId, Topology};
+use ree_os::{FieldKind, HeapHit, HeapTarget};
+use ree_sift::{JobSpec, SiftConfig};
+use ree_sim::{SimDuration, SimTime};
+
+/// Protocol generation; a worker built from different sources refuses
+/// the handshake instead of mis-decoding frames.
+pub const PROTO_VERSION: u32 = 1;
+
+/// A malformed payload (truncated, unknown tag, bad UTF-8, or bytes
+/// left over after the message ended).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before `what` could be read.
+    Truncated {
+        /// Field being decoded when the payload ran out.
+        what: &'static str,
+    },
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// Enum being decoded.
+        what: &'static str,
+        /// The unrecognised tag.
+        tag: u8,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8 {
+        /// Field being decoded.
+        what: &'static str,
+    },
+    /// The message decoded cleanly but bytes remained.
+    Trailing {
+        /// Leftover byte count.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { what } => write!(f, "payload truncated reading {what}"),
+            WireError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::BadUtf8 { what } => write!(f, "invalid UTF-8 in {what}"),
+            WireError::Trailing { extra } => write!(f, "{extra} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One protocol message. Supervisor → worker: `Hello`, `Plan`,
+/// `Batch`, `Shutdown`. Worker → supervisor: `Ready`, `PlanAccepted`,
+/// `PlanRejected`, `Progress` (the heartbeat), `BatchDone`,
+/// `BatchFailed`.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Handshake: the supervisor announces its protocol generation.
+    Hello {
+        /// Supervisor's [`PROTO_VERSION`].
+        proto: u32,
+    },
+    /// The campaign's plan; sent once per worker incarnation.
+    Plan {
+        /// The plan every batch of this campaign runs.
+        plan: Box<RunPlan>,
+    },
+    /// One work item: run seeds `seed0 .. seed0 + len`.
+    Batch {
+        /// Batch id (dense, assigned in seed order).
+        batch: u32,
+        /// First seed of the batch.
+        seed0: u64,
+        /// Number of runs.
+        len: u32,
+    },
+    /// Orderly shutdown request.
+    Shutdown,
+    /// Worker's handshake reply.
+    Ready {
+        /// Worker id (stable across respawns).
+        worker: u32,
+        /// Worker's [`PROTO_VERSION`].
+        proto: u32,
+    },
+    /// The plan validated and booted.
+    PlanAccepted,
+    /// The plan failed validation; the error is supervisor-visible.
+    PlanRejected {
+        /// Rendered [`ree_inject::CampaignError`].
+        error: String,
+    },
+    /// Per-run heartbeat: `done` of the current batch's runs finished.
+    Progress {
+        /// Batch being executed.
+        batch: u32,
+        /// Runs finished so far.
+        done: u32,
+    },
+    /// A batch's results, in seed order.
+    BatchDone {
+        /// Batch id.
+        batch: u32,
+        /// One result per seed, in order.
+        results: Vec<RunResult>,
+    },
+    /// The batch could not be executed (e.g. a run panicked).
+    BatchFailed {
+        /// Batch id.
+        batch: u32,
+        /// Rendered error.
+        error: String,
+    },
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_u16(buf: &mut BytesMut, v: u16) {
+    buf.put_slice(&v.to_be_bytes());
+}
+
+fn put_f64(buf: &mut BytesMut, v: f64) {
+    buf.put_u64(v.to_bits());
+}
+
+fn put_bool(buf: &mut BytesMut, v: bool) {
+    buf.put_u8(v as u8);
+}
+
+fn put_usize(buf: &mut BytesMut, v: usize) {
+    buf.put_u64(v as u64);
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_duration(buf: &mut BytesMut, d: SimDuration) {
+    buf.put_u64(d.as_micros());
+}
+
+fn put_time(buf: &mut BytesMut, t: SimTime) {
+    buf.put_u64(t.as_micros());
+}
+
+fn put_opt<T>(buf: &mut BytesMut, v: &Option<T>, put: impl FnOnce(&mut BytesMut, &T)) {
+    match v {
+        None => buf.put_u8(0),
+        Some(x) => {
+            buf.put_u8(1);
+            put(buf, x);
+        }
+    }
+}
+
+fn put_opt_f64(buf: &mut BytesMut, v: &Option<f64>) {
+    put_opt(buf, v, |b, x| put_f64(b, *x));
+}
+
+fn put_sift(buf: &mut BytesMut, c: &SiftConfig) {
+    put_duration(buf, c.ftm_daemon_hb_period);
+    put_duration(buf, c.hb_ftm_period);
+    put_duration(buf, c.daemon_probe_period);
+    put_duration(buf, c.pi_check_period);
+    put_duration(buf, c.app_block_timeout);
+    put_duration(buf, c.mpi_init_timeout);
+    put_bool(buf, c.race_fix_enabled);
+    put_bool(buf, c.interrupt_driven_pi);
+    put_bool(buf, c.precheck_assertions);
+    put_bool(buf, c.assertions_enabled);
+    put_opt(buf, &c.connect_timeout, |b, d| put_duration(b, *d));
+}
+
+fn put_texture(buf: &mut BytesMut, p: &TextureParams) {
+    put_usize(buf, p.image_px);
+    put_usize(buf, p.tile_px);
+    put_usize(buf, p.clusters);
+    buf.put_u32(p.images);
+    put_duration(buf, p.load_time);
+    put_duration(buf, p.filter_time);
+    put_duration(buf, p.cluster_time);
+    put_duration(buf, p.write_time);
+    put_duration(buf, p.pi_period);
+}
+
+fn put_otis(buf: &mut BytesMut, p: &OtisParams) {
+    put_usize(buf, p.frame_px);
+    buf.put_u32(p.frames);
+    put_duration(buf, p.load_time);
+    put_duration(buf, p.atm_time);
+    put_duration(buf, p.emis_time);
+    put_duration(buf, p.compress_time);
+    put_duration(buf, p.pi_period);
+}
+
+fn put_pipeline(buf: &mut BytesMut, p: &PipelineParams) {
+    put_usize(buf, p.frame_px);
+    buf.put_u32(p.frames);
+    put_duration(buf, p.acquire_time);
+    put_duration(buf, p.process_time);
+    put_duration(buf, p.downlink_time);
+    put_duration(buf, p.pi_period);
+}
+
+fn put_job(buf: &mut BytesMut, j: &JobSpec) {
+    put_str(buf, &j.app);
+    buf.put_u32(j.ranks);
+    buf.put_u32(j.nodes.len() as u32);
+    for &n in &j.nodes {
+        put_u16(buf, n);
+    }
+    put_duration(buf, j.submit_at);
+}
+
+fn put_port(buf: &mut BytesMut, p: Port) {
+    match p {
+        Port::Node(NodeId(n)) => {
+            buf.put_u8(0);
+            put_u16(buf, n);
+        }
+        Port::Switch(SwitchId(s)) => {
+            buf.put_u8(1);
+            put_u16(buf, s);
+        }
+    }
+}
+
+fn put_topology(buf: &mut BytesMut, t: &Topology) {
+    put_u16(buf, t.nodes());
+    put_u16(buf, t.switches());
+    put_duration(buf, t.loopback_latency());
+    buf.put_u32(t.links().len() as u32);
+    for link in t.links() {
+        put_port(buf, link.from);
+        put_port(buf, link.to);
+        put_duration(buf, link.params.latency);
+        put_duration(buf, link.params.jitter);
+        put_opt(buf, &link.params.bandwidth_bytes_per_sec, |b, v| b.put_u64(*v));
+        put_f64(buf, link.params.drop_probability);
+        buf.put_u32(link.peer.0);
+    }
+}
+
+fn put_scenario(buf: &mut BytesMut, s: &Scenario) {
+    put_usize(buf, s.nodes);
+    put_sift(buf, &s.sift);
+    put_texture(buf, &s.texture);
+    put_otis(buf, &s.otis);
+    put_pipeline(buf, &s.pipeline);
+    buf.put_u32(s.jobs.len() as u32);
+    for j in &s.jobs {
+        put_job(buf, j);
+    }
+    buf.put_u64(s.seed);
+    put_bool(buf, s.trace);
+    put_opt(buf, &s.topology, put_topology);
+}
+
+fn put_target(buf: &mut BytesMut, t: &Target) {
+    match t {
+        Target::App => buf.put_u8(0),
+        Target::NamedApp(name) => {
+            buf.put_u8(1);
+            put_str(buf, name);
+        }
+        Target::Ftm => buf.put_u8(2),
+        Target::ExecArmor => buf.put_u8(3),
+        Target::Heartbeat => buf.put_u8(4),
+        Target::AnyArmor => buf.put_u8(5),
+    }
+}
+
+fn put_heap_target(buf: &mut BytesMut, t: &HeapTarget) {
+    match t {
+        HeapTarget::Any => buf.put_u8(0),
+        HeapTarget::DataOnly => buf.put_u8(1),
+        HeapTarget::Region(r) => {
+            buf.put_u8(2);
+            put_str(buf, r);
+        }
+    }
+}
+
+fn put_model(buf: &mut BytesMut, m: &ErrorModel) {
+    match m {
+        ErrorModel::Sigint => buf.put_u8(0),
+        ErrorModel::Sigstop => buf.put_u8(1),
+        ErrorModel::Register => buf.put_u8(2),
+        ErrorModel::TextSegment => buf.put_u8(3),
+        ErrorModel::Heap => buf.put_u8(4),
+        ErrorModel::HeapSingle(t) => {
+            buf.put_u8(5);
+            put_heap_target(buf, t);
+        }
+    }
+}
+
+fn put_net_fault(buf: &mut BytesMut, f: &NetFault) {
+    match &f.kind {
+        NetFaultKind::Link { a, b } => {
+            buf.put_u8(0);
+            put_u16(buf, *a);
+            put_u16(buf, *b);
+        }
+        NetFaultKind::Correlated { pairs } => {
+            buf.put_u8(1);
+            buf.put_u32(pairs.len() as u32);
+            for &(a, b) in pairs {
+                put_u16(buf, a);
+                put_u16(buf, b);
+            }
+        }
+        NetFaultKind::Partition { groups } => {
+            buf.put_u8(2);
+            buf.put_u32(groups.len() as u32);
+            for g in groups {
+                buf.put_u32(g.len() as u32);
+                for &n in g {
+                    put_u16(buf, n);
+                }
+            }
+        }
+    }
+    match &f.trigger {
+        NetFaultTrigger::At(t) => {
+            buf.put_u8(0);
+            put_time(buf, *t);
+        }
+        NetFaultTrigger::OnRecoveryStart { delay } => {
+            buf.put_u8(1);
+            put_duration(buf, *delay);
+        }
+    }
+    put_duration(buf, f.duration);
+}
+
+fn put_plan(buf: &mut BytesMut, p: &RunPlan) {
+    put_scenario(buf, &p.scenario);
+    put_target(buf, &p.target);
+    put_model(buf, &p.model);
+    put_time(buf, p.timeout);
+    buf.put_u32(p.net_faults.len() as u32);
+    for f in &p.net_faults {
+        put_net_fault(buf, f);
+    }
+}
+
+fn put_failure_class(buf: &mut BytesMut, c: FailureClass) {
+    buf.put_u8(match c {
+        FailureClass::SegFault => 0,
+        FailureClass::IllegalInstruction => 1,
+        FailureClass::Hang => 2,
+        FailureClass::Assertion => 3,
+        FailureClass::InjectedSignal => 4,
+        FailureClass::Other => 5,
+    });
+}
+
+fn put_system_failure(buf: &mut BytesMut, s: SystemFailure) {
+    buf.put_u8(match s {
+        SystemFailure::UnableToRegisterDaemons => 0,
+        SystemFailure::UnableToInstallExecArmors => 1,
+        SystemFailure::UnableToStartApplication => 2,
+        SystemFailure::UnableToRecognizeCompletion => 3,
+        SystemFailure::AppDidNotComplete => 4,
+    });
+}
+
+fn put_result(buf: &mut BytesMut, r: &RunResult) {
+    buf.put_u64(r.seed);
+    buf.put_u32(r.injections);
+    put_opt(buf, &r.induced, |b, c| put_failure_class(b, *c));
+    put_bool(buf, r.completed);
+    put_opt(buf, &r.system_failure, |b, s| put_system_failure(b, *s));
+    buf.put_u8(match r.output {
+        Verdict::Correct => 0,
+        Verdict::Incorrect => 1,
+        Verdict::Missing => 2,
+    });
+    put_opt_f64(buf, &r.perceived);
+    put_opt_f64(buf, &r.actual);
+    buf.put_u32(r.perceived_all.len() as u32);
+    for v in &r.perceived_all {
+        put_opt_f64(buf, v);
+    }
+    buf.put_u32(r.actual_all.len() as u32);
+    for v in &r.actual_all {
+        put_opt_f64(buf, v);
+    }
+    buf.put_u64(r.restarts);
+    buf.put_u32(r.recovery_times.len() as u32);
+    for &v in &r.recovery_times {
+        put_f64(buf, v);
+    }
+    put_bool(buf, r.correlated);
+    put_bool(buf, r.assertion_fired);
+    put_opt(buf, &r.heap_hit, |b, h| {
+        put_str(b, &h.region);
+        put_str(b, &h.field);
+        b.put_u8(match h.kind {
+            FieldKind::Pointer => 0,
+            FieldKind::Data => 1,
+        });
+    });
+    buf.put_u32(r.net_faults_applied);
+}
+
+/// Encodes `msg` and wraps it in a wire frame — the common send path.
+pub fn encode_frame_msg(msg: &Msg) -> Vec<u8> {
+    crate::frame::encode_frame(&encode_msg(msg))
+}
+
+/// Encodes `msg` into a frame payload.
+pub fn encode_msg(msg: &Msg) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64);
+    match msg {
+        Msg::Hello { proto } => {
+            buf.put_u8(0);
+            buf.put_u32(*proto);
+        }
+        Msg::Plan { plan } => {
+            buf.put_u8(1);
+            put_plan(&mut buf, plan);
+        }
+        Msg::Batch { batch, seed0, len } => {
+            buf.put_u8(2);
+            buf.put_u32(*batch);
+            buf.put_u64(*seed0);
+            buf.put_u32(*len);
+        }
+        Msg::Shutdown => buf.put_u8(3),
+        Msg::Ready { worker, proto } => {
+            buf.put_u8(4);
+            buf.put_u32(*worker);
+            buf.put_u32(*proto);
+        }
+        Msg::PlanAccepted => buf.put_u8(5),
+        Msg::PlanRejected { error } => {
+            buf.put_u8(6);
+            put_str(&mut buf, error);
+        }
+        Msg::Progress { batch, done } => {
+            buf.put_u8(7);
+            buf.put_u32(*batch);
+            buf.put_u32(*done);
+        }
+        Msg::BatchDone { batch, results } => {
+            buf.put_u8(8);
+            buf.put_u32(*batch);
+            buf.put_u32(results.len() as u32);
+            for r in results {
+                put_result(&mut buf, r);
+            }
+        }
+        Msg::BatchFailed { batch, error } => {
+            buf.put_u8(9);
+            buf.put_u32(*batch);
+            put_str(&mut buf, error);
+        }
+    }
+    buf.to_vec()
+}
+
+// ---------------------------------------------------------------- decode
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated { what });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.bytes(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.bytes(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.bytes(8, what)?.try_into().unwrap()))
+    }
+
+    fn usize(&mut self, what: &'static str) -> Result<usize, WireError> {
+        Ok(self.u64(what)? as usize)
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool, WireError> {
+        Ok(self.u8(what)? != 0)
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = self.u32(what)? as usize;
+        let raw = self.bytes(len, what)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8 { what })
+    }
+
+    fn duration(&mut self, what: &'static str) -> Result<SimDuration, WireError> {
+        Ok(SimDuration::from_micros(self.u64(what)?))
+    }
+
+    fn time(&mut self, what: &'static str) -> Result<SimTime, WireError> {
+        Ok(SimTime::from_micros(self.u64(what)?))
+    }
+
+    fn opt<T>(
+        &mut self,
+        what: &'static str,
+        read: impl FnOnce(&mut Self) -> Result<T, WireError>,
+    ) -> Result<Option<T>, WireError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            _ => Ok(Some(read(self)?)),
+        }
+    }
+
+    fn vec<T>(
+        &mut self,
+        what: &'static str,
+        mut read: impl FnMut(&mut Self) -> Result<T, WireError>,
+    ) -> Result<Vec<T>, WireError> {
+        let n = self.u32(what)? as usize;
+        // Guard against a corrupted count reserving gigabytes: the cap
+        // only bounds the pre-allocation, pushes still fail on EOF.
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(read(self)?);
+        }
+        Ok(out)
+    }
+}
+
+fn read_sift(r: &mut Reader<'_>) -> Result<SiftConfig, WireError> {
+    Ok(SiftConfig {
+        ftm_daemon_hb_period: r.duration("sift.ftm_daemon_hb_period")?,
+        hb_ftm_period: r.duration("sift.hb_ftm_period")?,
+        daemon_probe_period: r.duration("sift.daemon_probe_period")?,
+        pi_check_period: r.duration("sift.pi_check_period")?,
+        app_block_timeout: r.duration("sift.app_block_timeout")?,
+        mpi_init_timeout: r.duration("sift.mpi_init_timeout")?,
+        race_fix_enabled: r.bool("sift.race_fix_enabled")?,
+        interrupt_driven_pi: r.bool("sift.interrupt_driven_pi")?,
+        precheck_assertions: r.bool("sift.precheck_assertions")?,
+        assertions_enabled: r.bool("sift.assertions_enabled")?,
+        connect_timeout: r.opt("sift.connect_timeout", |r| r.duration("sift.connect_timeout"))?,
+    })
+}
+
+fn read_texture(r: &mut Reader<'_>) -> Result<TextureParams, WireError> {
+    Ok(TextureParams {
+        image_px: r.usize("texture.image_px")?,
+        tile_px: r.usize("texture.tile_px")?,
+        clusters: r.usize("texture.clusters")?,
+        images: r.u32("texture.images")?,
+        load_time: r.duration("texture.load_time")?,
+        filter_time: r.duration("texture.filter_time")?,
+        cluster_time: r.duration("texture.cluster_time")?,
+        write_time: r.duration("texture.write_time")?,
+        pi_period: r.duration("texture.pi_period")?,
+    })
+}
+
+fn read_otis(r: &mut Reader<'_>) -> Result<OtisParams, WireError> {
+    Ok(OtisParams {
+        frame_px: r.usize("otis.frame_px")?,
+        frames: r.u32("otis.frames")?,
+        load_time: r.duration("otis.load_time")?,
+        atm_time: r.duration("otis.atm_time")?,
+        emis_time: r.duration("otis.emis_time")?,
+        compress_time: r.duration("otis.compress_time")?,
+        pi_period: r.duration("otis.pi_period")?,
+    })
+}
+
+fn read_pipeline(r: &mut Reader<'_>) -> Result<PipelineParams, WireError> {
+    Ok(PipelineParams {
+        frame_px: r.usize("pipeline.frame_px")?,
+        frames: r.u32("pipeline.frames")?,
+        acquire_time: r.duration("pipeline.acquire_time")?,
+        process_time: r.duration("pipeline.process_time")?,
+        downlink_time: r.duration("pipeline.downlink_time")?,
+        pi_period: r.duration("pipeline.pi_period")?,
+    })
+}
+
+fn read_job(r: &mut Reader<'_>) -> Result<JobSpec, WireError> {
+    Ok(JobSpec {
+        app: r.string("job.app")?,
+        ranks: r.u32("job.ranks")?,
+        nodes: r.vec("job.nodes", |r| r.u16("job.node"))?,
+        submit_at: r.duration("job.submit_at")?,
+    })
+}
+
+fn read_port(r: &mut Reader<'_>) -> Result<Port, WireError> {
+    match r.u8("port.tag")? {
+        0 => Ok(Port::Node(NodeId(r.u16("port.node")?))),
+        1 => Ok(Port::Switch(SwitchId(r.u16("port.switch")?))),
+        tag => Err(WireError::BadTag { what: "port", tag }),
+    }
+}
+
+fn read_topology(r: &mut Reader<'_>) -> Result<Topology, WireError> {
+    let nodes = r.u16("topology.nodes")?;
+    let switches = r.u16("topology.switches")?;
+    let loopback = r.duration("topology.loopback_latency")?;
+    let links = r.vec("topology.links", |r| {
+        Ok(LinkSpec {
+            from: read_port(r)?,
+            to: read_port(r)?,
+            params: LinkParams {
+                latency: r.duration("link.latency")?,
+                jitter: r.duration("link.jitter")?,
+                bandwidth_bytes_per_sec: r.opt("link.bandwidth", |r| r.u64("link.bandwidth"))?,
+                drop_probability: r.f64("link.drop_probability")?,
+            },
+            peer: LinkId(r.u32("link.peer")?),
+        })
+    })?;
+    Ok(Topology::from_parts(nodes, switches, loopback, links))
+}
+
+fn read_scenario(r: &mut Reader<'_>) -> Result<Scenario, WireError> {
+    Ok(Scenario {
+        nodes: r.usize("scenario.nodes")?,
+        sift: read_sift(r)?,
+        texture: read_texture(r)?,
+        otis: read_otis(r)?,
+        pipeline: read_pipeline(r)?,
+        jobs: r.vec("scenario.jobs", read_job)?,
+        seed: r.u64("scenario.seed")?,
+        trace: r.bool("scenario.trace")?,
+        topology: r.opt("scenario.topology", read_topology)?,
+    })
+}
+
+fn read_target(r: &mut Reader<'_>) -> Result<Target, WireError> {
+    match r.u8("target.tag")? {
+        0 => Ok(Target::App),
+        1 => Ok(Target::NamedApp(r.string("target.app")?)),
+        2 => Ok(Target::Ftm),
+        3 => Ok(Target::ExecArmor),
+        4 => Ok(Target::Heartbeat),
+        5 => Ok(Target::AnyArmor),
+        tag => Err(WireError::BadTag { what: "target", tag }),
+    }
+}
+
+fn read_heap_target(r: &mut Reader<'_>) -> Result<HeapTarget, WireError> {
+    match r.u8("heap-target.tag")? {
+        0 => Ok(HeapTarget::Any),
+        1 => Ok(HeapTarget::DataOnly),
+        2 => Ok(HeapTarget::Region(r.string("heap-target.region")?)),
+        tag => Err(WireError::BadTag { what: "heap-target", tag }),
+    }
+}
+
+fn read_model(r: &mut Reader<'_>) -> Result<ErrorModel, WireError> {
+    match r.u8("model.tag")? {
+        0 => Ok(ErrorModel::Sigint),
+        1 => Ok(ErrorModel::Sigstop),
+        2 => Ok(ErrorModel::Register),
+        3 => Ok(ErrorModel::TextSegment),
+        4 => Ok(ErrorModel::Heap),
+        5 => Ok(ErrorModel::HeapSingle(read_heap_target(r)?)),
+        tag => Err(WireError::BadTag { what: "error-model", tag }),
+    }
+}
+
+fn read_net_fault(r: &mut Reader<'_>) -> Result<NetFault, WireError> {
+    let kind = match r.u8("net-fault.kind")? {
+        0 => NetFaultKind::Link { a: r.u16("net-fault.a")?, b: r.u16("net-fault.b")? },
+        1 => NetFaultKind::Correlated {
+            pairs: r.vec("net-fault.pairs", |r| {
+                Ok((r.u16("net-fault.pair.a")?, r.u16("net-fault.pair.b")?))
+            })?,
+        },
+        2 => NetFaultKind::Partition {
+            groups: r.vec("net-fault.groups", |r| {
+                r.vec("net-fault.group", |r| r.u16("net-fault.node"))
+            })?,
+        },
+        tag => return Err(WireError::BadTag { what: "net-fault kind", tag }),
+    };
+    let trigger = match r.u8("net-fault.trigger")? {
+        0 => NetFaultTrigger::At(r.time("net-fault.at")?),
+        1 => NetFaultTrigger::OnRecoveryStart { delay: r.duration("net-fault.delay")? },
+        tag => return Err(WireError::BadTag { what: "net-fault trigger", tag }),
+    };
+    Ok(NetFault { kind, trigger, duration: r.duration("net-fault.duration")? })
+}
+
+fn read_plan(r: &mut Reader<'_>) -> Result<RunPlan, WireError> {
+    Ok(RunPlan {
+        scenario: read_scenario(r)?,
+        target: read_target(r)?,
+        model: read_model(r)?,
+        timeout: r.time("plan.timeout")?,
+        net_faults: r.vec("plan.net_faults", read_net_fault)?,
+    })
+}
+
+fn read_failure_class(r: &mut Reader<'_>) -> Result<FailureClass, WireError> {
+    match r.u8("failure-class")? {
+        0 => Ok(FailureClass::SegFault),
+        1 => Ok(FailureClass::IllegalInstruction),
+        2 => Ok(FailureClass::Hang),
+        3 => Ok(FailureClass::Assertion),
+        4 => Ok(FailureClass::InjectedSignal),
+        5 => Ok(FailureClass::Other),
+        tag => Err(WireError::BadTag { what: "failure-class", tag }),
+    }
+}
+
+fn read_system_failure(r: &mut Reader<'_>) -> Result<SystemFailure, WireError> {
+    match r.u8("system-failure")? {
+        0 => Ok(SystemFailure::UnableToRegisterDaemons),
+        1 => Ok(SystemFailure::UnableToInstallExecArmors),
+        2 => Ok(SystemFailure::UnableToStartApplication),
+        3 => Ok(SystemFailure::UnableToRecognizeCompletion),
+        4 => Ok(SystemFailure::AppDidNotComplete),
+        tag => Err(WireError::BadTag { what: "system-failure", tag }),
+    }
+}
+
+fn read_result(r: &mut Reader<'_>) -> Result<RunResult, WireError> {
+    Ok(RunResult {
+        seed: r.u64("result.seed")?,
+        injections: r.u32("result.injections")?,
+        induced: r.opt("result.induced", read_failure_class)?,
+        completed: r.bool("result.completed")?,
+        system_failure: r.opt("result.system_failure", read_system_failure)?,
+        output: match r.u8("result.output")? {
+            0 => Verdict::Correct,
+            1 => Verdict::Incorrect,
+            2 => Verdict::Missing,
+            tag => return Err(WireError::BadTag { what: "verdict", tag }),
+        },
+        perceived: r.opt("result.perceived", |r| r.f64("result.perceived"))?,
+        actual: r.opt("result.actual", |r| r.f64("result.actual"))?,
+        perceived_all: r
+            .vec("result.perceived_all", |r| r.opt("result.perceived_all", |r| r.f64("slot")))?,
+        actual_all: r
+            .vec("result.actual_all", |r| r.opt("result.actual_all", |r| r.f64("slot")))?,
+        restarts: r.u64("result.restarts")?,
+        recovery_times: r.vec("result.recovery_times", |r| r.f64("result.recovery_time"))?,
+        correlated: r.bool("result.correlated")?,
+        assertion_fired: r.bool("result.assertion_fired")?,
+        heap_hit: r.opt("result.heap_hit", |r| {
+            Ok(HeapHit {
+                region: r.string("heap-hit.region")?,
+                field: r.string("heap-hit.field")?,
+                kind: match r.u8("heap-hit.kind")? {
+                    0 => FieldKind::Pointer,
+                    1 => FieldKind::Data,
+                    tag => return Err(WireError::BadTag { what: "field-kind", tag }),
+                },
+            })
+        })?,
+        net_faults_applied: r.u32("result.net_faults_applied")?,
+    })
+}
+
+/// Decodes one message from a frame payload, requiring the payload to
+/// be consumed exactly.
+pub fn decode_msg(payload: &[u8]) -> Result<Msg, WireError> {
+    let mut r = Reader { buf: payload };
+    let msg = match r.u8("message tag")? {
+        0 => Msg::Hello { proto: r.u32("hello.proto")? },
+        1 => Msg::Plan { plan: Box::new(read_plan(&mut r)?) },
+        2 => Msg::Batch {
+            batch: r.u32("batch.id")?,
+            seed0: r.u64("batch.seed0")?,
+            len: r.u32("batch.len")?,
+        },
+        3 => Msg::Shutdown,
+        4 => Msg::Ready { worker: r.u32("ready.worker")?, proto: r.u32("ready.proto")? },
+        5 => Msg::PlanAccepted,
+        6 => Msg::PlanRejected { error: r.string("plan-rejected.error")? },
+        7 => Msg::Progress { batch: r.u32("progress.batch")?, done: r.u32("progress.done")? },
+        8 => Msg::BatchDone {
+            batch: r.u32("batch-done.id")?,
+            results: r.vec("batch-done.results", read_result)?,
+        },
+        9 => Msg::BatchFailed {
+            batch: r.u32("batch-failed.id")?,
+            error: r.string("batch-failed.error")?,
+        },
+        tag => return Err(WireError::BadTag { what: "message", tag }),
+    };
+    if !r.buf.is_empty() {
+        return Err(WireError::Trailing { extra: r.buf.len() });
+    }
+    Ok(msg)
+}

@@ -1,0 +1,146 @@
+//! The tentpole acceptance tests: a distributed sweep's aggregate is
+//! **byte-identical** to the single-process `Campaign::aggregate` — for
+//! any worker count, and with every self-chaos mode (kill -9, hang,
+//! frame corruption, frame truncation, poisoned run) fired mid-sweep.
+//! Recovery is proven by equality, not by absence of crashes.
+
+use ree_dist::{distribute, ChaosMode, ChaosPlan, DistOptions};
+use ree_inject::{Aggregate, Campaign, ErrorModel, RunPlan, Target};
+use ree_sim::{SimDuration, SimTime};
+use std::time::Duration;
+
+fn plan() -> RunPlan {
+    RunPlan {
+        scenario: ree_apps::Scenario::single_texture(1),
+        target: Target::App,
+        model: ErrorModel::Register,
+        timeout: SimTime::ZERO + SimDuration::from_secs(120),
+        net_faults: Vec::new(),
+    }
+}
+
+/// Test options: the dedicated worker binary, small batches so several
+/// cross the failure, and tight (but debug-build-safe) timeouts.
+fn options(workers: usize) -> DistOptions {
+    let mut o = DistOptions::new(workers);
+    o.batch = 4;
+    o.stall_timeout = Duration::from_secs(2);
+    o.batch_deadline = Duration::from_secs(60);
+    o.backoff_base = Duration::from_millis(10);
+    o.backoff_cap = Duration::from_millis(100);
+    o.worker_cmd = Some(vec![env!("CARGO_BIN_EXE_ree-dist-worker").to_string()]);
+    o
+}
+
+fn expected(plan: &RunPlan, runs: u32, seed0: u64) -> Aggregate {
+    Campaign::new(plan).runs(runs).seed(seed0).aggregate()
+}
+
+#[test]
+fn clean_sweep_matches_single_process_for_any_worker_count() {
+    let plan = plan();
+    let (runs, seed0) = (40, 5);
+    let want = expected(&plan, runs, seed0);
+    for workers in [1, 2, 4] {
+        let report = distribute(&plan, runs, seed0, &options(workers))
+            .unwrap_or_else(|e| panic!("{workers} workers: {e}"));
+        assert!(report.completed(), "{workers} workers: {:?}", report.warnings);
+        assert_eq!(report.runs_folded, u64::from(runs));
+        assert_eq!(report.aggregate, want, "{workers} workers diverged");
+        assert!(!report.fell_back, "clean sweep must not fall back");
+        assert_eq!(report.ledger.runs_done(), u64::from(runs));
+    }
+}
+
+/// Every chaos mode, fired mid-sweep on worker 0, must converge to the
+/// identical aggregate — and must actually have hurt something (a
+/// vacuous chaos test proves nothing).
+#[test]
+fn every_chaos_mode_converges_to_the_identical_aggregate() {
+    let plan = plan();
+    let (runs, seed0) = (24, 11);
+    let want = expected(&plan, runs, seed0);
+    for mode in ChaosMode::ALL {
+        let mut o = options(2);
+        o.chaos = Some(ChaosPlan { mode, victim: 0, after_runs: 1, incarnations: 1 });
+        let report = distribute(&plan, runs, seed0, &o).unwrap_or_else(|e| panic!("{mode}: {e}"));
+        assert!(report.completed(), "{mode}: incomplete ({:?})", report.warnings);
+        assert_eq!(report.aggregate, want, "{mode} diverged from single-process");
+        assert!(report.ledger.failures() >= 1, "{mode}: chaos never fired ({:?})", report.warnings);
+        assert_eq!(report.ledger.quarantined(), 0, "{mode}: one failure must not quarantine");
+    }
+}
+
+/// Seeded chaos (victim and instant derived from the campaign seed) on
+/// a wider pool.
+#[test]
+fn seeded_kill_on_four_workers_converges() {
+    let plan = plan();
+    let (runs, seed0) = (32, 7);
+    let want = expected(&plan, runs, seed0);
+    let mut o = options(4);
+    o.chaos = Some(ChaosPlan::seeded(ChaosMode::Kill, seed0, 4));
+    let report = distribute(&plan, runs, seed0, &o).expect("sweep runs");
+    assert!(report.completed(), "{:?}", report.warnings);
+    assert_eq!(report.aggregate, want);
+    assert!(report.ledger.failures() >= 1, "chaos never fired");
+}
+
+/// A worker whose chaos survives its respawn (incarnations = 2) fails
+/// twice and must be quarantined; the sweep still converges on the
+/// remaining worker.
+#[test]
+fn twice_failing_worker_is_quarantined_and_sweep_converges() {
+    let plan = plan();
+    let (runs, seed0) = (16, 3);
+    let want = expected(&plan, runs, seed0);
+    let mut o = options(2);
+    o.chaos = Some(ChaosPlan { mode: ChaosMode::Kill, victim: 0, after_runs: 0, incarnations: 2 });
+    let report = distribute(&plan, runs, seed0, &o).expect("sweep runs");
+    assert!(report.completed(), "{:?}", report.warnings);
+    assert_eq!(report.aggregate, want);
+    assert_eq!(report.ledger.quarantined(), 1, "{:?}", report.warnings);
+    assert!(report.ledger.shard(0).quarantined);
+    assert!(report.warnings.iter().any(|w| w.contains("quarantined")));
+}
+
+/// Losing the whole pool (a single worker that dies on every
+/// incarnation) degrades to in-process execution — with a warning and
+/// the identical aggregate.
+#[test]
+fn losing_every_worker_falls_back_in_process() {
+    let plan = plan();
+    let (runs, seed0) = (12, 21);
+    let want = expected(&plan, runs, seed0);
+    let mut o = options(1);
+    o.chaos =
+        Some(ChaosPlan { mode: ChaosMode::Kill, victim: 0, after_runs: 0, incarnations: u32::MAX });
+    let report = distribute(&plan, runs, seed0, &o).expect("sweep runs");
+    assert!(report.completed(), "{:?}", report.warnings);
+    assert_eq!(report.aggregate, want, "fallback diverged");
+    assert!(report.fell_back);
+    assert!(report.ledger.fallback_runs >= 1);
+    assert!(report.warnings.iter().any(|w| w.contains("falling back")), "{:?}", report.warnings);
+}
+
+/// An invalid plan is rejected up front with the typed campaign error —
+/// no worker pool is ever spawned.
+#[test]
+fn invalid_plan_is_rejected_before_spawning() {
+    let mut bad = plan();
+    bad.timeout = SimTime::ZERO;
+    let err = distribute(&bad, 8, 0, &options(2)).expect_err("must reject");
+    assert!(err.to_string().contains("timeout"), "{err}");
+}
+
+/// The `Distributed` extension terminal mirrors `distribute` for a
+/// configured `Campaign`.
+#[test]
+fn campaign_extension_terminal_matches() {
+    use ree_dist::Distributed;
+    let plan = plan();
+    let want = expected(&plan, 8, 13);
+    let report =
+        Campaign::new(&plan).runs(8).seed(13).distributed(&options(2)).expect("sweep runs");
+    assert_eq!(report.aggregate, want);
+}

@@ -1,0 +1,226 @@
+//! Round-trip tests for the message codec: every protocol message —
+//! including a fully-populated `RunPlan` (topology, network faults,
+//! every optional field) and a fully-populated `RunResult` — must cross
+//! the wire bit-exactly, because byte-identical distributed aggregation
+//! rests on bit-exact result transport.
+
+use ree_dist::{decode_msg, encode_msg, Msg, WireError, PROTO_VERSION};
+use ree_inject::{ErrorModel, FailureClass, NetFault, RunPlan, RunResult, SystemFailure, Target};
+use ree_net::{NetworkConfig, Topology};
+use ree_sift::JobSpec;
+use ree_sim::{SimDuration, SimTime};
+
+fn rich_plan() -> RunPlan {
+    let mut scenario = ree_apps::Scenario::two_apps(99);
+    scenario.topology =
+        Some(Topology::single_switch(scenario.nodes as u16, &NetworkConfig::ethernet_100mbps()));
+    scenario.jobs.push(JobSpec {
+        app: "texture".into(),
+        ranks: 1,
+        nodes: vec![0],
+        submit_at: SimDuration::from_millis(750),
+    });
+    RunPlan {
+        scenario,
+        target: Target::NamedApp("texture".into()),
+        model: ErrorModel::HeapSingle(ree_os::HeapTarget::Region("texture".into())),
+        timeout: SimTime::ZERO + SimDuration::from_secs(90),
+        net_faults: vec![
+            NetFault::partition_on_recovery(
+                vec![vec![0, 1, 2], vec![3, 4, 5]],
+                SimDuration::from_secs(3),
+            ),
+            NetFault::link_at(
+                1,
+                4,
+                SimTime::ZERO + SimDuration::from_secs(7),
+                SimDuration::from_secs(2),
+            ),
+        ],
+    }
+}
+
+fn rich_result() -> RunResult {
+    RunResult {
+        seed: 0xDEAD_BEEF_0BAD_CAFE,
+        injections: 3,
+        induced: Some(FailureClass::SegFault),
+        completed: true,
+        system_failure: Some(SystemFailure::AppDidNotComplete),
+        output: ree_apps::Verdict::Correct,
+        perceived: Some(12.625),
+        actual: Some(11.25),
+        perceived_all: vec![Some(12.625), None, Some(0.5)],
+        actual_all: vec![Some(11.25), None],
+        restarts: 2,
+        recovery_times: vec![0.25, 1.5],
+        correlated: true,
+        assertion_fired: false,
+        heap_hit: Some(ree_os::HeapHit {
+            region: "texture".into(),
+            field: "row_ptr".into(),
+            kind: ree_os::FieldKind::Pointer,
+        }),
+        net_faults_applied: 2,
+    }
+}
+
+/// A plan with every optional populated survives the codec. `RunPlan`
+/// has no `PartialEq` (it holds a `Topology`), so equality goes through
+/// the exhaustive `Debug` rendering.
+#[test]
+fn rich_plan_roundtrips() {
+    let plan = rich_plan();
+    let msg = Msg::Plan { plan: Box::new(plan.clone()) };
+    let decoded = decode_msg(&encode_msg(&msg)).expect("decodes");
+    let Msg::Plan { plan: back } = decoded else { panic!("wrong variant") };
+    assert_eq!(format!("{plan:?}"), format!("{back:?}"));
+    back.validate().expect("decoded plan still validates");
+}
+
+#[test]
+fn minimal_plan_roundtrips() {
+    let plan = RunPlan {
+        scenario: ree_apps::Scenario::single_texture(1),
+        target: Target::App,
+        model: ErrorModel::Register,
+        timeout: SimTime::ZERO + SimDuration::from_secs(120),
+        net_faults: Vec::new(),
+    };
+    let msg = Msg::Plan { plan: Box::new(plan.clone()) };
+    let Msg::Plan { plan: back } = decode_msg(&encode_msg(&msg)).expect("decodes") else {
+        panic!("wrong variant")
+    };
+    assert_eq!(format!("{plan:?}"), format!("{back:?}"));
+}
+
+/// `RunResult` is `PartialEq`, so transport exactness is asserted
+/// directly — including the NaN-free optional floats bit-for-bit.
+#[test]
+fn rich_result_roundtrips() {
+    let results = vec![
+        rich_result(),
+        RunResult {
+            seed: 1,
+            injections: 0,
+            induced: None,
+            completed: false,
+            system_failure: None,
+            output: ree_apps::Verdict::Missing,
+            perceived: None,
+            actual: None,
+            perceived_all: Vec::new(),
+            actual_all: Vec::new(),
+            restarts: 0,
+            recovery_times: Vec::new(),
+            correlated: false,
+            assertion_fired: true,
+            heap_hit: None,
+            net_faults_applied: 0,
+        },
+    ];
+    let msg = Msg::BatchDone { batch: 7, results: results.clone() };
+    let Msg::BatchDone { batch, results: back } = decode_msg(&encode_msg(&msg)).expect("decodes")
+    else {
+        panic!("wrong variant")
+    };
+    assert_eq!(batch, 7);
+    assert_eq!(back, results);
+}
+
+#[test]
+fn every_control_message_roundtrips() {
+    let messages = [
+        Msg::Hello { proto: PROTO_VERSION },
+        Msg::Batch { batch: 42, seed0: u64::MAX - 5, len: 16 },
+        Msg::Shutdown,
+        Msg::Ready { worker: 3, proto: PROTO_VERSION },
+        Msg::PlanAccepted,
+        Msg::PlanRejected { error: "invalid run plan: timeout must be positive".into() },
+        Msg::Progress { batch: 9, done: 11 },
+        Msg::BatchFailed { batch: 2, error: "run for seed 19 panicked: boom".into() },
+    ];
+    for msg in &messages {
+        let back = decode_msg(&encode_msg(msg)).expect("decodes");
+        assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+    }
+}
+
+/// Every error model and target variant crosses the wire.
+#[test]
+fn all_model_and_target_variants_roundtrip() {
+    let models = [
+        ErrorModel::Sigint,
+        ErrorModel::Sigstop,
+        ErrorModel::Register,
+        ErrorModel::TextSegment,
+        ErrorModel::Heap,
+        ErrorModel::HeapSingle(ree_os::HeapTarget::Any),
+        ErrorModel::HeapSingle(ree_os::HeapTarget::DataOnly),
+        ErrorModel::HeapSingle(ree_os::HeapTarget::Region("stack".into())),
+    ];
+    let targets = [
+        Target::App,
+        Target::NamedApp("otis".into()),
+        Target::Ftm,
+        Target::ExecArmor,
+        Target::Heartbeat,
+        Target::AnyArmor,
+    ];
+    for model in &models {
+        for target in &targets {
+            let mut plan = RunPlan {
+                scenario: ree_apps::Scenario::single_texture(0),
+                target: target.clone(),
+                model: model.clone(),
+                timeout: SimTime::ZERO + SimDuration::from_secs(1),
+                net_faults: Vec::new(),
+            };
+            plan.scenario.trace = false;
+            let msg = Msg::Plan { plan: Box::new(plan.clone()) };
+            let Msg::Plan { plan: back } = decode_msg(&encode_msg(&msg)).expect("decodes") else {
+                panic!("wrong variant")
+            };
+            assert_eq!(format!("{plan:?}"), format!("{back:?}"));
+        }
+    }
+}
+
+/// Adversarial payloads: truncation, unknown tags, and trailing bytes
+/// are typed errors, never panics.
+#[test]
+fn adversarial_payloads_yield_typed_errors() {
+    // Unknown message tag.
+    match decode_msg(&[0xEE]) {
+        Err(WireError::BadTag { tag: 0xEE, .. }) => {}
+        other => panic!("expected BadTag, got {other:?}"),
+    }
+    // Empty payload.
+    match decode_msg(&[]) {
+        Err(WireError::Truncated { .. }) => {}
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+    // Trailing garbage after a valid message.
+    let mut bytes = encode_msg(&Msg::PlanAccepted);
+    bytes.push(0x00);
+    match decode_msg(&bytes) {
+        Err(WireError::Trailing { .. }) => {}
+        other => panic!("expected Trailing, got {other:?}"),
+    }
+    // Every truncation point of a complex message is a typed error.
+    let full = encode_msg(&Msg::BatchDone { batch: 1, results: vec![rich_result()] });
+    for cut in 0..full.len() {
+        match decode_msg(&full[..cut]) {
+            Err(_) => {}
+            Ok(msg) => panic!("truncation at {cut} decoded as {msg:?}"),
+        }
+    }
+    // Non-UTF-8 in a string field.
+    let mut bad = encode_msg(&Msg::PlanRejected { error: "ascii".into() });
+    let last = bad.len() - 1;
+    bad[last] = 0xFF;
+    match decode_msg(&bad) {
+        Err(WireError::BadUtf8 { .. }) => {}
+        other => panic!("expected BadUtf8, got {other:?}"),
+    }
+}

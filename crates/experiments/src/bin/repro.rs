@@ -1,41 +1,59 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `repro [--quick] [--seed N]
-//! <table1..table12|table4a|fig6..fig10|fig6a|partition|mc|mc-selftest|all>`
+//! Usage: `repro [--quick] [--seed N] [--workers N] [--chaos MODE]
+//! <table1..table12|table4a|fig6..fig10|fig6a|partition|mc|mc-selftest|dist|dist-selftest|all>`
 //!
 //! `table4a` and `fig6a` are the adaptive (confidence-targeted)
 //! variants of table4 and fig6: each cell runs until its recovery-rate
 //! Wilson interval meets the stopping-rule target instead of a fixed
 //! run count. `partition` is the partition-during-recovery sweep
 //! (recovery rate vs partition duration), also adaptive.
+//!
+//! `dist` runs the register sweep across `--workers N` supervised
+//! worker subprocesses (optionally with `--chaos
+//! kill|hang|corrupt|truncate|poison` self-injected at a seeded
+//! instant) and byte-diffs the aggregate against the single-process
+//! run, exiting non-zero on divergence. `dist-selftest` sweeps the full
+//! 1/2/4-workers × chaos-mode matrix. The supervisor re-executes this
+//! binary as its workers (`repro worker` describes the mechanism).
 
 use ree_experiments::{
-    fig9, figures, mc, partition, table10, table11, table3, table4, table5, table6, table7, table8,
-    Effort,
+    dist, fig9, figures, mc, partition, table10, table11, table3, table4, table5, table6, table7,
+    table8, Effort,
 };
 
 fn main() {
+    // A supervisor spawn: become a worker and never return. Must run
+    // before any argument parsing.
+    ree_dist::run_worker_if_spawned();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let effort = if quick { Effort::Quick } else { Effort::Paper };
-    let seed: u64 = args
+    let flag_value =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
+    let seed: u64 = flag_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(20020401); // CRHC-02-02, April 2002
+    let workers: usize = flag_value("--workers").and_then(|s| s.parse().ok()).unwrap_or(4);
+    let chaos: Option<ree_dist::ChaosMode> = match flag_value("--chaos") {
+        Some(s) => match ree_dist::ChaosMode::parse(&s) {
+            Some(mode) => Some(mode),
+            None => {
+                eprintln!("unknown --chaos mode {s:?} (kill|hang|corrupt|truncate|poison)");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    // The experiment name is the first non-flag argument that is not a
+    // flag's value.
+    let value_slots: Vec<usize> = ["--seed", "--workers", "--chaos"]
         .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20020401); // CRHC-02-02, April 2002
+        .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
+        .collect();
     let what = args
         .iter()
-        .find(|a| {
-            !a.starts_with("--")
-                && Some(a.as_str())
-                    != args
-                        .iter()
-                        .position(|x| x == "--seed")
-                        .and_then(|i| args.get(i + 1))
-                        .map(|s| s.as_str())
-        })
-        .cloned()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && !value_slots.contains(i))
+        .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_owned());
 
     let run_one = |name: &str| match name {
@@ -75,11 +93,41 @@ fn main() {
         "partition" => print!("{}", partition::run(effort, seed).render()),
         "mc" => print!("{}", mc::run(effort, seed)),
         "mc-selftest" => print!("{}", mc::selftest(effort, seed)),
+        "dist" => match dist::run_one(effort, seed, workers, chaos, None) {
+            Ok(outcome) => {
+                print!("{}", dist::render(&outcome));
+                if !outcome.matches() {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("distributed sweep failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        "dist-selftest" => {
+            let (rendered, all_ok) = dist::selftest(effort, seed, None);
+            print!("{rendered}");
+            if !all_ok {
+                std::process::exit(1);
+            }
+        }
+        "worker" => {
+            eprintln!(
+                "repro worker: workers are spawned by the supervisor (repro dist), which \
+                 re-executes this binary with {}/{} set in the environment; they are not \
+                 started by hand",
+                ree_dist::worker::ENV_WORKER_ID,
+                ree_dist::worker::ENV_INCARNATION,
+            );
+            std::process::exit(2);
+        }
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: repro [--quick] [--seed N] \
-                 <table1..table12|table4a|fig6..fig10|fig6a|partition|mc|mc-selftest|all>"
+                "usage: repro [--quick] [--seed N] [--workers N] [--chaos MODE] \
+                 <table1..table12|table4a|fig6..fig10|fig6a|partition|mc|mc-selftest|\
+                 dist|dist-selftest|all>"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,25 @@
+//! Equivalence of the repro-facing distributed target: the `dist`
+//! wrapper (the same code path `repro dist` runs) must byte-match the
+//! single-process aggregate, clean and under chaos. Workers are the
+//! real `repro` binary, exactly as a user's supervisor would spawn it.
+
+use ree_experiments::{dist, Effort};
+
+fn repro_worker() -> Option<Vec<String>> {
+    Some(vec![env!("CARGO_BIN_EXE_repro").to_string()])
+}
+
+#[test]
+fn quick_dist_run_matches_single_process() {
+    let outcome = dist::run_one(Effort::Quick, 7, 2, None, repro_worker()).expect("plan validates");
+    assert!(outcome.matches(), "{}", dist::render(&outcome));
+    assert!(dist::render(&outcome).contains("IDENTICAL"));
+}
+
+#[test]
+fn quick_dist_run_with_kill_chaos_matches() {
+    let outcome =
+        dist::run_one(Effort::Quick, 7, 2, Some(ree_dist::ChaosMode::Kill), repro_worker())
+            .expect("plan validates");
+    assert!(outcome.matches(), "{}", dist::render(&outcome));
+}

@@ -36,6 +36,7 @@
 
 use crate::builder::default_threads;
 use crate::campaign::Aggregate;
+use crate::error::CampaignError;
 use crate::runner::{execute_warm, RunGeometry, RunPlan, RunResult};
 use ree_apps::BootSnapshot;
 use ree_stats::Proportion;
@@ -167,10 +168,28 @@ impl StoppingRule {
         self.metric.proportion(agg).wilson_half_width(self.confidence) <= self.half_width
     }
 
+    /// Checks the rule's structural invariants, reporting a typed
+    /// [`CampaignError`] instead of panicking — the form a distributed
+    /// supervisor wants at the trust boundary, where a malformed rule
+    /// must become an error frame rather than a dead worker.
+    pub fn try_validate(&self) -> Result<(), CampaignError> {
+        let bad = |why: &str| Err(CampaignError::InvalidRule(why.to_owned()));
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return bad("confidence must be in (0,1)");
+        }
+        if self.half_width.is_nan() || self.half_width <= 0.0 {
+            return bad("half-width must be positive");
+        }
+        if self.batch < 1 {
+            return bad("batch must be at least 1");
+        }
+        Ok(())
+    }
+
     fn validate(&self) {
-        assert!(self.confidence > 0.0 && self.confidence < 1.0, "confidence must be in (0,1)");
-        assert!(self.half_width > 0.0, "half-width must be positive");
-        assert!(self.batch >= 1, "batch must be at least 1");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 

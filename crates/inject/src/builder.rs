@@ -118,6 +118,13 @@ impl<'p> Campaign<'p> {
         self.seed0
     }
 
+    /// The configured run count ([`runs`](Campaign::runs)) — read
+    /// access for extension terminals defined outside this crate (e.g.
+    /// `ree-dist`'s `distributed`).
+    pub fn runs_configured(&self) -> u32 {
+        self.runs
+    }
+
     /// Runs the campaign and returns every [`RunResult`] in seed order.
     pub fn collect(&self) -> Vec<RunResult> {
         self.fold(Vec::with_capacity(self.runs as usize), |v, r| v.push(r))

@@ -89,6 +89,7 @@ pub mod adaptive;
 mod branch;
 mod builder;
 mod campaign;
+mod error;
 mod model;
 pub mod netfault;
 mod runner;
@@ -102,9 +103,11 @@ pub use campaign::{
     run_campaign, run_campaign_aggregate, run_campaign_fold, run_campaign_fold_with_threads,
     run_campaign_with_threads,
 };
+pub use error::CampaignError;
 pub use model::{ErrorModel, FailureClass, SystemFailure, Target};
 pub use netfault::{NetFault, NetFaultKind, NetFaultTrigger};
 pub use runner::{
     classify_system_failure, classify_target_state, conclude_run, execute, execute_full,
-    execute_warm, execute_warm_full, verify_outputs, RunGeometry, RunPlan, RunResult,
+    execute_warm, execute_warm_checked, execute_warm_full, verify_outputs, RunGeometry, RunPlan,
+    RunResult,
 };

@@ -3,8 +3,9 @@
 //! (§4): control/monitor/collect here, the actual corruption in the
 //! `ree-os` injection surface.
 
+use crate::error::{panic_message, CampaignError};
 use crate::model::{ErrorModel, FailureClass, SystemFailure, Target};
-use crate::netfault::{NetFault, NetFaultDriver};
+use crate::netfault::{NetFault, NetFaultDriver, NetFaultKind};
 use ree_apps::verify::{verify_otis, verify_pipeline, verify_texture, Verdict};
 use ree_apps::{BootSnapshot, Running, Scenario};
 use ree_os::{ExitStatus, HeapHit, Pid, Signal, TraceEvent};
@@ -70,6 +71,72 @@ impl RunPlan {
     /// the warm-boot image `run_campaign*` forks per run.
     pub fn boot_snapshot(&self) -> BootSnapshot {
         self.scenario.boot_snapshot(self.geometry().snapshot_at)
+    }
+
+    /// Checks the structural invariants a plan must satisfy before any
+    /// run of it can execute: a positive timeout, jobs whose rank count
+    /// matches their node list with every node inside the cluster, and
+    /// network faults whose endpoints exist. Supervisors call this at
+    /// the trust boundary — a plan decoded off the wire is rejected
+    /// with a typed [`CampaignError`] instead of panicking deep inside
+    /// the simulator.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        let bad = |why: String| Err(CampaignError::InvalidPlan(why));
+        if self.timeout <= SimTime::ZERO {
+            return bad("timeout must be positive".into());
+        }
+        let nodes = self.scenario.nodes;
+        for (slot, job) in self.scenario.jobs.iter().enumerate() {
+            if job.app.is_empty() {
+                return bad(format!("job {slot} has an empty application name"));
+            }
+            if job.ranks == 0 {
+                return bad(format!("job {slot} ({}) has zero ranks", job.app));
+            }
+            if job.nodes.len() != job.ranks as usize {
+                return bad(format!(
+                    "job {slot} ({}) maps {} ranks onto {} nodes",
+                    job.app,
+                    job.ranks,
+                    job.nodes.len()
+                ));
+            }
+            if let Some(&n) = job.nodes.iter().find(|&&n| (n as usize) >= nodes) {
+                return bad(format!(
+                    "job {slot} ({}) places a rank on node{n}, but the cluster has {nodes} nodes",
+                    job.app
+                ));
+            }
+        }
+        if let Some(topology) = &self.scenario.topology {
+            if topology.nodes() as usize != nodes {
+                return bad(format!(
+                    "topology has {} nodes but the scenario declares {nodes}",
+                    topology.nodes()
+                ));
+            }
+        }
+        let in_range = |n: u16| (n as usize) < nodes;
+        for (i, fault) in self.net_faults.iter().enumerate() {
+            let endpoints: Vec<u16> = match &fault.kind {
+                NetFaultKind::Link { a, b } => vec![*a, *b],
+                NetFaultKind::Correlated { pairs } => {
+                    pairs.iter().flat_map(|&(a, b)| [a, b]).collect()
+                }
+                NetFaultKind::Partition { groups } => {
+                    if groups.len() < 2 {
+                        return bad(format!("net fault {i}: a partition needs at least 2 groups"));
+                    }
+                    groups.iter().flatten().copied().collect()
+                }
+            };
+            if let Some(&n) = endpoints.iter().find(|&&n| !in_range(n)) {
+                return bad(format!(
+                    "net fault {i} references node{n}, but the cluster has {nodes} nodes"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -146,6 +213,23 @@ pub fn execute_warm(
     seed: u64,
 ) -> RunResult {
     execute_warm_full(plan, geometry, snapshot, seed).0
+}
+
+/// [`execute_warm`] with the panic boundary a supervisor needs: a run
+/// that panics inside the simulator is caught and reported as
+/// [`CampaignError::RunPanicked`] instead of unwinding through (and
+/// killing) the calling worker. Execution is deterministic, so the
+/// error carries the seed for in-process reproduction.
+pub fn execute_warm_checked(
+    plan: &RunPlan,
+    geometry: &RunGeometry,
+    snapshot: &BootSnapshot,
+    seed: u64,
+) -> Result<RunResult, CampaignError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_warm(plan, geometry, snapshot, seed)
+    }))
+    .map_err(|payload| CampaignError::RunPanicked { seed, message: panic_message(payload) })
 }
 
 /// [`execute_warm`] variant that also returns the finished environment.

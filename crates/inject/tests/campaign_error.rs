@@ -1,0 +1,96 @@
+//! Typed campaign errors: validation at the supervisor trust boundary
+//! and the panic boundary around a single run.
+
+use ree_inject::{
+    execute_warm_checked, CampaignError, ErrorModel, NetFault, RunPlan, StoppingRule, Target,
+};
+use ree_sift::JobSpec;
+use ree_sim::{SimDuration, SimTime};
+
+fn plan() -> RunPlan {
+    RunPlan {
+        scenario: ree_apps::Scenario::single_texture(1),
+        target: Target::App,
+        model: ErrorModel::Sigint,
+        timeout: SimTime::from_secs(220),
+        net_faults: vec![],
+    }
+}
+
+#[test]
+fn well_formed_plan_validates() {
+    assert_eq!(plan().validate(), Ok(()));
+}
+
+#[test]
+fn zero_timeout_is_rejected() {
+    let mut p = plan();
+    p.timeout = SimTime::ZERO;
+    assert!(matches!(p.validate(), Err(CampaignError::InvalidPlan(_))));
+}
+
+#[test]
+fn out_of_range_job_node_is_rejected() {
+    let mut p = plan();
+    let nodes = p.scenario.nodes;
+    p.scenario.jobs.push(JobSpec {
+        app: "texture".into(),
+        ranks: 1,
+        nodes: vec![nodes as u16], // first node *past* the cluster
+        submit_at: SimDuration::from_secs(5),
+    });
+    let err = p.validate().unwrap_err();
+    assert!(matches!(err, CampaignError::InvalidPlan(_)));
+    assert!(err.to_string().contains("node"), "unexpected message: {err}");
+}
+
+#[test]
+fn rank_node_mismatch_is_rejected() {
+    let mut p = plan();
+    p.scenario.jobs[0].ranks += 1;
+    assert!(matches!(p.validate(), Err(CampaignError::InvalidPlan(_))));
+}
+
+#[test]
+fn net_fault_endpoint_out_of_range_is_rejected() {
+    let mut p = plan();
+    p.net_faults.push(NetFault::link_at(0, 99, SimTime::from_secs(10), SimDuration::from_secs(5)));
+    let err = p.validate().unwrap_err();
+    assert!(err.to_string().contains("net fault 0"), "unexpected message: {err}");
+}
+
+#[test]
+fn degenerate_partition_is_rejected() {
+    let mut p = plan();
+    p.net_faults.push(NetFault::partition_on_recovery(vec![vec![0, 1]], SimDuration::from_secs(5)));
+    assert!(matches!(p.validate(), Err(CampaignError::InvalidPlan(_))));
+}
+
+#[test]
+fn stopping_rule_try_validate() {
+    assert_eq!(StoppingRule::default().try_validate(), Ok(()));
+    let bad = StoppingRule::default().confidence(1.5);
+    assert!(matches!(bad.try_validate(), Err(CampaignError::InvalidRule(_))));
+    let bad = StoppingRule::default().half_width(0.0);
+    assert!(matches!(bad.try_validate(), Err(CampaignError::InvalidRule(_))));
+    let bad = StoppingRule::default().batch(0);
+    assert!(matches!(bad.try_validate(), Err(CampaignError::InvalidRule(_))));
+}
+
+#[test]
+fn checked_execution_matches_unchecked() {
+    let p = plan();
+    let geometry = p.geometry();
+    let snapshot = p.boot_snapshot();
+    let checked = execute_warm_checked(&p, &geometry, &snapshot, 7).expect("run completes");
+    let plain = ree_inject::execute_warm(&p, &geometry, &snapshot, 7);
+    assert_eq!(checked, plain);
+}
+
+#[test]
+fn campaign_error_displays() {
+    let e = CampaignError::RunPanicked { seed: 42, message: "boom".into() };
+    assert_eq!(e.to_string(), "run for seed 42 panicked: boom");
+    let e = CampaignError::InvalidPlan("why".into());
+    assert_eq!(e.to_string(), "invalid run plan: why");
+}

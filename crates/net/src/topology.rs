@@ -91,6 +91,40 @@ impl Topology {
         b.build()
     }
 
+    /// Reassembles a topology from its constituent parts — the inverse
+    /// of reading it back through [`Topology::nodes`],
+    /// [`Topology::switches`], [`Topology::loopback_latency`], and
+    /// [`Topology::links`]. Intended for decoders that ship a topology
+    /// across a process boundary; `links` must already be twin-paired
+    /// the way [`TopologyBuilder::connect`] lays them out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any link references a node, switch, or peer link out of
+    /// range — a decoded topology must be as well-formed as a built one.
+    pub fn from_parts(
+        nodes: u16,
+        switches: u16,
+        loopback_latency: SimDuration,
+        links: Vec<LinkSpec>,
+    ) -> Topology {
+        let topology = Topology { nodes, switches, loopback_latency, links };
+        let check = |port: Port| match port {
+            Port::Node(NodeId(n)) => assert!(n < topology.nodes, "node{n} out of range"),
+            Port::Switch(SwitchId(s)) => assert!(s < topology.switches, "switch{s} out of range"),
+        };
+        for link in &topology.links {
+            check(link.from);
+            check(link.to);
+            assert!(
+                (link.peer.0 as usize) < topology.links.len(),
+                "peer link {} out of range",
+                link.peer.0
+            );
+        }
+        topology
+    }
+
     /// Number of endpoint nodes.
     pub fn nodes(&self) -> u16 {
         self.nodes

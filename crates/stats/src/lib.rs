@@ -17,11 +17,13 @@
 #![warn(missing_docs)]
 
 mod proportion;
+mod shard;
 mod special;
 mod summary;
 mod table;
 
 pub use proportion::Proportion;
+pub use shard::{ShardLedger, ShardStats};
 pub use special::{inc_beta, ln_gamma, normal_cdf, t_cdf, t_quantile, z_quantile};
 pub use summary::{no_failure_upper_bound, Summary};
 pub use table::{format_pm, TableBuilder};
